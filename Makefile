@@ -1,0 +1,48 @@
+# Development targets for the Siloz reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench bench-quick examples tools check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full benchmark sweep: every table/figure plus per-substrate microbenches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-quick:
+	$(GO) run ./cmd/siloz-bench -quick
+
+# Regenerate the paper's evaluation at full scale (minutes).
+evaluation:
+	$(GO) run ./cmd/siloz-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/eptguard
+	$(GO) run ./examples/addressing
+	$(GO) run ./examples/tracereplay
+
+tools:
+	$(GO) run ./cmd/siloz-topology
+	$(GO) run ./cmd/siloz-blacksmith -patterns 20
+	$(GO) run ./cmd/siloz-infer -true-size 1024
+	$(GO) run ./cmd/siloz-sim
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,326 @@
+// Benchmarks regenerating the paper's tables and figures (§7). Each bench
+// runs one experiment end to end and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. Scaled-down parameters keep a full sweep tractable; use
+// cmd/siloz-bench for paper-scale runs.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/geometry"
+)
+
+// benchSecurity uses a reduced geometry so each b.N iteration is cheap
+// while keeping the full six-DIMM sweep.
+func benchSecurity() experiments.SecurityConfig {
+	cfg := experiments.DefaultSecurityConfig()
+	cfg.Geometry = geometry.Geometry{
+		Sockets: 2, CoresPerSocket: 8, DIMMsPerSocket: 2, RanksPerDIMM: 2,
+		BanksPerRank: 4, RowsPerBank: 4096, RowBytes: 8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+	cfg.Patterns = 30
+	return cfg
+}
+
+func benchPerf() experiments.PerfConfig {
+	cfg := experiments.QuickPerfConfig()
+	cfg.Ops = 20_000
+	cfg.Reps = 3
+	return cfg
+}
+
+// BenchmarkTable3Containment regenerates Table 3: Blacksmith pinned to a
+// subarray group on DIMMs A-F; flips inside vs outside the group.
+func BenchmarkTable3Containment(b *testing.B) {
+	cfg := benchSecurity()
+	var inside, outside int
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 7
+		res, err := experiments.Table3Containment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inside, outside = 0, 0
+		for _, r := range res.Rows {
+			inside += r.FlipsInside
+			outside += r.FlipsOutside
+		}
+		if !res.Contained() {
+			b.Fatalf("containment violated: %d flips escaped", outside)
+		}
+	}
+	b.ReportMetric(float64(inside), "flips-inside")
+	b.ReportMetric(float64(outside), "flips-outside")
+}
+
+// BenchmarkEPTProtection regenerates the §7.1 EPT experiment.
+func BenchmarkEPTProtection(b *testing.B) {
+	cfg := benchSecurity()
+	var prot, unprot int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EPTProtection(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prot, unprot = res.ProtectedFlips, res.UnprotectedFlips
+		if prot != 0 {
+			b.Fatalf("protected rows flipped %d times", prot)
+		}
+	}
+	b.ReportMetric(float64(prot), "protected-flips")
+	b.ReportMetric(float64(unprot), "unprotected-flips")
+}
+
+// BenchmarkFig4ExecutionTime regenerates Figure 4.
+func BenchmarkFig4ExecutionTime(b *testing.B) {
+	cfg := benchPerf()
+	var geomean float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		fig, err := experiments.Fig4ExecutionTime(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geomean = fig.GeomeanPct
+		if !fig.WithinHalfPercent() {
+			b.Fatalf("geomean overhead %.2f%% outside ±0.5%%", geomean)
+		}
+	}
+	b.ReportMetric(geomean, "geomean-overhead-%")
+}
+
+// BenchmarkFig5Throughput regenerates Figure 5.
+func BenchmarkFig5Throughput(b *testing.B) {
+	cfg := benchPerf()
+	var geomean float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		fig, err := experiments.Fig5Throughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geomean = fig.GeomeanPct
+		if !fig.WithinHalfPercent() {
+			b.Fatalf("geomean overhead %.2f%% outside ±0.5%%", geomean)
+		}
+	}
+	b.ReportMetric(geomean, "geomean-overhead-%")
+}
+
+// BenchmarkFig6SizeSensitivityTime regenerates Figure 6 (execution time for
+// Siloz-512/-2048 vs Siloz-1024).
+func BenchmarkFig6SizeSensitivityTime(b *testing.B) {
+	cfg := benchPerf()
+	var g512, g2048 float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		res, err := experiments.Fig6And7SizeSensitivity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g512, g2048 = res.Time512.GeomeanPct, res.Time2048.GeomeanPct
+	}
+	b.ReportMetric(g512, "siloz512-overhead-%")
+	b.ReportMetric(g2048, "siloz2048-overhead-%")
+}
+
+// BenchmarkFig7SizeSensitivityTput regenerates Figure 7 (throughput for
+// Siloz-512/-2048 vs Siloz-1024).
+func BenchmarkFig7SizeSensitivityTput(b *testing.B) {
+	cfg := benchPerf()
+	var g512, g2048 float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		res, err := experiments.Fig6And7SizeSensitivity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g512, g2048 = res.Tput512.GeomeanPct, res.Tput2048.GeomeanPct
+	}
+	b.ReportMetric(g512, "siloz512-overhead-%")
+	b.ReportMetric(g2048, "siloz2048-overhead-%")
+}
+
+// BenchmarkBankLevelParallelism regenerates the §4.1 ablation.
+func BenchmarkBankLevelParallelism(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BankLevelParallelism(geometry.Default(), 60_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.SpeedupPct
+		if speedup < 18 {
+			b.Fatalf("BLP benefit %.1f%% below the paper's 18%%", speedup)
+		}
+	}
+	b.ReportMetric(speedup, "blp-benefit-%")
+}
+
+// BenchmarkGuardRowOverhead regenerates the §3/§5.4 reservation accounting.
+func BenchmarkGuardRowOverhead(b *testing.B) {
+	var siloz float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.OverheadComparison(geometry.Default()) {
+			if r.Scheme == "Siloz EPT block (b=32)" {
+				siloz = r.ReservedPct
+			}
+		}
+	}
+	b.ReportMetric(siloz, "siloz-reserved-%")
+}
+
+// BenchmarkSoftwareRefresh regenerates the §8.3 deadline experiment.
+func BenchmarkSoftwareRefresh(b *testing.B) {
+	var taskMiss, tickMiss float64
+	for i := 0; i < b.N; i++ {
+		task, tick := experiments.SoftRefreshComparison()
+		taskMiss, tickMiss = task.MissRate(), tick.MissRate()
+	}
+	b.ReportMetric(100*taskMiss, "task-miss-%")
+	b.ReportMetric(100*tickMiss, "tick-miss-%")
+}
+
+// BenchmarkRemapHandling regenerates the §6 sweep.
+func BenchmarkRemapHandling(b *testing.B) {
+	var maxReserved float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RemapHandling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxReserved = 0
+		for _, r := range rows {
+			if r.ReservedPct > maxReserved {
+				maxReserved = r.ReservedPct
+			}
+		}
+	}
+	b.ReportMetric(maxReserved, "max-reserved-%")
+}
+
+// BenchmarkGiBPages regenerates the §4.2 1 GiB page analysis.
+func BenchmarkGiBPages(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GiBPages(geometry.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.SingleSetFraction
+	}
+	b.ReportMetric(100*frac, "single-set-%")
+}
+
+// BenchmarkECCStudy regenerates the §2.5/§3 ECC analysis.
+func BenchmarkECCStudy(b *testing.B) {
+	var corrected, uncorrectable int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ECCStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		corrected, uncorrectable = res.WordsCorrected, res.WordsUncorrectable
+		if !res.Leak {
+			b.Fatal("side channel not demonstrated")
+		}
+	}
+	b.ReportMetric(float64(corrected), "corrected-words")
+	b.ReportMetric(float64(uncorrectable), "uncorrectable-words")
+}
+
+// BenchmarkFragmentation regenerates the §8.1 provisioning-waste study.
+func BenchmarkFragmentation(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FragmentationStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.WastePct > worst {
+				worst = r.WastePct
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-waste-%")
+}
+
+// BenchmarkDDR5Comparison regenerates the §8.2 DDR4-vs-DDR5 sweep.
+func BenchmarkDDR5Comparison(b *testing.B) {
+	var ddr4Max float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DDR5Comparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ddr4Max = 0
+		for _, r := range rows {
+			if r.DDR5Reserved != 0 {
+				b.Fatal("DDR5 should reserve nothing")
+			}
+			if r.DDR4Reserved > ddr4Max {
+				ddr4Max = r.DDR4Reserved
+			}
+		}
+	}
+	b.ReportMetric(ddr4Max, "ddr4-max-reserved-%")
+}
+
+// BenchmarkDRAMAStudy regenerates the §8.4 timing-side-channel study.
+func BenchmarkDRAMAStudy(b *testing.B) {
+	var sharedSignal, partSignal float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DRAMAStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedSignal, partSignal = rows[0].SignalPct, rows[1].SignalPct
+	}
+	b.ReportMetric(sharedSignal, "shared-signal-%")
+	b.ReportMetric(partSignal, "partitioned-signal-%")
+}
+
+// BenchmarkActivationRates regenerates the §1 activation-rate study.
+func BenchmarkActivationRates(b *testing.B) {
+	cfg := experiments.QuickPerfConfig()
+	cfg.Ops = 250_000
+	var hammerPeak int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ActivationRates(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "hammer-pair" {
+				hammerPeak = r.PeakACTs
+			}
+		}
+	}
+	b.ReportMetric(float64(hammerPeak), "hammer-peak-acts")
+}
+
+// BenchmarkZebRAMComparison regenerates the §3 executable guard-row
+// comparison.
+func BenchmarkZebRAMComparison(b *testing.B) {
+	var silozOverhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ZebRAMComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == "Siloz subarray groups (~0%)" {
+				if !r.Safe {
+					b.Fatal("subarray groups leaked")
+				}
+				silozOverhead = r.OverheadPct
+			}
+		}
+	}
+	b.ReportMetric(silozOverhead, "siloz-overhead-%")
+}

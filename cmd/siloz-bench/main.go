@@ -1,0 +1,259 @@
+// Command siloz-bench regenerates the paper's tables and figures (§7):
+//
+//	table3      bit-flip containment across DIMMs A-F (Table 3)
+//	ept         EPT bit-flip prevention (§7.1)
+//	fig4        baseline-normalized execution time (Figure 4)
+//	fig5        baseline-normalized throughput (Figure 5)
+//	fig67       subarray-size sensitivity (Figures 6 and 7)
+//	blp         bank-level parallelism ablation (§4.1)
+//	overhead    DRAM reservation comparison vs guard-row schemes (§3, §5.4)
+//	softrefresh software-refresh deadline experiment (§8.3)
+//	remaps      media-to-internal remap handling sweep (§6)
+//	gbpages     1 GiB page analysis (§4.2)
+//	ecc         ECC correction/miscorrection and side channel (§2.5, §3)
+//	fragmentation  whole-group provisioning waste and SNC (§8.1)
+//	ddr5        DDR4 vs DDR5 group formation (§8.2)
+//	drama       DRAM timing side channel and bank partitioning (§8.4)
+//	actrates    peak per-row activation rates of workloads vs thresholds (§1)
+//	zebram      executable guard-row scheme comparison (§3)
+//	all         everything above
+//
+// Usage:
+//
+//	siloz-bench [-exp NAME] [-quick] [-ops N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/geometry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("siloz-bench: ")
+	exp := flag.String("exp", "all", "experiment to run")
+	quick := flag.Bool("quick", false, "scaled-down parameters for a fast pass")
+	ops := flag.Int("ops", 0, "override operations per performance run")
+	reps := flag.Int("reps", 0, "override repetitions per configuration")
+	patterns := flag.Int("patterns", 0, "override fuzzing patterns per DIMM")
+	csvDir := flag.String("csv", "", "directory to also write per-figure CSV files into")
+	flag.Parse()
+
+	writeCSV := func(name string, fig experiments.Figure) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("    wrote %s\n", path)
+	}
+
+	perf := experiments.DefaultPerfConfig()
+	if *quick {
+		perf = experiments.QuickPerfConfig()
+	}
+	if *ops > 0 {
+		perf.Ops = *ops
+	}
+	if *reps > 0 {
+		perf.Reps = *reps
+	}
+	sec := experiments.DefaultSecurityConfig()
+	if *patterns > 0 {
+		sec.Patterns = *patterns
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("==> %s\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("    (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table3") {
+		run("Table 3: hammering containment", func() error {
+			res, err := experiments.Table3Containment(sec)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			if res.Contained() {
+				fmt.Println("containment: PASS (no flip escaped any subarray group)")
+			} else {
+				fmt.Println("containment: FAIL")
+			}
+			return nil
+		})
+	}
+	if want("ept") {
+		run("EPT bit-flip prevention (§7.1)", func() error {
+			res, err := experiments.EPTProtection(sec)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	}
+	if want("fig4") {
+		run("Figure 4: execution time", func() error {
+			fig, err := experiments.Fig4ExecutionTime(perf)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Render())
+			fmt.Printf("within ±0.5%%: %v\n", fig.WithinHalfPercent())
+			writeCSV("fig4", fig)
+			return nil
+		})
+	}
+	if want("fig5") {
+		run("Figure 5: throughput", func() error {
+			fig, err := experiments.Fig5Throughput(perf)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Render())
+			fmt.Printf("within ±0.5%%: %v\n", fig.WithinHalfPercent())
+			writeCSV("fig5", fig)
+			return nil
+		})
+	}
+	if want("fig67") {
+		run("Figures 6+7: subarray size sensitivity", func() error {
+			res, err := experiments.Fig6And7SizeSensitivity(perf)
+			if err != nil {
+				return err
+			}
+			names := []string{"fig6-siloz512", "fig6-siloz2048", "fig7-siloz512", "fig7-siloz2048"}
+			for i, f := range []experiments.Figure{res.Time512, res.Time2048, res.Tput512, res.Tput2048} {
+				fmt.Print(f.Render())
+				fmt.Println()
+				writeCSV(names[i], f)
+			}
+			return nil
+		})
+	}
+	if want("blp") {
+		run("Bank-level parallelism ablation (§4.1)", func() error {
+			res, err := experiments.BankLevelParallelism(geometry.Default(), 200_000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	}
+	if want("overhead") {
+		run("DRAM reservation comparison (§3, §5.4)", func() error {
+			fmt.Print(experiments.RenderOverheads(experiments.OverheadComparison(geometry.Default())))
+			return nil
+		})
+	}
+	if want("softrefresh") {
+		run("Software refresh deadlines (§8.3)", func() error {
+			task, tick := experiments.SoftRefreshComparison()
+			fmt.Printf("task-scheduled: %s\n", task)
+			fmt.Printf("tick-interrupt: %s\n", tick)
+			fmt.Println("conclusion: neither meets 1 ms deadlines reliably; Siloz uses guard rows instead")
+			return nil
+		})
+	}
+	if want("remaps") {
+		run("Remap handling sweep (§6)", func() error {
+			rows, err := experiments.RemapHandling()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderRemaps(rows))
+			return nil
+		})
+	}
+	if want("gbpages") {
+		run("1 GiB page analysis (§4.2)", func() error {
+			res, err := experiments.GiBPages(geometry.Default())
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	}
+	if want("ecc") {
+		run("ECC under Rowhammer (§2.5, §3)", func() error {
+			res, err := experiments.ECCStudy()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	}
+	if want("fragmentation") {
+		run("Memory fragmentation and SNC (§8.1)", func() error {
+			rows, err := experiments.FragmentationStudy()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFragmentation(rows))
+			return nil
+		})
+	}
+	if want("ddr5") {
+		run("DDR4 vs DDR5 group formation (§8.2)", func() error {
+			rows, err := experiments.DDR5Comparison()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderDDR5(rows))
+			return nil
+		})
+	}
+	if want("drama") {
+		run("DRAM timing side channel (§8.4)", func() error {
+			rows, err := experiments.DRAMAStudy()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderDRAMA(rows))
+			return nil
+		})
+	}
+	if want("zebram") {
+		run("Guard-row schemes vs subarray groups (§3)", func() error {
+			rows, err := experiments.ZebRAMComparison()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderZebRAM(rows))
+			return nil
+		})
+	}
+	if want("actrates") {
+		run("Peak per-row activation rates (§1)", func() error {
+			cfg := perf
+			if cfg.Ops < 250_000 {
+				cfg.Ops = 250_000 // need full refresh windows of traffic
+			}
+			rows, err := experiments.ActivationRates(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderActRates(rows))
+			return nil
+		})
+	}
+}

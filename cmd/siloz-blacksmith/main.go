@@ -1,0 +1,152 @@
+// Command siloz-blacksmith runs the extended Blacksmith Rowhammer fuzzer
+// (§7) from inside a tenant VM against a Siloz or baseline hypervisor, then
+// reports both the attacker's view (corruptions it can read back) and the
+// omniscient ground truth (where every bit flip physically landed).
+//
+// Usage:
+//
+//	siloz-blacksmith [-mode siloz|baseline] [-dimm A..F] [-patterns N] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+)
+
+// jsonReport is the machine-readable campaign summary (-json).
+type jsonReport struct {
+	Mode              string `json:"mode"`
+	DIMM              string `json:"dimm"`
+	PatternsTried     int    `json:"patterns_tried"`
+	EffectivePatterns int    `json:"effective_patterns"`
+	Corruptions       int    `json:"corruptions"`
+	BestPattern       string `json:"best_pattern,omitempty"`
+	FlipsInAttacker   int    `json:"flips_in_attacker"`
+	FlipsInVictim     int    `json:"flips_in_victim"`
+	FlipsElsewhere    int    `json:"flips_elsewhere"`
+	Contained         bool   `json:"contained"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("siloz-blacksmith: ")
+	modeFlag := flag.String("mode", "siloz", "hypervisor under attack: siloz or baseline")
+	dimm := flag.String("dimm", "A", "DIMM profile to populate the server with (A-F)")
+	patterns := flag.Int("patterns", 40, "fuzzing patterns to try")
+	windows := flag.Int("windows", 2, "refresh windows hammered per pattern")
+	vmGiB := flag.Int("vm-gib", 6, "attacker VM memory in GiB")
+	seed := flag.Int64("seed", 1, "fuzzer seed")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report")
+	flag.Parse()
+
+	mode := core.ModeSiloz
+	switch *modeFlag {
+	case "siloz":
+	case "baseline":
+		mode = core.ModeBaseline
+	default:
+		log.Fatalf("unknown mode %q", *modeFlag)
+	}
+	var prof dram.Profile
+	found := false
+	for _, p := range dram.EvaluationProfiles() {
+		if p.Name == *dimm {
+			prof, found = p, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown DIMM %q (want A-F)", *dimm)
+	}
+
+	h, err := core.Boot(core.Config{
+		Profiles:      []dram.Profile{prof},
+		EPTProtection: ept.GuardRows,
+	}, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := core.Process{CGroup: "kvm", KVMPrivileged: true}
+	attacker, err := h.CreateVM(proc, core.VMSpec{
+		Name: "attacker", Socket: 0, MemoryBytes: uint64(*vmGiB) * geometry.GiB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := h.CreateVM(proc, core.VMSpec{
+		Name: "victim", Socket: 0, MemoryBytes: uint64(*vmGiB) * geometry.GiB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*asJSON {
+		fmt.Printf("hypervisor: %s, DIMM profile %s, attacker VM %d GiB, victim VM %d GiB\n",
+			h.Mode(), prof.Name, *vmGiB, *vmGiB)
+	}
+	fz := attack.NewFuzzer(attack.FuzzerConfig{
+		Patterns:          *patterns,
+		WindowsPerPattern: *windows,
+		MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
+		FillPattern:       0xAA,
+		Seed:              *seed,
+	})
+	rep, err := fz.Run(&attack.VMTarget{VM: attacker})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*asJSON {
+		fmt.Printf("attacker view: %d/%d patterns effective, %d corruptions observed (first: %s)\n",
+			rep.EffectivePatterns, rep.PatternsTried, len(rep.Corruptions), rep.BestPattern)
+	}
+
+	inside, victimHits, elsewhere := 0, 0, 0
+	for _, f := range h.Memory().Flips() {
+		pa, err := h.Memory().FlipPhys(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case attacker.OwnsHPA(pa) || attacker.InDomain(pa):
+			inside++
+		case victim.OwnsHPA(pa) || victim.InDomain(pa):
+			victimHits++
+		default:
+			elsewhere++
+		}
+	}
+	contained := victimHits+elsewhere == 0
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{
+			Mode: h.Mode().String(), DIMM: prof.Name,
+			PatternsTried: rep.PatternsTried, EffectivePatterns: rep.EffectivePatterns,
+			Corruptions: len(rep.Corruptions), BestPattern: rep.BestPattern,
+			FlipsInAttacker: inside, FlipsInVictim: victimHits,
+			FlipsElsewhere: elsewhere, Contained: contained,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("ground truth:  %d flips in attacker domain, %d in victim, %d elsewhere (host)\n",
+			inside, victimHits, elsewhere)
+	}
+	if !contained {
+		if !*asJSON {
+			fmt.Println("RESULT: inter-VM Rowhammer SUCCEEDED — isolation violated")
+		}
+		os.Exit(1)
+	}
+	if !*asJSON {
+		fmt.Println("RESULT: all flips contained to the attacker's own subarray groups")
+	}
+}

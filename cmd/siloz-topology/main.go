@@ -1,0 +1,89 @@
+// Command siloz-topology boots Siloz on a simulated server and dumps the
+// resulting DRAM isolation topology: subarray groups, logical NUMA nodes,
+// the EPT row-group block, and offlined guard ranges (§5.2-5.4).
+//
+// Usage:
+//
+//	siloz-topology [-subarray-rows N] [-baseline] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("siloz-topology: ")
+	subarrayRows := flag.Int("subarray-rows", 0, "rows per subarray boot parameter (0 = platform default of 1024)")
+	baseline := flag.Bool("baseline", false, "boot the unmodified Linux/KVM baseline instead of Siloz")
+	verbose := flag.Bool("verbose", false, "list every logical node")
+	flag.Parse()
+
+	mode := core.ModeSiloz
+	if *baseline {
+		mode = core.ModeBaseline
+	}
+	h, err := core.Boot(core.Config{
+		SubarrayRows:  *subarrayRows,
+		EPTProtection: ept.GuardRows,
+	}, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := h.Layout().Geometry()
+	fmt.Printf("server:          %s\n", g)
+	fmt.Printf("mode:            %s\n", h.Mode())
+	fmt.Printf("managed group:   %d rows/subarray -> %.2f GiB subarray groups\n",
+		h.Layout().RowsPerGroup(), float64(h.Layout().GroupBytes())/float64(geometry.GiB))
+	fmt.Printf("groups/socket:   %d\n", h.Layout().GroupsPerSocket())
+	if h.Layout().Artificial() {
+		fmt.Println("artificial:      yes (non-power-of-two subarray size, §6)")
+	}
+
+	topo := h.Topology()
+	counts := map[numa.NodeKind]int{}
+	var bytes = map[numa.NodeKind]uint64{}
+	for _, n := range topo.Nodes() {
+		counts[n.Kind]++
+		bytes[n.Kind] += n.Bytes()
+	}
+	fmt.Printf("logical nodes:   %d total (%d host, %d guest, %d ept)\n",
+		len(topo.Nodes()), counts[numa.HostReserved], counts[numa.GuestReserved], counts[numa.EPTReserved])
+	for _, k := range []numa.NodeKind{numa.HostReserved, numa.GuestReserved, numa.EPTReserved} {
+		if counts[k] > 0 {
+			fmt.Printf("  %-6s %4d nodes  %10.3f GiB\n", k, counts[k], float64(bytes[k])/float64(geometry.GiB))
+		}
+	}
+	var offlined uint64
+	for _, r := range h.OfflinedRanges() {
+		offlined += r.Bytes()
+	}
+	fmt.Printf("offlined:        %.3f MiB (%.4f%% of DRAM) for EPT guard rows and isolation hazards\n",
+		float64(offlined)/float64(geometry.MiB), 100*float64(offlined)/float64(g.TotalBytes()))
+
+	if *verbose {
+		fmt.Println()
+		fmt.Printf("%-5s %-6s %-7s %-8s %-10s ranges\n", "node", "kind", "socket", "groups", "bytes")
+		for _, n := range topo.Nodes() {
+			fmt.Printf("%-5d %-6s %-7d %-8d %-10d", n.ID, n.Kind, n.Socket, len(n.Groups), n.Bytes())
+			for i, r := range n.Ranges {
+				if i == 4 {
+					fmt.Printf(" ... (%d more)", len(n.Ranges)-4)
+					break
+				}
+				fmt.Printf(" %v", r)
+			}
+			fmt.Println()
+		}
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Siloz: Leveraging
+// DRAM Isolation Domains to Prevent Inter-VM Rowhammer" (SOSP 2023).
+//
+// The repository implements the paper's hypervisor (internal/core) together
+// with every substrate it depends on — DRAM geometry and disturbance
+// modelling, Skylake physical-to-media address translation, DDR4 internal
+// row transformations, ECC, subarray groups, logical NUMA nodes, a buddy
+// page allocator, extended page tables, a memory-controller timing model, a
+// Blacksmith-style Rowhammer fuzzer, and the evaluation workloads — plus a
+// harness (internal/experiments) regenerating every table and figure of the
+// paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,65 @@
+// Package addr implements physical-to-media address translation for server
+// DRAM, mirroring the decode logic Siloz ports from the Intel Skylake EDAC
+// drivers (§5.3), plus the DIMM-internal row-address transformations of §6
+// (DDR4 rank mirroring, B-side inversion, vendor scrambling, and row repairs).
+//
+// Two layers of translation are modelled:
+//
+//  1. Physical→media (Mapper): the memory controller's fixed, BIOS-defined
+//     mapping from host physical addresses to (bank, row, column) media
+//     addresses, interleaving cache lines across a socket's banks for
+//     bank-level parallelism (§2.4).
+//  2. Media→internal (InternalMapper): the DIMM's private remapping of row
+//     media addresses to internal row locations, which determines true
+//     electrical adjacency for Rowhammer purposes (§6).
+package addr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// ErrOutOfRange is returned when an address falls outside the geometry's
+// populated DRAM.
+var ErrOutOfRange = errors.New("addr: address out of range")
+
+// Mapper translates between host physical addresses and media addresses.
+// Implementations must be exact bijections over [0, TotalBytes).
+type Mapper interface {
+	// Decode translates a host physical address to a media address.
+	Decode(pa uint64) (geometry.MediaAddr, error)
+	// Encode is the inverse of Decode.
+	Encode(m geometry.MediaAddr) (uint64, error)
+	// Geometry returns the geometry the mapper was built for.
+	Geometry() geometry.Geometry
+}
+
+// Side identifies one of the two internal half-rows of a DDR4 row (§2.3).
+// Each 8 KiB external row is split across a rank's "A" and "B" sides, each
+// half simultaneously serving half of a data request.
+type Side int
+
+const (
+	// SideA is the non-inverted half-row.
+	SideA Side = iota
+	// SideB is the half-row whose lower-order row address bits are
+	// inverted per DDR4RCD02 (§6).
+	SideB
+)
+
+func (s Side) String() string {
+	if s == SideA {
+		return "A"
+	}
+	return "B"
+}
+
+// rangeCheck validates pa against g.
+func rangeCheck(g geometry.Geometry, pa uint64) error {
+	if pa >= uint64(g.TotalBytes()) {
+		return fmt.Errorf("%w: pa=%#x >= %#x", ErrOutOfRange, pa, g.TotalBytes())
+	}
+	return nil
+}

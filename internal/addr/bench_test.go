@@ -1,0 +1,50 @@
+package addr
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func BenchmarkSkylakeDecode(b *testing.B) {
+	g := geometry.Default()
+	m, err := NewSkylakeMapper(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := uint64(g.TotalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Decode(uint64(i*64) % total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkylakeEncode(b *testing.B) {
+	g := geometry.Default()
+	m, err := NewSkylakeMapper(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma, err := m.Decode(12345 * 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(ma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInternalRow(b *testing.B) {
+	g := geometry.Default()
+	im := NewInternalMapper(g, AllTransforms())
+	bank := geometry.BankID{Socket: 0, DIMM: 1, Rank: 1, Bank: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.InternalRow(bank, i%g.RowsPerBank, Side(i%2))
+	}
+}

@@ -1,0 +1,70 @@
+package addr
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// FuzzSkylakeRoundTrip checks Decode/Encode bijectivity and validity for
+// arbitrary physical addresses (out-of-range inputs must error, in-range
+// ones must round-trip).
+func FuzzSkylakeRoundTrip(f *testing.F) {
+	g := geometry.Default()
+	m, err := NewSkylakeMapper(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0))
+	f.Add(uint64(g.TotalBytes()) - 1)
+	f.Add(uint64(g.SocketBytes()))
+	f.Add(uint64(768)<<20 - 64)
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, pa uint64) {
+		ma, err := m.Decode(pa)
+		if pa >= uint64(g.TotalBytes()) {
+			if err == nil {
+				t.Fatalf("out-of-range pa %#x decoded", pa)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Decode(%#x): %v", pa, err)
+		}
+		if !ma.Valid(g) {
+			t.Fatalf("Decode(%#x) invalid: %v", pa, ma)
+		}
+		back, err := m.Encode(ma)
+		if err != nil || back != pa {
+			t.Fatalf("round trip %#x -> %v -> %#x (%v)", pa, ma, back, err)
+		}
+	})
+}
+
+// FuzzInternalRowRoundTrip checks the transform chain inverse for arbitrary
+// rows, ranks and sides.
+func FuzzInternalRowRoundTrip(f *testing.F) {
+	g := geometry.Default()
+	im := NewInternalMapper(g, AllTransforms())
+	f.Add(0, 0, false)
+	f.Add(131071, 1, true)
+	f.Add(24, 1, true)
+	f.Fuzz(func(t *testing.T, row, rank int, sideB bool) {
+		if row < 0 || row >= g.RowsPerBank || rank < 0 || rank >= g.RanksPerDIMM {
+			return
+		}
+		bank := geometry.BankID{Socket: 0, DIMM: 0, Rank: rank, Bank: 0}
+		side := SideA
+		if sideB {
+			side = SideB
+		}
+		internal := im.InternalRow(bank, row, side)
+		if got := im.MediaRow(bank, internal, side); got != row {
+			t.Fatalf("inverse failed: %d -> %d -> %d", row, internal, got)
+		}
+		// Power-of-two subarray membership preserved (§6).
+		if internal/g.RowsPerSubarray != row/g.RowsPerSubarray {
+			t.Fatalf("row %d left its subarray (internal %d)", row, internal)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package addr
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// PartitionedMapper models the §8.1/§8.4 "extended addressing control"
+// future: each socket's physical space is split into Partitions contiguous
+// slices, and each slice interleaves its cache lines over a disjoint subset
+// of the socket's banks. Pages from different partitions never share a
+// bank, so logical NUMA nodes built on partitions isolate DRAM *timing*
+// (bank conflicts, DRAMA-style channels) in addition to Rowhammer — at the
+// cost of 1/Partitions of the bank-level parallelism per tenant.
+//
+// Default BIOS mappings interleave every page over all banks, making this
+// isolation impossible today (§8.4); the mapper exists to quantify the
+// trade-off.
+type PartitionedMapper struct {
+	g          geometry.Geometry
+	partitions int
+
+	banksPer      int   // banks per partition
+	rowGroupBytes int64 // bytes of one partition-local row group
+	partBytes     int64 // capacity of one partition
+	socketBytes   int64
+}
+
+// NewPartitionedMapper builds a mapper with the given partition count;
+// BanksPerSocket must divide evenly.
+func NewPartitionedMapper(g geometry.Geometry, partitions int) (*PartitionedMapper, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if partitions <= 0 || g.BanksPerSocket()%partitions != 0 {
+		return nil, fmt.Errorf("addr: %d banks/socket not divisible into %d partitions",
+			g.BanksPerSocket(), partitions)
+	}
+	m := &PartitionedMapper{
+		g:           g,
+		partitions:  partitions,
+		banksPer:    g.BanksPerSocket() / partitions,
+		socketBytes: g.SocketBytes(),
+	}
+	m.rowGroupBytes = int64(m.banksPer) * int64(g.RowBytes)
+	m.partBytes = m.socketBytes / int64(partitions)
+	return m, nil
+}
+
+// Geometry returns the geometry the mapper serves.
+func (m *PartitionedMapper) Geometry() geometry.Geometry { return m.g }
+
+// Partitions returns the partition count.
+func (m *PartitionedMapper) Partitions() int { return m.partitions }
+
+// PartitionOf returns the bank-partition index owning a physical address.
+func (m *PartitionedMapper) PartitionOf(pa uint64) (socket, partition int, err error) {
+	if err := rangeCheck(m.g, pa); err != nil {
+		return 0, 0, err
+	}
+	socket = int(pa / uint64(m.socketBytes))
+	off := int64(pa % uint64(m.socketBytes))
+	return socket, int(off / m.partBytes), nil
+}
+
+// Decode translates a host physical address to a media address.
+func (m *PartitionedMapper) Decode(pa uint64) (geometry.MediaAddr, error) {
+	if err := rangeCheck(m.g, pa); err != nil {
+		return geometry.MediaAddr{}, err
+	}
+	socket := int(pa / uint64(m.socketBytes))
+	off := int64(pa % uint64(m.socketBytes))
+	part := int(off / m.partBytes)
+	inPart := off % m.partBytes
+
+	rowGroup := inPart / m.rowGroupBytes
+	inGroup := inPart % m.rowGroupBytes
+	line := inGroup / geometry.CacheLineSize
+	inLine := int(inGroup % geometry.CacheLineSize)
+	bankIdx := part*m.banksPer + int(line%int64(m.banksPer))
+	lineInBank := line / int64(m.banksPer)
+
+	return geometry.MediaAddr{
+		Bank: geometry.BankFromSocketFlat(m.g, socket, bankIdx),
+		Row:  int(rowGroup),
+		Col:  int(lineInBank)*geometry.CacheLineSize + inLine,
+	}, nil
+}
+
+// Encode is the inverse of Decode.
+func (m *PartitionedMapper) Encode(addr geometry.MediaAddr) (uint64, error) {
+	if !addr.Valid(m.g) {
+		return 0, fmt.Errorf("%w: media address %v", ErrOutOfRange, addr)
+	}
+	bankIdx := addr.Bank.SocketFlat(m.g)
+	part := bankIdx / m.banksPer
+	bankInPart := int64(bankIdx % m.banksPer)
+	lineInBank := int64(addr.Col / geometry.CacheLineSize)
+	inLine := int64(addr.Col % geometry.CacheLineSize)
+	line := lineInBank*int64(m.banksPer) + bankInPart
+	inPart := int64(addr.Row)*m.rowGroupBytes + line*geometry.CacheLineSize + inLine
+	off := int64(part)*m.partBytes + inPart
+	return uint64(int64(addr.Bank.Socket)*m.socketBytes + off), nil
+}
+
+// Ensure interface conformance.
+var _ Mapper = (*PartitionedMapper)(nil)

@@ -1,0 +1,214 @@
+package addr
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Skylake-like mapping constants (§4.2). On the evaluation server one row
+// group is 1.5 MiB (192 banks × 8 KiB), a chunk is 16 row groups (24 MiB),
+// and a mapping region — the span between the paper's 768 MiB-aligned
+// "jumps" — is 32 chunks (768 MiB).
+const (
+	// RowGroupsPerChunk is the paper's n: each individually-contiguous
+	// physical range populates n row groups at a time.
+	RowGroupsPerChunk = 16
+	// ChunksPerRegion is the number of chunks between mapping jumps;
+	// half are populated by range A, half by range B.
+	ChunksPerRegion = 32
+)
+
+// SkylakeMapper models the Intel Skylake server physical-to-media address
+// mapping described in §4.2:
+//
+//   - Each socket owns a contiguous slice of the physical address space.
+//   - Within a row group, consecutive cache lines are interleaved round-robin
+//     across all of the socket's banks (bank-level parallelism, §2.4).
+//   - Row groups are populated in generally-ascending order: every
+//     RowGroupsPerChunk row groups are filled alternately by two
+//     individually-contiguous physical ranges A and B (the lower and upper
+//     halves of the socket's physical space), with the pattern restarting
+//     from new ranges at each region boundary — the paper's 768 MiB-aligned
+//     mapping "jump".
+//
+// The construction makes every 4 KiB and 2 MiB page land in a single
+// subarray group, while only about one third of 1 GiB-aligned ranges land in
+// a single 3 GiB set of consecutive groups — both properties the paper
+// reports for the real server.
+type SkylakeMapper struct {
+	g geometry.Geometry
+
+	rowGroupBytes int64 // bytes in one row group
+	chunkBytes    int64 // RowGroupsPerChunk row groups
+	regionBytes   int64 // ChunksPerRegion chunks
+	halfBytes     int64 // bytes contributed to a region by one range
+	socketBytes   int64
+}
+
+// NewSkylakeMapper builds a mapper for g. The socket capacity must be an
+// even number of regions so ranges A and B tile exactly.
+func NewSkylakeMapper(g geometry.Geometry) (*SkylakeMapper, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := &SkylakeMapper{
+		g:             g,
+		rowGroupBytes: g.RowGroupBytes(),
+		socketBytes:   g.SocketBytes(),
+	}
+	m.chunkBytes = m.rowGroupBytes * RowGroupsPerChunk
+	m.regionBytes = m.chunkBytes * ChunksPerRegion
+	m.halfBytes = m.regionBytes / 2
+	if m.socketBytes%m.regionBytes != 0 {
+		return nil, fmt.Errorf("addr: socket capacity %d is not a whole number of %d-byte mapping regions",
+			m.socketBytes, m.regionBytes)
+	}
+	return m, nil
+}
+
+// Geometry returns the geometry the mapper serves.
+func (m *SkylakeMapper) Geometry() geometry.Geometry { return m.g }
+
+// RegionBytes returns the span between mapping jumps (768 MiB on the
+// evaluation server).
+func (m *SkylakeMapper) RegionBytes() int64 { return m.regionBytes }
+
+// ChunkBytes returns the bytes covered by one contiguous chunk (24 MiB on
+// the evaluation server).
+func (m *SkylakeMapper) ChunkBytes() int64 { return m.chunkBytes }
+
+// Decode translates a host physical address to a media address.
+func (m *SkylakeMapper) Decode(pa uint64) (geometry.MediaAddr, error) {
+	if err := rangeCheck(m.g, pa); err != nil {
+		return geometry.MediaAddr{}, err
+	}
+	socket := int(pa / uint64(m.socketBytes))
+	off := int64(pa % uint64(m.socketBytes))
+
+	// Physical offset -> media offset within the socket.
+	mediaOff := m.physToMedia(off)
+
+	// Media offset -> (bank, row, col). Row groups ascend with media
+	// offset; cache lines within a row group round-robin across banks.
+	rowGroup := mediaOff / m.rowGroupBytes
+	inGroup := mediaOff % m.rowGroupBytes
+	line := inGroup / geometry.CacheLineSize
+	inLine := int(inGroup % geometry.CacheLineSize)
+	banks := int64(m.g.BanksPerSocket())
+	bankIdx := int(line % banks)
+	lineInBank := line / banks
+
+	bank := socketBank(m.g, socket, bankIdx)
+	return geometry.MediaAddr{
+		Bank: bank,
+		Row:  int(rowGroup),
+		Col:  int(lineInBank)*geometry.CacheLineSize + inLine,
+	}, nil
+}
+
+// Encode is the inverse of Decode.
+func (m *SkylakeMapper) Encode(addr geometry.MediaAddr) (uint64, error) {
+	if !addr.Valid(m.g) {
+		return 0, fmt.Errorf("%w: media address %v", ErrOutOfRange, addr)
+	}
+	banks := int64(m.g.BanksPerSocket())
+	bankIdx := int64(addr.Bank.SocketFlat(m.g))
+	lineInBank := int64(addr.Col / geometry.CacheLineSize)
+	inLine := int64(addr.Col % geometry.CacheLineSize)
+	line := lineInBank*banks + bankIdx
+	mediaOff := int64(addr.Row)*m.rowGroupBytes + line*geometry.CacheLineSize + inLine
+
+	off := m.mediaToPhys(mediaOff)
+	return uint64(int64(addr.Bank.Socket)*m.socketBytes + off), nil
+}
+
+// physToMedia maps a physical offset within a socket to a media offset.
+//
+// The socket's physical space is viewed as two contiguous halves: range A
+// (lower half) and range B (upper half). Region r of media space is
+// populated by the r-th halfBytes-sized slice of each range, A filling even
+// chunks and B filling odd chunks in ascending order.
+func (m *SkylakeMapper) physToMedia(off int64) int64 {
+	var rangeOff int64
+	var odd int64
+	if off < m.socketBytes/2 {
+		rangeOff = off // range A
+	} else {
+		rangeOff = off - m.socketBytes/2 // range B
+		odd = 1
+	}
+	region := rangeOff / m.halfBytes
+	inHalf := rangeOff % m.halfBytes
+	chunkInHalf := inHalf / m.chunkBytes
+	inChunk := inHalf % m.chunkBytes
+	mediaChunk := 2*chunkInHalf + odd
+	return region*m.regionBytes + mediaChunk*m.chunkBytes + inChunk
+}
+
+// mediaToPhys is the inverse of physToMedia.
+func (m *SkylakeMapper) mediaToPhys(mediaOff int64) int64 {
+	region := mediaOff / m.regionBytes
+	inRegion := mediaOff % m.regionBytes
+	mediaChunk := inRegion / m.chunkBytes
+	inChunk := inRegion % m.chunkBytes
+	chunkInHalf := mediaChunk / 2
+	rangeOff := region*m.halfBytes + chunkInHalf*m.chunkBytes + inChunk
+	if mediaChunk%2 == 1 {
+		return m.socketBytes/2 + rangeOff // range B
+	}
+	return rangeOff // range A
+}
+
+// socketBank converts a dense within-socket bank index to a BankID.
+func socketBank(g geometry.Geometry, socket, idx int) geometry.BankID {
+	bank := idx % g.BanksPerRank
+	idx /= g.BanksPerRank
+	rank := idx % g.RanksPerDIMM
+	dimm := idx / g.RanksPerDIMM
+	return geometry.BankID{Socket: socket, DIMM: dimm, Rank: rank, Bank: bank}
+}
+
+// LinearMapper is an ablation mapping with no bank interleaving: physical
+// addresses fill one bank completely before moving to the next. It destroys
+// bank-level parallelism for sequential access patterns and is used by the
+// §4.1 ablation benchmarks to quantify what subarray groups preserve.
+type LinearMapper struct {
+	g geometry.Geometry
+}
+
+// NewLinearMapper builds the no-interleave mapper.
+func NewLinearMapper(g geometry.Geometry) (*LinearMapper, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &LinearMapper{g: g}, nil
+}
+
+// Geometry returns the geometry the mapper serves.
+func (m *LinearMapper) Geometry() geometry.Geometry { return m.g }
+
+// Decode translates a host physical address to a media address.
+func (m *LinearMapper) Decode(pa uint64) (geometry.MediaAddr, error) {
+	if err := rangeCheck(m.g, pa); err != nil {
+		return geometry.MediaAddr{}, err
+	}
+	bankBytes := uint64(m.g.BankBytes())
+	flat := int(pa / bankBytes)
+	off := int64(pa % bankBytes)
+	return geometry.MediaAddr{
+		Bank: geometry.BankFromFlat(m.g, flat),
+		Row:  int(off / int64(m.g.RowBytes)),
+		Col:  int(off % int64(m.g.RowBytes)),
+	}, nil
+}
+
+// Encode is the inverse of Decode.
+func (m *LinearMapper) Encode(addr geometry.MediaAddr) (uint64, error) {
+	if !addr.Valid(m.g) {
+		return 0, fmt.Errorf("%w: media address %v", ErrOutOfRange, addr)
+	}
+	bankBytes := int64(m.g.BankBytes())
+	flat := int64(addr.Bank.Flat(m.g))
+	return uint64(flat*bankBytes + int64(addr.Row)*int64(m.g.RowBytes) + int64(addr.Col)), nil
+}

@@ -1,0 +1,327 @@
+// Package alloc implements a per-node physical page allocator: a binary
+// buddy system over the physical address ranges a logical NUMA node owns,
+// supporting 4 KiB base pages through 1 GiB blocks, boot-time page
+// offlining (guard rows, repaired rows, §5.4/§6), and the reserved
+// huge-page pools cloud deployments back guests with (§5, "Deployment
+// Environment").
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/subarray"
+)
+
+const (
+	// BasePageShift is log2 of the base page size (4 KiB).
+	BasePageShift = 12
+	// MaxOrder is the largest block order (order 18 = 1 GiB).
+	MaxOrder = 18
+	// Order2M is the order of a 2 MiB huge page.
+	Order2M = 9
+	// Order1G is the order of a 1 GiB huge page.
+	Order1G = 18
+)
+
+// OrderBytes returns the size of an order-o block.
+func OrderBytes(o int) uint64 { return 1 << (BasePageShift + o) }
+
+// OrderFor returns the smallest order whose block covers n bytes.
+func OrderFor(n uint64) int {
+	for o := 0; o <= MaxOrder; o++ {
+		if OrderBytes(o) >= n {
+			return o
+		}
+	}
+	return MaxOrder
+}
+
+// ErrNoMemory is returned when the allocator cannot satisfy a request.
+var ErrNoMemory = fmt.Errorf("alloc: out of memory")
+
+// freeList is one order's free blocks as an address-ordered min-heap with
+// an index map for O(log n) removal. Lowest-address-first allocation gives
+// VMs ascending, physically-contiguous regions — matching the static
+// contiguous guest allocation of the paper's deployment environment (§5.4).
+type freeList struct {
+	blocks []uint64
+	index  map[uint64]int
+}
+
+func newFreeList() *freeList {
+	return &freeList{index: make(map[uint64]int)}
+}
+
+func (f *freeList) swap(i, j int) {
+	f.blocks[i], f.blocks[j] = f.blocks[j], f.blocks[i]
+	f.index[f.blocks[i]] = i
+	f.index[f.blocks[j]] = j
+}
+
+func (f *freeList) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if f.blocks[parent] <= f.blocks[i] {
+			break
+		}
+		f.swap(i, parent)
+		i = parent
+	}
+}
+
+func (f *freeList) down(i int) {
+	n := len(f.blocks)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && f.blocks[l] < f.blocks[min] {
+			min = l
+		}
+		if r < n && f.blocks[r] < f.blocks[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		f.swap(i, min)
+		i = min
+	}
+}
+
+func (f *freeList) push(pa uint64) {
+	f.index[pa] = len(f.blocks)
+	f.blocks = append(f.blocks, pa)
+	f.up(len(f.blocks) - 1)
+}
+
+// pop removes and returns the lowest-address block.
+func (f *freeList) pop() (uint64, bool) {
+	if len(f.blocks) == 0 {
+		return 0, false
+	}
+	pa := f.blocks[0]
+	f.removeAt(0)
+	return pa, true
+}
+
+func (f *freeList) remove(pa uint64) bool {
+	i, ok := f.index[pa]
+	if !ok {
+		return false
+	}
+	f.removeAt(i)
+	return true
+}
+
+func (f *freeList) removeAt(i int) {
+	last := len(f.blocks) - 1
+	pa := f.blocks[i]
+	f.swap(i, last)
+	f.blocks = f.blocks[:last]
+	delete(f.index, pa)
+	if i < last {
+		f.down(i)
+		f.up(i)
+	}
+}
+
+func (f *freeList) len() int { return len(f.blocks) }
+
+// Allocator is a buddy allocator over a set of physical ranges.
+type Allocator struct {
+	free    [MaxOrder + 1]*freeList
+	total   uint64 // managed bytes (after offlining)
+	used    uint64
+	version uint64 // bumped on every state change
+}
+
+// Version returns a counter incremented by every allocation and free; node
+// statistics readers use it to skip nodes whose state cannot have changed
+// (§5.3).
+func (a *Allocator) Version() uint64 { return a.version }
+
+// New builds an allocator over ranges, excluding any overlap with offline
+// (offlined pages are never allocatable, §5.4). Ranges must be base-page
+// aligned.
+func New(ranges, offline []subarray.Range) (*Allocator, error) {
+	a := &Allocator{}
+	for o := range a.free {
+		a.free[o] = newFreeList()
+	}
+	usable := subarray.Subtract(ranges, offline)
+	for _, r := range usable {
+		if r.Start%OrderBytes(0) != 0 || r.End%OrderBytes(0) != 0 {
+			return nil, fmt.Errorf("alloc: range %v not page aligned", r)
+		}
+		a.seed(r)
+	}
+	return a, nil
+}
+
+// seed covers a range greedily with maximal naturally-aligned blocks.
+func (a *Allocator) seed(r subarray.Range) {
+	pa := r.Start
+	for pa < r.End {
+		o := MaxOrder
+		for o > 0 && (pa%OrderBytes(o) != 0 || pa+OrderBytes(o) > r.End) {
+			o--
+		}
+		a.free[o].push(pa)
+		a.total += OrderBytes(o)
+		pa += OrderBytes(o)
+	}
+}
+
+// Alloc returns a naturally-aligned free block of the given order. Among
+// all free blocks large enough, the lowest-addressed one is split, so
+// sequences of allocations walk the address space in ascending order.
+func (a *Allocator) Alloc(order int) (uint64, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("alloc: invalid order %d", order)
+	}
+	o := -1
+	var best uint64
+	for cand := order; cand <= MaxOrder; cand++ {
+		if a.free[cand].len() == 0 {
+			continue
+		}
+		if head := a.free[cand].blocks[0]; o == -1 || head < best {
+			o, best = cand, head
+		}
+	}
+	if o == -1 {
+		return 0, ErrNoMemory
+	}
+	pa, _ := a.free[o].pop()
+	// Split down to the requested order, freeing upper halves.
+	for o > order {
+		o--
+		a.free[o].push(pa + OrderBytes(o))
+	}
+	a.used += OrderBytes(order)
+	a.version++
+	return pa, nil
+}
+
+// Free returns a block to the allocator, coalescing with free buddies.
+func (a *Allocator) Free(pa uint64, order int) error {
+	if order < 0 || order > MaxOrder {
+		return fmt.Errorf("alloc: invalid order %d", order)
+	}
+	if pa%OrderBytes(order) != 0 {
+		return fmt.Errorf("alloc: pa %#x not aligned to order %d", pa, order)
+	}
+	a.used -= OrderBytes(order)
+	a.version++
+	for order < MaxOrder {
+		buddy := pa ^ OrderBytes(order)
+		if !a.free[order].remove(buddy) {
+			break
+		}
+		if buddy < pa {
+			pa = buddy
+		}
+		order++
+	}
+	a.free[order].push(pa)
+	return nil
+}
+
+// TotalBytes returns the managed capacity.
+func (a *Allocator) TotalBytes() uint64 { return a.total }
+
+// FreeBytes returns the currently-unallocated capacity.
+func (a *Allocator) FreeBytes() uint64 { return a.total - a.used }
+
+// UsedBytes returns the currently-allocated capacity.
+func (a *Allocator) UsedBytes() uint64 { return a.used }
+
+// FreePagesAtOrder returns how many pages of the given order the allocator
+// can currently produce — free capacity that exists as blocks of at least
+// that order. Boot-time offlining punches sub-huge-page holes into node
+// memory, so huge-page capacity can be well below FreeBytes.
+func (a *Allocator) FreePagesAtOrder(order int) int {
+	total := 0
+	for o := order; o <= MaxOrder; o++ {
+		total += a.free[o].len() << (o - order)
+	}
+	return total
+}
+
+// FreeBlocks returns the number of free blocks at each order, a debugging
+// and fragmentation-analysis aid.
+func (a *Allocator) FreeBlocks() [MaxOrder + 1]int {
+	var out [MaxOrder + 1]int
+	for o := range a.free {
+		out[o] = a.free[o].len()
+	}
+	return out
+}
+
+// AllocPages allocates n contiguous-or-not pages of the given order,
+// returning their addresses; on failure everything allocated so far is
+// released.
+func (a *Allocator) AllocPages(order, n int) ([]uint64, error) {
+	pages := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		pa, err := a.Alloc(order)
+		if err != nil {
+			for _, p := range pages {
+				_ = a.Free(p, order)
+			}
+			return nil, fmt.Errorf("alloc: page %d/%d: %w", i, n, err)
+		}
+		pages = append(pages, pa)
+	}
+	return pages, nil
+}
+
+// HugePool is a reserved pool of fixed-order huge pages, modelling the
+// statically-allocated, pinned, non-overcommitted guest backing memory the
+// paper's deployment environment prescribes (§5).
+type HugePool struct {
+	order int
+	pages []uint64
+}
+
+// NewHugePool reserves n huge pages of the given order from a.
+func NewHugePool(a *Allocator, order, n int) (*HugePool, error) {
+	pages, err := a.AllocPages(order, n)
+	if err != nil {
+		return nil, err
+	}
+	return &HugePool{order: order, pages: pages}, nil
+}
+
+// Order returns the pool's page order.
+func (p *HugePool) Order() int { return p.order }
+
+// Remaining returns how many pages are still reservable.
+func (p *HugePool) Remaining() int { return len(p.pages) }
+
+// Take removes one page from the pool.
+func (p *HugePool) Take() (uint64, error) {
+	if len(p.pages) == 0 {
+		return 0, ErrNoMemory
+	}
+	pa := p.pages[len(p.pages)-1]
+	p.pages = p.pages[:len(p.pages)-1]
+	return pa, nil
+}
+
+// Put returns a page to the pool.
+func (p *HugePool) Put(pa uint64) { p.pages = append(p.pages, pa) }
+
+// PageSizeName formats an order as a human-readable page size.
+func PageSizeName(order int) string {
+	b := OrderBytes(order)
+	switch {
+	case b >= geometry.GiB:
+		return fmt.Sprintf("%dG", b/geometry.GiB)
+	case b >= geometry.MiB:
+		return fmt.Sprintf("%dM", b/geometry.MiB)
+	default:
+		return fmt.Sprintf("%dK", b/geometry.KiB)
+	}
+}

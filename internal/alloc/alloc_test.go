@@ -1,0 +1,317 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/subarray"
+)
+
+func mkRange(start, size uint64) subarray.Range {
+	return subarray.Range{Start: start, End: start + size}
+}
+
+func TestOrderHelpers(t *testing.T) {
+	if OrderBytes(0) != 4096 {
+		t.Errorf("OrderBytes(0) = %d", OrderBytes(0))
+	}
+	if OrderBytes(Order2M) != 2<<20 {
+		t.Errorf("OrderBytes(Order2M) = %d", OrderBytes(Order2M))
+	}
+	if OrderBytes(Order1G) != 1<<30 {
+		t.Errorf("OrderBytes(Order1G) = %d", OrderBytes(Order1G))
+	}
+	if OrderFor(4096) != 0 || OrderFor(4097) != 1 || OrderFor(2<<20) != Order2M {
+		t.Error("OrderFor wrong")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 16<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBytes() != 16<<20 {
+		t.Fatalf("TotalBytes = %d", a.TotalBytes())
+	}
+	pa, err := a.Alloc(Order2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa%OrderBytes(Order2M) != 0 {
+		t.Errorf("2M block at %#x not aligned", pa)
+	}
+	if a.FreeBytes() != 14<<20 {
+		t.Errorf("FreeBytes = %d", a.FreeBytes())
+	}
+	if err := a.Free(pa, Order2M); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeBytes() != 16<<20 {
+		t.Errorf("FreeBytes after free = %d", a.FreeBytes())
+	}
+}
+
+func TestCoalescingRestoresMaximalBlocks(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 4<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate everything as 4K pages, free them all; we should get the
+	// original large blocks back.
+	var pages []uint64
+	for {
+		pa, err := a.Alloc(0)
+		if err != nil {
+			break
+		}
+		pages = append(pages, pa)
+	}
+	if len(pages) != 1024 {
+		t.Fatalf("allocated %d pages, want 1024", len(pages))
+	}
+	for _, pa := range pages {
+		if err := a.Free(pa, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := a.FreeBlocks()
+	for o := 0; o < 10; o++ {
+		if blocks[o] != 0 {
+			t.Errorf("order %d has %d blocks after full free; coalescing failed", o, blocks[o])
+		}
+	}
+	if blocks[10] != 1 { // 4 MiB = one order-10 block
+		t.Errorf("order 10 has %d blocks, want 1", blocks[10])
+	}
+}
+
+func TestOfflineExcludesRanges(t *testing.T) {
+	// 8 MiB with the middle 2 MiB offlined.
+	a, err := New(
+		[]subarray.Range{mkRange(0, 8<<20)},
+		[]subarray.Range{mkRange(3<<20, 2<<20)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBytes() != 6<<20 {
+		t.Fatalf("TotalBytes = %d, want 6 MiB", a.TotalBytes())
+	}
+	// No allocation may land in the offlined hole.
+	for {
+		pa, err := a.Alloc(0)
+		if err != nil {
+			break
+		}
+		if pa >= 3<<20 && pa < 5<<20 {
+			t.Fatalf("allocated offlined page %#x", pa)
+		}
+	}
+}
+
+func TestAllocExhaustionAndErrors(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 2<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(Order2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(0); err != ErrNoMemory {
+		t.Errorf("expected ErrNoMemory, got %v", err)
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("negative order accepted")
+	}
+	if _, err := a.Alloc(MaxOrder + 1); err == nil {
+		t.Error("oversize order accepted")
+	}
+	if err := a.Free(4097, 0); err == nil {
+		t.Error("misaligned free accepted")
+	}
+	if err := a.Free(0, 99); err == nil {
+		t.Error("bad order free accepted")
+	}
+}
+
+func TestAllocPagesRollsBackOnFailure(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 4<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocPages(Order2M, 3); err == nil {
+		t.Fatal("expected failure for 3x2M from 4M")
+	}
+	if a.FreeBytes() != 4<<20 {
+		t.Errorf("rollback incomplete: free = %d", a.FreeBytes())
+	}
+	pages, err := a.AllocPages(Order2M, 2)
+	if err != nil || len(pages) != 2 {
+		t.Fatalf("AllocPages(2) = %v, %v", pages, err)
+	}
+}
+
+func TestNonContiguousRanges(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 1<<20), mkRange(8<<20, 1<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBytes() != 2<<20 {
+		t.Fatalf("TotalBytes = %d", a.TotalBytes())
+	}
+	seen := make(map[uint64]bool)
+	for {
+		pa, err := a.Alloc(0)
+		if err != nil {
+			break
+		}
+		if seen[pa] {
+			t.Fatalf("double allocation of %#x", pa)
+		}
+		seen[pa] = true
+		inA := pa < 1<<20
+		inB := pa >= 8<<20 && pa < 9<<20
+		if !inA && !inB {
+			t.Fatalf("allocation %#x outside managed ranges", pa)
+		}
+	}
+	if len(seen) != 512 {
+		t.Errorf("allocated %d pages, want 512", len(seen))
+	}
+}
+
+func TestUnalignedRangeRejected(t *testing.T) {
+	if _, err := New([]subarray.Range{mkRange(100, 1<<20)}, nil); err == nil {
+		t.Error("unaligned range accepted")
+	}
+}
+
+// TestBuddyInvariantsProperty drives random alloc/free sequences and checks
+// conservation, alignment, disjointness and containment.
+func TestBuddyInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := New([]subarray.Range{mkRange(0, 8<<20), mkRange(32<<20, 4<<20)}, nil)
+		if err != nil {
+			return false
+		}
+		type block struct {
+			pa    uint64
+			order int
+		}
+		var live []block
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				order := rng.Intn(Order2M + 1)
+				pa, err := a.Alloc(order)
+				if err != nil {
+					continue
+				}
+				if pa%OrderBytes(order) != 0 {
+					return false
+				}
+				// Check disjointness with all live blocks.
+				for _, b := range live {
+					if pa < b.pa+OrderBytes(b.order) && b.pa < pa+OrderBytes(order) {
+						return false
+					}
+				}
+				live = append(live, block{pa, order})
+			} else {
+				i := rng.Intn(len(live))
+				b := live[i]
+				if err := a.Free(b.pa, b.order); err != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			// Conservation invariant.
+			var liveBytes uint64
+			for _, b := range live {
+				liveBytes += OrderBytes(b.order)
+			}
+			if a.UsedBytes() != liveBytes || a.FreeBytes()+a.UsedBytes() != a.TotalBytes() {
+				return false
+			}
+		}
+		// Free everything; allocator must return to pristine capacity.
+		for _, b := range live {
+			if err := a.Free(b.pa, b.order); err != nil {
+				return false
+			}
+		}
+		return a.FreeBytes() == a.TotalBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHugePool(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 16<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewHugePool(a, Order2M, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Remaining() != 4 || pool.Order() != Order2M {
+		t.Fatalf("pool state wrong: %d remaining", pool.Remaining())
+	}
+	pa, err := pool.Take()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Remaining() != 3 {
+		t.Error("Take did not decrement")
+	}
+	pool.Put(pa)
+	if pool.Remaining() != 4 {
+		t.Error("Put did not increment")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := pool.Take(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Take(); err != ErrNoMemory {
+		t.Errorf("empty pool Take = %v, want ErrNoMemory", err)
+	}
+	// Pool reservation is reflected in the allocator.
+	if a.UsedBytes() != 8<<20 {
+		t.Errorf("UsedBytes = %d, want 8 MiB", a.UsedBytes())
+	}
+	if _, err := NewHugePool(a, Order2M, 1000); err == nil {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestPageSizeName(t *testing.T) {
+	if PageSizeName(0) != "4K" || PageSizeName(Order2M) != "2M" || PageSizeName(Order1G) != "1G" {
+		t.Errorf("PageSizeName wrong: %s %s %s", PageSizeName(0), PageSizeName(Order2M), PageSizeName(Order1G))
+	}
+}
+
+func TestAllocationsAscend(t *testing.T) {
+	// §5.4 deployment environment: guests get ascending contiguous
+	// physical regions; the allocator hands out lowest addresses first.
+	a, err := New([]subarray.Range{mkRange(0, 32<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i := 0; i < 16; i++ {
+		pa, err := a.Alloc(Order2M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && pa != prev+OrderBytes(Order2M) {
+			t.Fatalf("allocation %d at %#x, want contiguous after %#x", i, pa, prev)
+		}
+		prev = pa
+	}
+}

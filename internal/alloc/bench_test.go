@@ -1,0 +1,50 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/subarray"
+)
+
+func BenchmarkAllocFree2M(b *testing.B) {
+	a, err := New([]subarray.Range{{Start: 0, End: 1 << 30}}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa, err := a.Alloc(Order2M)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(pa, Order2M); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocChurn4K(b *testing.B) {
+	a, err := New([]subarray.Range{{Start: 0, End: 256 << 20}}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Steady state: keep a bounded live set, alternating alloc and free.
+	const maxLive = 4096
+	var live []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) >= maxLive || (i%3 == 2 && len(live) > 0) {
+			pa := live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := a.Free(pa, 0); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		pa, err := a.Alloc(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, pa)
+	}
+}

@@ -1,0 +1,56 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/subarray"
+)
+
+// FuzzBuddySequences drives seeded random alloc/free sequences and checks
+// the allocator's conservation and disjointness invariants.
+func FuzzBuddySequences(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, maxOrder uint8) {
+		order := int(maxOrder) % (Order2M + 1)
+		rng := rand.New(rand.NewSource(seed))
+		a, err := New([]subarray.Range{{Start: 0, End: 16 << 20}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type blk struct {
+			pa uint64
+			o  int
+		}
+		var live []blk
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				o := rng.Intn(order + 1)
+				pa, err := a.Alloc(o)
+				if err != nil {
+					continue
+				}
+				if pa%OrderBytes(o) != 0 {
+					t.Fatalf("misaligned block %#x order %d", pa, o)
+				}
+				for _, b := range live {
+					if pa < b.pa+OrderBytes(b.o) && b.pa < pa+OrderBytes(o) {
+						t.Fatalf("overlap: %#x/%d with %#x/%d", pa, o, b.pa, b.o)
+					}
+				}
+				live = append(live, blk{pa, o})
+			} else {
+				i := rng.Intn(len(live))
+				if err := a.Free(live[i].pa, live[i].o); err != nil {
+					t.Fatal(err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if a.FreeBytes()+a.UsedBytes() != a.TotalBytes() {
+				t.Fatal("conservation violated")
+			}
+		}
+	})
+}

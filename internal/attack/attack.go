@@ -1,0 +1,271 @@
+// Package attack implements a Blacksmith-style Rowhammer fuzzer (§7): it
+// synthesizes non-uniform, frequency-domain hammering patterns — aggressor
+// pairs plus high-amplitude decoy rows at different amplitudes and phases —
+// that defeat sampling-based in-DRAM TRR, drives them against a target's
+// hammerable rows, and scans the target's memory for bit flips.
+//
+// Two target views are provided: a VM-confined target (the attacker tenant
+// of §7.1, who can only touch its own guest RAM) and a raw physical-range
+// target (for host-level experiments such as pinning the fuzzer to one
+// subarray group).
+package attack
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/geometry"
+)
+
+// RowRef is one hammerable row from the attacker's perspective: an address
+// it can access plus the reverse-engineered bank/row location (Blacksmith
+// assumes knowledge of DRAM addressing, as do we).
+type RowRef struct {
+	// Addr is the attacker-visible address (GPA for a VM target, PA for
+	// a physical target) of the row's first line in the target bank.
+	Addr uint64
+	// Bank and Row locate the row in DRAM.
+	Bank geometry.BankID
+	Row  int
+}
+
+// Corruption is one attacker-observed flipped byte.
+type Corruption struct {
+	// Addr is the attacker-visible address of the corrupted byte.
+	Addr uint64
+	// Got is the value read back (the fill pattern was expected).
+	Got byte
+}
+
+// Target abstracts what the attacker can reach.
+type Target interface {
+	// Rows enumerates hammerable rows in the target bank, sorted by Row.
+	Rows() []RowRef
+	// Hammer activates a row count times with the given open time.
+	Hammer(r RowRef, count int, openNs int64) error
+	// FillRow writes the byte pattern over one row's data.
+	FillRow(r RowRef, pat byte) error
+	// CheckRow reads one row back and returns corruptions.
+	CheckRow(r RowRef, pat byte) ([]Corruption, error)
+	// EndWindow closes the refresh window (time passing).
+	EndWindow()
+}
+
+// rowLines yields the attacker-visible addresses of one row's cache lines:
+// within a row group, a bank's lines repeat every BanksPerSocket lines.
+func rowLines(g geometry.Geometry, r RowRef, visit func(addr uint64) error) error {
+	stride := uint64(g.BanksPerSocket()) * geometry.CacheLineSize
+	lines := g.RowBytes / geometry.CacheLineSize
+	for j := 0; j < lines; j++ {
+		if err := visit(r.Addr + uint64(j)*stride); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runs splits sorted rows into maximal runs of consecutive row numbers in
+// the same bank; patterns are built within a run.
+func runs(rows []RowRef) [][]RowRef {
+	var out [][]RowRef
+	var cur []RowRef
+	for _, r := range rows {
+		if len(cur) > 0 && (r.Bank != cur[len(cur)-1].Bank || r.Row != cur[len(cur)-1].Row+1) {
+			out = append(out, cur)
+			cur = nil
+		}
+		cur = append(cur, r)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// VMTarget confines the attacker to one VM's guest RAM (§7.1's inter-VM
+// attacker).
+type VMTarget struct {
+	VM *core.VM
+	// BankIndex selects which within-socket bank to attack (default 0).
+	BankIndex int
+
+	rows []RowRef
+}
+
+// Rows implements Target: it walks the VM's RAM pages and collects the rows
+// of the chosen bank whose data the VM fully controls. Row groups are
+// rowGroupBytes-aligned in physical space; a row straddling two guest pages
+// counts only when the backing pages are physically contiguous (which
+// Siloz's contiguous per-group allocation and the paper's deployment
+// environment both provide, §5.4).
+func (t *VMTarget) Rows() []RowRef {
+	if t.rows != nil {
+		return t.rows
+	}
+	mem := t.VM.Hypervisor().Memory()
+	g := mem.Geometry()
+	rowGroup := uint64(g.RowGroupBytes())
+	pages := t.VM.RAMPages()
+	var rows []RowRef
+	for pi, hpa := range pages {
+		gpaBase := uint64(pi) * geometry.PageSize2M
+		first := (hpa + rowGroup - 1) / rowGroup * rowGroup
+		for rb := first; rb < hpa+geometry.PageSize2M; rb += rowGroup {
+			if rb+rowGroup > hpa+geometry.PageSize2M {
+				// Straddles into the next page: usable only with
+				// physical contiguity.
+				if pi+1 >= len(pages) || pages[pi+1] != hpa+geometry.PageSize2M {
+					continue
+				}
+			}
+			ma, err := mem.Mapper().Decode(rb)
+			if err != nil {
+				continue
+			}
+			bank := geometry.BankFromSocketFlat(g, ma.Bank.Socket, t.BankIndex)
+			rows = append(rows, RowRef{
+				Addr: gpaBase + (rb - hpa) + uint64(t.BankIndex)*geometry.CacheLineSize,
+				Bank: bank,
+				Row:  ma.Row,
+			})
+		}
+	}
+	sortRows(g, rows)
+	t.rows = rows
+	return rows
+}
+
+// sortRows orders refs by bank then row.
+func sortRows(g geometry.Geometry, rows []RowRef) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Bank != rows[j].Bank {
+			return rows[i].Bank.Flat(g) < rows[j].Bank.Flat(g)
+		}
+		return rows[i].Row < rows[j].Row
+	})
+}
+
+// Hammer implements Target.
+func (t *VMTarget) Hammer(r RowRef, count int, openNs int64) error {
+	return t.VM.Hammer(r.Addr, count, openNs)
+}
+
+// FillRow implements Target.
+func (t *VMTarget) FillRow(r RowRef, pat byte) error {
+	g := t.VM.Hypervisor().Memory().Geometry()
+	lineBuf := bytes.Repeat([]byte{pat}, geometry.CacheLineSize)
+	return rowLines(g, r, func(addr uint64) error {
+		return t.VM.WriteGuest(addr, lineBuf)
+	})
+}
+
+// CheckRow implements Target.
+func (t *VMTarget) CheckRow(r RowRef, pat byte) ([]Corruption, error) {
+	g := t.VM.Hypervisor().Memory().Geometry()
+	var out []Corruption
+	buf := make([]byte, geometry.CacheLineSize)
+	err := rowLines(g, r, func(addr uint64) error {
+		if err := t.VM.ReadGuest(addr, buf); err != nil {
+			return err
+		}
+		for i, b := range buf {
+			if b != pat {
+				out = append(out, Corruption{Addr: addr + uint64(i), Got: b})
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// EndWindow implements Target.
+func (t *VMTarget) EndWindow() { t.VM.Hypervisor().Memory().Refresh() }
+
+// PhysTarget exposes a raw physical range (host-level fuzzing, e.g. pinned
+// to one subarray group as in §7.1's containment run).
+type PhysTarget struct {
+	Mem *dram.Memory
+	// Ranges are the physical ranges the fuzzer may touch.
+	Ranges []PhysRange
+	// BankIndex selects the within-socket bank to attack.
+	BankIndex int
+
+	rows []RowRef
+}
+
+// PhysRange is a half-open physical range.
+type PhysRange struct{ Start, End uint64 }
+
+// Rows implements Target.
+func (t *PhysTarget) Rows() []RowRef {
+	if t.rows != nil {
+		return t.rows
+	}
+	g := t.Mem.Geometry()
+	rowGroup := uint64(g.RowGroupBytes())
+	var rows []RowRef
+	for _, r := range t.Ranges {
+		first := (r.Start + rowGroup - 1) / rowGroup * rowGroup
+		for rb := first; rb+rowGroup <= r.End; rb += rowGroup {
+			ma, err := t.Mem.Mapper().Decode(rb)
+			if err != nil {
+				continue
+			}
+			bank := geometry.BankFromSocketFlat(g, ma.Bank.Socket, t.BankIndex)
+			rows = append(rows, RowRef{
+				Addr: rb + uint64(t.BankIndex)*geometry.CacheLineSize,
+				Bank: bank,
+				Row:  ma.Row,
+			})
+		}
+	}
+	sortRows(g, rows)
+	t.rows = rows
+	return rows
+}
+
+// Hammer implements Target.
+func (t *PhysTarget) Hammer(r RowRef, count int, openNs int64) error {
+	return t.Mem.ActivatePhys(r.Addr, count, openNs)
+}
+
+// FillRow implements Target.
+func (t *PhysTarget) FillRow(r RowRef, pat byte) error {
+	lineBuf := bytes.Repeat([]byte{pat}, geometry.CacheLineSize)
+	return rowLines(t.Mem.Geometry(), r, func(addr uint64) error {
+		return t.Mem.WritePhys(addr, lineBuf)
+	})
+}
+
+// CheckRow implements Target.
+func (t *PhysTarget) CheckRow(r RowRef, pat byte) ([]Corruption, error) {
+	var out []Corruption
+	buf := make([]byte, geometry.CacheLineSize)
+	err := rowLines(t.Mem.Geometry(), r, func(addr uint64) error {
+		if err := t.Mem.ReadPhys(addr, buf); err != nil {
+			return err
+		}
+		for i, b := range buf {
+			if b != pat {
+				out = append(out, Corruption{Addr: addr + uint64(i), Got: b})
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// EndWindow implements Target.
+func (t *PhysTarget) EndWindow() { t.Mem.Refresh() }
+
+// ensure interface conformance.
+var (
+	_ Target = (*VMTarget)(nil)
+	_ Target = (*PhysTarget)(nil)
+)
+
+// rngFrom builds a deterministic RNG.
+func rngFrom(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

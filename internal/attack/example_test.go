@@ -1,0 +1,19 @@
+package attack_test
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+)
+
+// ExampleManySided builds a Blacksmith-style schedule: high-amplitude
+// decoys pin the TRR sampler while lower-amplitude pairs hammer, and
+// synchronization phase-locks TRR events into the decoy phase.
+func ExampleManySided() {
+	p := attack.ManySided(2, 4, 400, 100, 10).Synchronized(5000)
+	fmt.Println(p.Name)
+	fmt.Printf("rows needed: %d, activations per window: %d\n", p.MinRun, p.ActsPerWindow())
+	// Output:
+	// many-sided-2p4d-sync5000
+	// rows needed: 12, activations per window: 50000
+}

@@ -1,0 +1,79 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/geometry"
+)
+
+// wholeBankTarget exposes every row of socket 0 to the prober, as a
+// privileged mFIT-style measurement tool would.
+func wholeBankTarget(t *testing.T, g geometry.Geometry, prof dram.Profile) *PhysTarget {
+	t.Helper()
+	mapper, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := dram.NewMemory(g, mapper, []dram.Profile{prof}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &PhysTarget{
+		Mem:    mem,
+		Ranges: []PhysRange{{Start: 0, End: uint64(g.SocketBytes())}},
+	}
+}
+
+func inferGeometry(rows int) geometry.Geometry {
+	return geometry.Geometry{
+		Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
+		BanksPerRank: 8, RowsPerBank: 8192, RowBytes: 8 * geometry.KiB,
+		RowsPerSubarray: rows,
+	}
+}
+
+func TestInferSubarraySizeNoTRR(t *testing.T) {
+	// §4.1: the mFIT methodology observes failed attacks at multiples of
+	// the true subarray size. Sweep all three commodity sizes.
+	for _, trueSize := range []int{512, 1024, 2048} {
+		prof := dram.ProfileF()
+		prof.VulnerableRowFraction = 1
+		prof.Transforms = addr.TransformConfig{}
+		target := wholeBankTarget(t, inferGeometry(trueSize), prof)
+		cfg := DefaultInferenceConfig()
+		cfg.Decoys = 0 // profile F has no TRR
+		got, err := InferSubarraySize(target, cfg)
+		if err != nil {
+			t.Fatalf("size %d: %v", trueSize, err)
+		}
+		if got != trueSize {
+			t.Errorf("inferred %d rows/subarray, true size %d", got, trueSize)
+		}
+	}
+}
+
+func TestInferSubarraySizeDespiteTRRAndTransforms(t *testing.T) {
+	// The full methodology: a TRR-equipped DIMM with internal address
+	// transforms still reveals its 1024-row subarrays to a decoy-covered,
+	// synchronized probe.
+	prof := dram.ProfileA()
+	prof.VulnerableRowFraction = 1
+	target := wholeBankTarget(t, inferGeometry(1024), prof)
+	got, err := InferSubarraySize(target, DefaultInferenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1024 {
+		t.Errorf("inferred %d rows/subarray, want 1024", got)
+	}
+}
+
+func TestInferSubarraySizeErrors(t *testing.T) {
+	target := wholeBankTarget(t, inferGeometry(512), dram.ProfileF())
+	target.Ranges = nil // no reachable rows
+	if _, err := InferSubarraySize(target, DefaultInferenceConfig()); err == nil {
+		t.Error("empty target accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// Audit walks the booted system and verifies the invariants the Siloz
+// design depends on, returning human-readable violations (empty = healthy).
+// It is the reproduction's fsck: tests and tools run it after stressing the
+// hypervisor to catch any drift between policy and state.
+//
+// Checked invariants:
+//
+//  1. Every VM RAM page lies inside the VM's reserved nodes (Siloz mode).
+//  2. No two VMs own the same guest-reserved node or the same RAM page.
+//  3. EPT and IOMMU table pages lie in the EPT node under guard-row
+//     protection (§5.4).
+//  4. Mediated pages lie in host-reserved nodes (§5.1).
+//  5. Offlined (guard) ranges belong to no logical node (§5.4, §6).
+//  6. Per-node allocator accounting is conserved.
+func (h *Hypervisor) Audit() []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// 1 & 2: VM page placement and exclusivity.
+	seenPages := make(map[uint64]string)
+	seenNodes := make(map[int]string)
+	for _, vm := range h.VMs() {
+		for _, n := range vm.Nodes() {
+			if owner, dup := seenNodes[n.ID]; dup {
+				report("node %d owned by both %q and %q", n.ID, owner, vm.Name())
+			}
+			seenNodes[n.ID] = vm.Name()
+			if n.Kind != numa.GuestReserved {
+				report("VM %q owns non-guest node %d (%s)", vm.Name(), n.ID, n.Kind)
+			}
+		}
+		for _, hpa := range vm.RAMPages() {
+			if owner, dup := seenPages[hpa]; dup {
+				report("RAM page %#x owned by both %q and %q", hpa, owner, vm.Name())
+			}
+			seenPages[hpa] = vm.Name()
+			if h.mode == ModeSiloz && !vm.InDomain(hpa) {
+				report("VM %q RAM page %#x outside its domain", vm.Name(), hpa)
+			}
+		}
+		// 3: table pages.
+		if h.mode == ModeSiloz && h.cfg.EPTProtection.String() == "guard-rows" {
+			eptNode, err := h.EPTNode(vm.Spec().Socket)
+			if err != nil {
+				report("VM %q: %v", vm.Name(), err)
+			} else {
+				for _, pa := range vm.Tables().Pages() {
+					if !eptNode.Contains(pa) {
+						report("VM %q EPT page %#x outside the EPT node", vm.Name(), pa)
+					}
+				}
+			}
+		}
+		// 4: mediated pages.
+		for _, pa := range vm.MediatedPages() {
+			if node, ok := h.topo.NodeOf(pa); !ok || node.Kind != numa.HostReserved {
+				report("VM %q mediated page %#x not host-reserved", vm.Name(), pa)
+			}
+		}
+	}
+
+	// 5: offlined ranges owned by no node.
+	for _, r := range h.OfflinedRanges() {
+		for pa := r.Start; pa < r.End; pa += 1 << 20 {
+			if n, ok := h.topo.NodeOf(pa); ok {
+				report("offlined pa %#x owned by node %d", pa, n.ID)
+				break
+			}
+		}
+	}
+
+	// 6: allocator conservation, and guest-node usage matching exactly
+	// what the owning VM holds there.
+	expected := make(map[int]uint64)
+	for _, vm := range h.VMs() {
+		for hpa, nodeID := range vm.ramNode {
+			_ = hpa
+			expected[nodeID] += uint64(geometry.PageSize2M)
+		}
+		for _, ri := range vm.regions {
+			if ri.Type.Unmediated() {
+				expected[ri.nodeID] += uint64(len(ri.pages)) * geometry.PageSize4K
+			}
+		}
+	}
+	for _, n := range h.topo.Nodes() {
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			report("node %d missing allocator: %v", n.ID, err)
+			continue
+		}
+		if a.FreeBytes()+a.UsedBytes() != a.TotalBytes() {
+			report("node %d accounting broken: free %d + used %d != total %d",
+				n.ID, a.FreeBytes(), a.UsedBytes(), a.TotalBytes())
+		}
+		if n.Kind == numa.GuestReserved && h.mode == ModeSiloz {
+			if a.UsedBytes() != expected[n.ID] {
+				report("guest node %d allocator reports %d used bytes but VMs hold %d",
+					n.ID, a.UsedBytes(), expected[n.ID])
+			}
+		}
+	}
+	return bad
+}

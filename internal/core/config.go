@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution: the Siloz
+// hypervisor (§5). Siloz computes subarray groups at boot, abstracts them as
+// logical NUMA nodes, places each VM's unmediated pages into private
+// guest-reserved groups and the host's (plus mediated VM pages) into
+// host-reserved groups, and protects extended page tables with guard rows or
+// hardware integrity — preventing inter-VM Rowhammer end to end.
+//
+// The same package provides the unmodified Linux/KVM baseline hypervisor
+// the paper evaluates against: identical machinery with subarray group
+// isolation disabled, so security and performance experiments can compare
+// the two configurations directly.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+)
+
+// Mode selects the hypervisor configuration under test.
+type Mode int
+
+const (
+	// ModeSiloz enables subarray group isolation and EPT protection.
+	ModeSiloz Mode = iota
+	// ModeBaseline is the unmodified Linux/KVM baseline: per-socket
+	// nodes, no subarray awareness, unprotected EPTs.
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	if m == ModeSiloz {
+		return "siloz"
+	}
+	return "baseline"
+}
+
+// EPT row-group block parameters (§5.4): a contiguous block of b row groups
+// is reserved in a designated host subarray group; the row group at offset
+// o holds EPT pages and the remaining b-1 row groups are guard rows.
+const (
+	// EPTBlockRowGroups is the paper's b = 32.
+	EPTBlockRowGroups = 32
+	// EPTRowGroupOffset is the paper's o = 12.
+	EPTRowGroupOffset = 12
+)
+
+// Config parameterizes a boot.
+type Config struct {
+	// Geometry describes the server; zero value means geometry.Default().
+	Geometry geometry.Geometry
+	// Profiles are the DIMM disturbance profiles, assigned round-robin
+	// to slots; nil means the six Table 3 evaluation DIMMs.
+	Profiles []dram.Profile
+	// Mapper is the physical-to-media mapping; nil means the Skylake
+	// mapper for Geometry.
+	Mapper addr.Mapper
+	// SubarrayRows overrides the geometry's rows per subarray — the boot
+	// parameter of §5.3 used by the Siloz-512/-1024/-2048 variants; 0
+	// keeps the geometry's value.
+	SubarrayRows int
+	// EPTProtection selects EPT integrity for Siloz (§5.4). The
+	// baseline always runs unprotected.
+	EPTProtection ept.IntegrityMode
+	// Repairs optionally models repaired rows (§6); Siloz offlines pages
+	// of inter-subarray repairs.
+	Repairs *addr.RepairTable
+	// HostGroupsPerSocket is how many subarray groups each socket's
+	// host-reserved node owns; all remaining groups become guest-reserved
+	// nodes ("all but one logical node per socket", §5.2). 0 means 1.
+	HostGroupsPerSocket int
+	// CachedLayout optionally supplies subarray group address ranges
+	// computed on a previous boot (§5.3: the mapping is BIOS-fixed, so
+	// firmware can cache it). A stale or mismatched cache falls back to
+	// recomputation.
+	CachedLayout io.Reader
+	// Log optionally receives a dmesg-style event log of boot, VM
+	// lifecycle and security events.
+	Log io.Writer
+	// MediatedAccessLimit caps a VM's mediated accesses per refresh
+	// window — the §5.1 rate-limit closing the theoretical "confused
+	// deputy" vector, where a guest tricks host software into hammering
+	// host rows through VM exits. 0 uses DefaultMediatedAccessLimit;
+	// negative disables the limiter (for demonstrating the threat).
+	MediatedAccessLimit int
+}
+
+// DefaultMediatedAccessLimit keeps per-window host accesses on a guest's
+// behalf far below any Rowhammer threshold.
+const DefaultMediatedAccessLimit = 2000
+
+func (c *Config) normalize() error {
+	if c.Geometry == (geometry.Geometry{}) {
+		c.Geometry = geometry.Default()
+	}
+	if c.SubarrayRows != 0 {
+		c.Geometry = c.Geometry.WithSubarraySize(c.SubarrayRows)
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.Profiles == nil {
+		c.Profiles = dram.EvaluationProfiles()
+	}
+	if c.Mapper == nil {
+		m, err := addr.NewSkylakeMapper(c.Geometry)
+		if err != nil {
+			return err
+		}
+		c.Mapper = m
+	}
+	if c.HostGroupsPerSocket == 0 {
+		c.HostGroupsPerSocket = 1
+	}
+	if c.HostGroupsPerSocket < 0 {
+		return fmt.Errorf("core: HostGroupsPerSocket must be positive")
+	}
+	if c.MediatedAccessLimit == 0 {
+		c.MediatedAccessLimit = DefaultMediatedAccessLimit
+	}
+	return nil
+}
+
+// Process models the credentials of a requesting process: its control group
+// membership and KVM privilege (§5.3: guest-reserved node allocations
+// require both).
+type Process struct {
+	// CGroup is the control group the process belongs to.
+	CGroup string
+	// KVMPrivileged reports whether the process holds KVM privileges.
+	KVMPrivileged bool
+}

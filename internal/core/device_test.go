@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+func attachTestDevice(t *testing.T, h *Hypervisor) (*VM, *Device) {
+	t.Helper()
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "io-vm", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := h.AttachDevice(vm, "vf0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, dev
+}
+
+func TestDeviceDMARoundTrip(t *testing.T) {
+	h := bootSiloz(t)
+	vm, dev := attachTestDevice(t, h)
+	payload := []byte("sr-iov packet buffer")
+	// Device writes via DMA; guest reads via its GPA (IOVA==GPA).
+	iova := uint64(geometry.PageSize2M) - 5 // crosses a page boundary
+	if err := dev.DMAWrite(iova, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := vm.ReadGuest(iova, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("DMA write not visible to the guest")
+	}
+	buf := make([]byte, len(payload))
+	if err := dev.DMARead(iova, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Error("DMA read mismatch")
+	}
+}
+
+func TestDeviceDMAConfinedToMapping(t *testing.T) {
+	h := bootSiloz(t)
+	vm, dev := attachTestDevice(t, h)
+	// IOVAs beyond the VM's RAM are unmapped in the IOMMU: the DMA is
+	// blocked, so a compromised device cannot reach other tenants (§5.1).
+	if err := dev.DMAWrite(vm.Spec().MemoryBytes+geometry.PageSize2M, []byte{1}); err == nil {
+		t.Fatal("DMA outside the IOMMU mapping succeeded")
+	}
+	if err := dev.HammerDMA(vm.Spec().MemoryBytes+geometry.PageSize2M, 1000, 0); err == nil {
+		t.Fatal("DMA hammering outside the mapping succeeded")
+	}
+}
+
+func TestDeviceDMAHammeringContained(t *testing.T) {
+	// GuardION-style DMA hammering: flips stay inside the VM's subarray
+	// groups because the IOMMU only maps the VM's own pages.
+	h := bootSiloz(t)
+	vm, dev := attachTestDevice(t, h)
+	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "victim", Socket: 0, MemoryBytes: 64 * geometry.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.HammerDMA(0, 20_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	flips := h.Memory().Flips()
+	if len(flips) == 0 {
+		t.Fatal("DMA hammering produced no flips; test vacuous")
+	}
+	for _, f := range flips {
+		pa, err := h.Memory().FlipPhys(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.InDomain(pa) {
+			t.Errorf("DMA-induced flip escaped the VM domain: %v", f)
+		}
+	}
+}
+
+func TestDeviceIOMMUTablesProtectedLikeEPTs(t *testing.T) {
+	// §5.1 requirement (2): IOMMU page table pages are protected akin to
+	// EPT pages — under Siloz+GuardRows they live in the EPT node.
+	h := bootSiloz(t)
+	_, dev := attachTestDevice(t, h)
+	eptNode, err := h.EPTNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pa := range dev.Tables().Pages() {
+		if !eptNode.Contains(pa) {
+			t.Errorf("IOMMU table page %#x outside the guarded EPT node", pa)
+		}
+	}
+
+	// Baseline: IOMMU tables land in ordinary host memory.
+	hb := bootBaseline(t)
+	_, devb := attachTestDevice(t, hb)
+	host := hb.Topology().NodesOnSocket(0, numa.HostReserved)[0]
+	for _, pa := range devb.Tables().Pages() {
+		if !host.Contains(pa) {
+			t.Errorf("baseline IOMMU table page %#x outside host node", pa)
+		}
+	}
+}
+
+func TestDeviceDetach(t *testing.T) {
+	h := bootSiloz(t)
+	_, dev := attachTestDevice(t, h)
+	dev.Detach()
+	if err := dev.DMARead(0, make([]byte, 8)); err == nil {
+		t.Error("DMA after detach succeeded")
+	}
+	dev.Detach() // idempotent
+}
+
+func TestAttachDeviceToDestroyedVM(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "gone", Socket: 0, MemoryBytes: geometry.PageSize2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyVM("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachDevice(vm, "vf0"); err == nil {
+		t.Error("attached device to destroyed VM")
+	}
+}
+
+func TestDeviceSecureEPTIOMMU(t *testing.T) {
+	// With SecureEPT, IOMMU entries carry MACs too: corruption is
+	// detected on DMA translation.
+	cfg := testConfig()
+	cfg.EPTProtection = ept.SecureEPT
+	h, err := Boot(cfg, ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, dev := attachTestDevice(t, h)
+	_ = vm
+	// Corrupt the first IOMMU leaf entry directly in DRAM.
+	pd := dev.Tables().Pages()[2]
+	var buf [8]byte
+	if err := h.Memory().ReadPhys(pd, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf[3] ^= 0x08
+	if err := h.Memory().WritePhys(pd, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.DMARead(0, make([]byte, 8)); err == nil {
+		t.Error("corrupted IOMMU entry not detected by secure tables")
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+)
+
+// denseProfile makes every row densely populated with weak cells so that
+// hammering a neighbour row deterministically corrupts any cache line in
+// it — standing in for the memory templating a real attacker performs.
+func denseProfile() dram.Profile {
+	p := testProfile()
+	p.WeakCellsPerRow = 600
+	return p
+}
+
+func denseConfig(mode ept.IntegrityMode) Config {
+	cfg := testConfig()
+	cfg.Profiles = []dram.Profile{denseProfile()}
+	cfg.EPTProtection = mode
+	return cfg
+}
+
+// hammerEPTNeighbours hammers the rows physically adjacent to the row
+// backing the VM's first PD entry (the attacker's Flip-Feng-Shui position).
+func hammerEPTNeighbours(t *testing.T, h *Hypervisor, vm *VM) {
+	t.Helper()
+	mem := h.Memory()
+	pd := vm.Tables().Pages()[2] // root, PDPT, PD
+	ma, err := mem.Mapper().Decode(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []int{ma.Row - 1, ma.Row + 1} {
+		if row < 0 || row >= h.Layout().Geometry().RowsPerBank {
+			continue
+		}
+		aggr, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.ActivatePhys(aggr, 20000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBaselineEPTBitFlipsEnableEscape(t *testing.T) {
+	// §5.4 threat model: in the baseline, EPT pages sit in ordinary
+	// rows; a VM hammering its neighbourhood flips EPT bits and the walk
+	// silently follows the corrupted mapping.
+	h, err := Boot(denseConfig(ept.NoProtection), ModeBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "evil", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[uint64]uint64)
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[gpa] = hpa
+	}
+	hammerEPTNeighbours(t, h, vm)
+
+	changed := false
+	for gpa, want := range before {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil || hpa != want {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("EPT corruption had no effect on translation; baseline threat not reproduced")
+	}
+}
+
+func TestSecureEPTDetectsHammeredEntries(t *testing.T) {
+	// §5.4 hardware-based protection: integrity checks detect — not
+	// prevent — EPT corruption, so the walk faults instead of escaping.
+	h, err := Boot(denseConfig(ept.SecureEPT), ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "evil", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammerEPTNeighbours(t, h, vm)
+
+	sawIntegrityFault := false
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		if _, err := vm.TranslateUncached(gpa); err != nil {
+			sawIntegrityFault = true
+			break
+		}
+	}
+	if !sawIntegrityFault {
+		t.Fatal("secure EPT never faulted despite hammered table rows")
+	}
+}
+
+func TestGuardRowsPreventEPTBitFlips(t *testing.T) {
+	// §5.4/§7.1 software-based protection: with EPTs in the guarded row
+	// group, the nearest rows an attacker can allocate are beyond the
+	// blast radius; translations stay intact and no EPT row flips.
+	h, err := Boot(denseConfig(ept.GuardRows), ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "evil", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[uint64]uint64)
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[gpa] = hpa
+	}
+
+	// The attacker hammers the closest rows it can possibly own: the
+	// first allocatable rows after the EPT block, plus its own memory
+	// edges. None are within blast radius of the EPT row group.
+	mem := h.Memory()
+	g := h.Layout().Geometry()
+	eptNode, err := h.EPTNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eptPA := eptNode.Ranges[0].Start
+	ma, err := mem.Mapper().Decode(eptPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []int{EPTBlockRowGroups, EPTBlockRowGroups + 1} {
+		aggr, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.ActivatePhys(aggr, 100000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attackEdges(t, h, vm, 20000)
+
+	// No flip may land in the EPT row group.
+	eptRow := ma.Row
+	if eptRow != EPTRowGroupOffset {
+		t.Fatalf("EPT row = %d, want %d", eptRow, EPTRowGroupOffset)
+	}
+	for _, f := range mem.Flips() {
+		if f.MediaRow == eptRow && f.Bank.Socket == 0 {
+			t.Errorf("flip reached the EPT row: %v", f)
+		}
+	}
+	// Translations are unchanged.
+	for gpa, want := range before {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			t.Fatalf("translate %#x: %v", gpa, err)
+		}
+		if hpa != want {
+			t.Fatalf("translation of %#x changed: %#x -> %#x", gpa, want, hpa)
+		}
+	}
+	_ = g
+}
+
+// TestGuardRowBlockStopsInBlockHammering reproduces the §7.1 EPT experiment
+// shape directly: hammering unprotected rows in the same subarray group
+// flips bits, while the 32-row protected block around the EPT row absorbs
+// everything an aggressor outside it can do.
+func TestGuardRowBlockStopsInBlockHammering(t *testing.T) {
+	h, err := Boot(denseConfig(ept.GuardRows), ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := h.Memory()
+	// Unprotected rows in the host group (rows >= 32): hammering row 40
+	// flips rows 38-42.
+	hostPA := func(row int) uint64 {
+		ma, err := mem.Mapper().Decode(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pa
+	}
+	if err := mem.ActivatePhys(hostPA(40), 20000, 0); err != nil {
+		t.Fatal(err)
+	}
+	unprotectedFlips := 0
+	for _, f := range mem.Flips() {
+		if f.MediaRow >= EPTBlockRowGroups {
+			unprotectedFlips++
+		}
+		if f.MediaRow == EPTRowGroupOffset {
+			t.Errorf("flip in EPT row from row-40 aggressor: %v", f)
+		}
+	}
+	if unprotectedFlips == 0 {
+		t.Fatal("no flips in unprotected rows; experiment vacuous")
+	}
+}

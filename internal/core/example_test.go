@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+)
+
+// Example boots Siloz on the paper's evaluation server, provisions a tenant
+// VM in private subarray groups, and shows where its memory landed.
+func Example() {
+	hv, err := core.Boot(core.Config{
+		Profiles:      []dram.Profile{dram.ProfileA()},
+		EPTProtection: ept.GuardRows,
+	}, core.ModeSiloz)
+	if err != nil {
+		panic(err)
+	}
+	vm, err := hv.CreateVM(core.Process{KVMPrivileged: true}, core.VMSpec{
+		Name: "tenant", Socket: 0, MemoryBytes: 3 * geometry.GiB,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mode: %s\n", hv.Mode())
+	fmt.Printf("tenant owns %d exclusive guest nodes (%d x 2 MiB pages)\n",
+		len(vm.Nodes()), len(vm.RAMPages()))
+	hpa, err := vm.Translate(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gpa 0 maps inside the tenant's domain: %v\n", vm.InDomain(hpa))
+	// Output:
+	// mode: siloz
+	// tenant owns 2 exclusive guest nodes (1536 x 2 MiB pages)
+	// gpa 0 maps inside the tenant's domain: true
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/alloc"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/numa"
+	"repro/internal/subarray"
+)
+
+// Hypervisor is a booted system: simulated DRAM plus the Siloz (or
+// baseline) memory-management state built at boot (§5.3).
+type Hypervisor struct {
+	cfg    Config
+	mode   Mode
+	mem    *dram.Memory
+	layout *subarray.Layout
+	topo   *numa.Topology
+	reg    *numa.Registry
+
+	allocators map[int]*alloc.Allocator // node ID -> allocator
+	eptNodes   map[int]int              // socket -> EPT node ID (Siloz)
+	offlined   []subarray.Range
+	stats      *statCache
+	log        io.Writer
+	bootTime   time.Time
+	coreOwner  map[int]string // logical core -> pinned VM
+
+	vms map[string]*VM
+}
+
+// Boot initializes a hypervisor in the given mode. It performs Siloz's
+// early-boot sequence (§5.3): compute subarray group address ranges from the
+// platform's physical-to-media mapping, provision a logical NUMA node per
+// group, offline guard and isolation-hazard pages, and carve the
+// guard-protected EPT row-group block.
+func Boot(cfg Config, mode Mode) (*Hypervisor, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	mem, err := dram.NewMemory(cfg.Geometry, cfg.Mapper, cfg.Profiles, cfg.Repairs)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hypervisor{
+		cfg:        cfg,
+		mode:       mode,
+		mem:        mem,
+		topo:       &numa.Topology{},
+		allocators: make(map[int]*alloc.Allocator),
+		eptNodes:   make(map[int]int),
+		vms:        make(map[string]*VM),
+	}
+	if cfg.Log != nil {
+		h.setLog(cfg.Log)
+	}
+	h.logf("booting %s on %s", mode, cfg.Geometry)
+	var layout *subarray.Layout
+	if cfg.CachedLayout != nil {
+		// Reuse ranges computed on a previous boot; fall back to full
+		// recomputation if the cache does not match this boot (§5.3).
+		layout, err = subarray.Load(cfg.CachedLayout, cfg.Geometry, cfg.Mapper)
+	}
+	if layout == nil || err != nil {
+		layout, err = subarray.NewLayoutForModule(cfg.Geometry, cfg.Mapper, cfg.Profiles[0].Transforms)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h.layout = layout
+
+	if mode == ModeSiloz {
+		err = h.bootSiloz()
+	} else {
+		err = h.bootBaseline()
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.reg = numa.NewRegistry(h.topo)
+	var offlinedBytes uint64
+	for _, r := range h.OfflinedRanges() {
+		offlinedBytes += r.Bytes()
+	}
+	h.logf("boot complete: %d logical nodes (%d rows/group, %.2f GiB groups), %d bytes offlined",
+		len(h.topo.Nodes()), h.layout.RowsPerGroup(),
+		float64(h.layout.GroupBytes())/(1<<30), offlinedBytes)
+	return h, nil
+}
+
+// bootSiloz builds the logical node topology with isolation enabled.
+func (h *Hypervisor) bootSiloz() error {
+	g := h.cfg.Geometry
+	transforms := h.cfg.Profiles[0].Transforms
+
+	// Offline rows that violate isolation: artificial-boundary guards
+	// (§6) and inter-subarray repaired rows (§6).
+	var hazardRows []int
+	hazardRows = append(hazardRows, h.layout.BoundaryGuardRows(transforms)...)
+	repairRows := subarray.RepairOfflineRows(g, h.cfg.Repairs, transforms)
+	rowSet := make(map[int]bool)
+	for _, r := range hazardRows {
+		rowSet[r] = true
+	}
+	for _, rows := range repairRows {
+		for _, r := range rows {
+			rowSet[r] = true
+		}
+	}
+	allRows := make([]int, 0, len(rowSet))
+	for r := range rowSet {
+		allRows = append(allRows, r)
+	}
+	sort.Ints(allRows)
+	offline, err := h.layout.OfflineRangesForRows(allRows)
+	if err != nil {
+		return err
+	}
+	h.offlined = offline
+
+	for s := 0; s < g.Sockets; s++ {
+		if err := h.provisionSocket(s, offline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// provisionSocket creates the socket's host node (with the EPT block carved
+// out of its first group), EPT node, and guest-reserved nodes.
+func (h *Hypervisor) provisionSocket(socket int, offline []subarray.Range) error {
+	g := h.cfg.Geometry
+	hostGroups := h.cfg.HostGroupsPerSocket
+	if hostGroups >= h.layout.GroupsPerSocket() {
+		return fmt.Errorf("core: host groups (%d) must leave at least one guest group of %d",
+			hostGroups, h.layout.GroupsPerSocket())
+	}
+
+	// EPT row-group block (§5.4): row groups [0, b) of the socket's
+	// first (host) subarray group; the row group at offset o stores
+	// EPTs, the rest are guards.
+	hostGroup := h.layout.Group(socket, 0)
+	blockFirst := hostGroup.FirstRow
+	var blockRanges, eptRanges, guardRanges []subarray.Range
+	for i := 0; i < EPTBlockRowGroups; i++ {
+		rows := []int{blockFirst + i}
+		rs, err := h.layout.OfflineRangesForRows(rows)
+		if err != nil {
+			return err
+		}
+		// OfflineRangesForRows covers every socket; keep this one's.
+		rs = subarray.Intersect(rs, hostGroup.Ranges)
+		blockRanges = append(blockRanges, rs...)
+		if i == EPTRowGroupOffset {
+			eptRanges = append(eptRanges, rs...)
+		} else {
+			guardRanges = append(guardRanges, rs...)
+		}
+	}
+	blockRanges = subarray.Coalesce(blockRanges)
+	h.offlined = append(h.offlined, guardRanges...)
+
+	cores := make([]int, g.CoresPerSocket)
+	for i := range cores {
+		cores[i] = socket*g.CoresPerSocket + i
+	}
+
+	// Host-reserved node: the first HostGroupsPerSocket groups minus the
+	// EPT block and any offlined isolation hazards — nodes never own
+	// offlined memory.
+	var hostRanges []subarray.Range
+	groups := make([]int, 0, hostGroups)
+	for gi := 0; gi < hostGroups; gi++ {
+		hostRanges = append(hostRanges, h.layout.Group(socket, gi).Ranges...)
+		groups = append(groups, gi)
+	}
+	hostRanges = subarray.Subtract(hostRanges, blockRanges)
+	hostRanges = subarray.Subtract(hostRanges, offline)
+	hostNode, err := h.topo.AddNode(&numa.Node{
+		Kind: numa.HostReserved, Socket: socket, Groups: groups,
+		Ranges: hostRanges, Cores: cores,
+	})
+	if err != nil {
+		return err
+	}
+	if err := h.addAllocator(hostNode, nil); err != nil {
+		return err
+	}
+
+	// EPT node: the single EPT row group (§5.4).
+	eptNode, err := h.topo.AddNode(&numa.Node{
+		Kind: numa.EPTReserved, Socket: socket,
+		Ranges: subarray.Coalesce(eptRanges),
+	})
+	if err != nil {
+		return err
+	}
+	if err := h.addAllocator(eptNode, nil); err != nil {
+		return err
+	}
+	h.eptNodes[socket] = eptNode.ID
+
+	// Guest-reserved nodes: one per remaining subarray group, memory
+	// only (§5.2), minus offlined hazards.
+	for gi := hostGroups; gi < h.layout.GroupsPerSocket(); gi++ {
+		grp := h.layout.Group(socket, gi)
+		n, err := h.topo.AddNode(&numa.Node{
+			Kind: numa.GuestReserved, Socket: socket, Groups: []int{gi},
+			Ranges: subarray.Subtract(grp.Ranges, offline),
+		})
+		if err != nil {
+			return err
+		}
+		if err := h.addAllocator(n, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootBaseline builds the unmodified-Linux topology: one host node per
+// socket owning the whole socket; no offlining; EPTs from host memory.
+func (h *Hypervisor) bootBaseline() error {
+	g := h.cfg.Geometry
+	for s := 0; s < g.Sockets; s++ {
+		var ranges []subarray.Range
+		groups := make([]int, h.layout.GroupsPerSocket())
+		for gi := 0; gi < h.layout.GroupsPerSocket(); gi++ {
+			ranges = append(ranges, h.layout.Group(s, gi).Ranges...)
+			groups[gi] = gi
+		}
+		cores := make([]int, g.CoresPerSocket)
+		for i := range cores {
+			cores[i] = s*g.CoresPerSocket + i
+		}
+		n, err := h.topo.AddNode(&numa.Node{
+			Kind: numa.HostReserved, Socket: s, Groups: groups,
+			Ranges: subarray.Coalesce(ranges), Cores: cores,
+		})
+		if err != nil {
+			return err
+		}
+		if err := h.addAllocator(n, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Hypervisor) addAllocator(n *numa.Node, offline []subarray.Range) error {
+	a, err := alloc.New(n.Ranges, offline)
+	if err != nil {
+		return err
+	}
+	h.allocators[n.ID] = a
+	return nil
+}
+
+// Mode returns the hypervisor configuration.
+func (h *Hypervisor) Mode() Mode { return h.mode }
+
+// Memory returns the simulated DRAM.
+func (h *Hypervisor) Memory() *dram.Memory { return h.mem }
+
+// Layout returns the boot-time subarray group layout.
+func (h *Hypervisor) Layout() *subarray.Layout { return h.layout }
+
+// Topology returns the logical NUMA topology.
+func (h *Hypervisor) Topology() *numa.Topology { return h.topo }
+
+// Registry returns the control-group registry.
+func (h *Hypervisor) Registry() *numa.Registry { return h.reg }
+
+// Allocator returns the allocator of a logical node.
+func (h *Hypervisor) Allocator(nodeID int) (*alloc.Allocator, error) {
+	a, ok := h.allocators[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("core: no allocator for node %d", nodeID)
+	}
+	return a, nil
+}
+
+// OfflinedRanges returns the physical ranges removed from allocatable
+// memory at boot (EPT guards, artificial-boundary guards, repaired rows).
+func (h *Hypervisor) OfflinedRanges() []subarray.Range {
+	return subarray.Coalesce(h.offlined)
+}
+
+// EPTNode returns the socket's EPT-reserved node (Siloz only).
+func (h *Hypervisor) EPTNode(socket int) (*numa.Node, error) {
+	id, ok := h.eptNodes[socket]
+	if !ok {
+		return nil, fmt.Errorf("core: no EPT node on socket %d (mode %s)", socket, h.mode)
+	}
+	return h.topo.Node(id)
+}
+
+// eptAllocatorFor returns the allocator EPT table pages come from, modelling
+// KVM's kmalloc with the new GFP_EPT flag (§5.4): under Siloz with guard-row
+// protection it draws from the socket's EPT node; otherwise from the
+// socket's host node.
+func (h *Hypervisor) eptAllocatorFor(socket int) (*alloc.Allocator, error) {
+	if h.mode == ModeSiloz && h.cfg.EPTProtection == ept.GuardRows {
+		id, ok := h.eptNodes[socket]
+		if !ok {
+			return nil, fmt.Errorf("core: missing EPT node for socket %d", socket)
+		}
+		return h.Allocator(id)
+	}
+	host := h.topo.NodesOnSocket(socket, numa.HostReserved)
+	if len(host) == 0 {
+		return nil, fmt.Errorf("core: no host node on socket %d", socket)
+	}
+	return h.Allocator(host[0].ID)
+}
+
+// AllocHostPages allocates pages for host software (kernel, processes,
+// mediated VM pages) from the socket's host-reserved node (§5.1).
+func (h *Hypervisor) AllocHostPages(socket, order, n int) ([]uint64, error) {
+	host := h.topo.NodesOnSocket(socket, numa.HostReserved)
+	if len(host) == 0 {
+		return nil, fmt.Errorf("core: no host node on socket %d", socket)
+	}
+	a, err := h.Allocator(host[0].ID)
+	if err != nil {
+		return nil, err
+	}
+	return a.AllocPages(order, n)
+}
+
+// FreeHostPages releases host pages.
+func (h *Hypervisor) FreeHostPages(socket, order int, pages []uint64) error {
+	host := h.topo.NodesOnSocket(socket, numa.HostReserved)
+	if len(host) == 0 {
+		return fmt.Errorf("core: no host node on socket %d", socket)
+	}
+	a, err := h.Allocator(host[0].ID)
+	if err != nil {
+		return err
+	}
+	for _, pa := range pages {
+		if err := a.Free(pa, order); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VM returns a created VM by name.
+func (h *Hypervisor) VM(name string) (*VM, bool) {
+	vm, ok := h.vms[name]
+	return vm, ok
+}
+
+// VMs returns all VMs sorted by name.
+func (h *Hypervisor) VMs() []*VM {
+	names := make([]string, 0, len(h.vms))
+	for n := range h.vms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*VM, len(names))
+	for i, n := range names {
+		out[i] = h.vms[n]
+	}
+	return out
+}
+
+// Shutdown kills every VM and releases its resources. Host shutdown needs
+// no Siloz-specific handling (§5.3): the privileged routine is free to kill
+// any process and its resources, ignoring active subarray group and logical
+// node constraints.
+func (h *Hypervisor) Shutdown() {
+	for _, vm := range h.VMs() {
+		_ = h.DestroyVM(vm.Name())
+	}
+	h.logf("host shutdown complete")
+}
+
+// InternalMapperFor exposes a module's internal address mapping, the
+// simulation's stand-in for Siloz's address-translation drivers (§5.3).
+func (h *Hypervisor) InternalMapperFor(socket, dimm int) *addr.InternalMapper {
+	return h.mem.Module(socket, dimm).InternalMapper()
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// The hypervisor emits a structured, dmesg-style event log when Config.Log
+// is set. Events cover the boot sequence (§5.3), VM lifecycle, and security-
+// relevant actions (offlining, throttling), so an operator can audit what
+// the isolation machinery did.
+
+// logf writes one timestamped event.
+func (h *Hypervisor) logf(format string, args ...any) {
+	if h.log == nil {
+		return
+	}
+	fmt.Fprintf(h.log, "[%12.6f] siloz: %s\n",
+		time.Since(h.bootTime).Seconds(), fmt.Sprintf(format, args...))
+}
+
+// setLog installs the sink before boot logging starts.
+func (h *Hypervisor) setLog(w io.Writer) {
+	h.log = w
+	h.bootTime = time.Now()
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CPU affinity (§5.2, §7): host-reserved nodes carry their socket's cores,
+// and the evaluation pins each VM's vCPUs to dedicated logical cores of its
+// home socket (CPU affinity [99]). The ledger tracks exclusive pinning so
+// tenants do not share logical cores.
+
+// PinVCPUs assigns the VM's vCPUs to free logical cores of its socket,
+// returning the chosen cores. Pinning is exclusive; destroying the VM
+// releases its cores.
+func (h *Hypervisor) PinVCPUs(vm *VM) ([]int, error) {
+	if vm.pinned != nil {
+		return vm.pinned, nil
+	}
+	if vm.spec.VCPUs <= 0 {
+		return nil, fmt.Errorf("core: VM %q has no vCPUs to pin", vm.spec.Name)
+	}
+	if h.coreOwner == nil {
+		h.coreOwner = make(map[int]string)
+	}
+	g := h.cfg.Geometry
+	var free []int
+	for c := vm.spec.Socket * g.CoresPerSocket; c < (vm.spec.Socket+1)*g.CoresPerSocket; c++ {
+		if _, taken := h.coreOwner[c]; !taken {
+			free = append(free, c)
+		}
+	}
+	if len(free) < vm.spec.VCPUs {
+		return nil, fmt.Errorf("core: socket %d has %d free cores, VM %q needs %d",
+			vm.spec.Socket, len(free), vm.spec.Name, vm.spec.VCPUs)
+	}
+	sort.Ints(free)
+	cores := free[:vm.spec.VCPUs]
+	for _, c := range cores {
+		h.coreOwner[c] = vm.spec.Name
+	}
+	vm.pinned = append([]int(nil), cores...)
+	h.logf("pinned VM %q vCPUs to cores %v", vm.spec.Name, cores)
+	return vm.pinned, nil
+}
+
+// PinnedCores returns the VM's pinned cores (nil if not pinned).
+func (vm *VM) PinnedCores() []int {
+	out := make([]int, len(vm.pinned))
+	copy(out, vm.pinned)
+	return out
+}
+
+// releaseCores frees a VM's core pinning.
+func (vm *VM) releaseCores() {
+	if vm.pinned == nil {
+		return
+	}
+	for _, c := range vm.pinned {
+		delete(vm.hv.coreOwner, c)
+	}
+	vm.pinned = nil
+}
+
+// CoreOwner reports which VM (if any) a logical core is pinned to.
+func (h *Hypervisor) CoreOwner(core int) (string, bool) {
+	name, ok := h.coreOwner[core]
+	return name, ok
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// MediatedBase is the guest physical address where mediated regions (ROM,
+// MMIO, virtio) are mapped, far above RAM.
+const MediatedBase = uint64(1) << 40
+
+// ErrMediated is returned when a guest attempts an unmediated-style access
+// (e.g. hammering) to a mediated page: such accesses trap into the
+// hypervisor, which can rate-limit them (§5.1).
+var ErrMediated = errors.New("core: access to mediated page requires VM exit")
+
+// VMSpec describes a VM to create.
+type VMSpec struct {
+	// Name identifies the VM (and its control group).
+	Name string
+	// Socket is the physical node supplying cores and memory; Siloz uses
+	// same-socket subarray groups to preserve NUMA locality (§5.2).
+	Socket int
+	// MemoryBytes is guest RAM; must be a multiple of 2 MiB (guests are
+	// backed by reserved, pinned 2 MiB huge pages, §5/§7).
+	MemoryBytes uint64
+	// VCPUs is the number of virtual CPUs.
+	VCPUs int
+	// MediatedBytes is host-mediated memory, allocated from
+	// host-reserved nodes in 4 KiB pages (§5.1); kept as a convenience
+	// shorthand for one anonymous MMIO region.
+	MediatedBytes uint64
+	// Regions are additional guest memory regions, classified by QEMU
+	// memory type and placed according to their mediation (§5.1).
+	Regions []Region
+	// AllowRemote permits backing part of the VM with guest-reserved
+	// nodes from other sockets when the home socket is full. Same-socket
+	// groups are always preferred for NUMA locality (§5.2); remote pages
+	// pay the usual cross-socket latency.
+	AllowRemote bool
+}
+
+// VM is a created virtual machine.
+type VM struct {
+	spec VMSpec
+	hv   *Hypervisor
+
+	cgroup   *numa.CGroup
+	nodes    []*numa.Node // guest-reserved nodes backing RAM (Siloz)
+	tables   *ept.Tables
+	ram      []uint64 // HPA of each 2 MiB RAM page, GPA order
+	mediated []uint64 // HPA of each 4 KiB mediated page, GPA order
+	regions  []regionInfo
+	tlb      map[uint64]uint64
+	ramNode  map[uint64]int // 2M HPA -> node ID (accounting)
+	exits    uint64         // VM exits taken for mediated accesses
+	pinned   []int          // exclusively-pinned logical cores
+
+	// Confused-deputy rate limiting (§5.1): mediated accesses this
+	// refresh window, and the window they were counted in.
+	mediatedAccesses int
+	mediatedWindow   int
+	throttled        uint64
+}
+
+// ErrThrottled is returned when a VM exceeds its per-window mediated access
+// budget: host software refuses to be a hammering deputy (§5.1).
+var ErrThrottled = errors.New("core: mediated access rate limit exceeded")
+
+// eptAlloc adapts a node allocator to the ept.PageAllocator interface,
+// modelling the GFP_EPT allocation path (§5.4).
+type eptAlloc struct{ a *alloc.Allocator }
+
+func (e eptAlloc) AllocTablePage() (uint64, error) { return e.a.Alloc(0) }
+func (e eptAlloc) FreeTablePage(pa uint64)         { _ = e.a.Free(pa, 0) }
+
+// CreateVM provisions a VM for the requesting process (§5.3): reserve
+// guest-reserved nodes via an exclusive control group, allocate EPTs with
+// GFP_EPT, and back RAM with 2 MiB huge pages from the reserved nodes
+// (QEMU's UNMEDIATED mmap path) and mediated regions from host nodes.
+func (h *Hypervisor) CreateVM(proc Process, spec VMSpec) (*VM, error) {
+	if !proc.KVMPrivileged {
+		return nil, fmt.Errorf("core: process lacks KVM privilege for guest-reserved allocation")
+	}
+	if _, dup := h.vms[spec.Name]; dup {
+		return nil, fmt.Errorf("core: VM %q already exists", spec.Name)
+	}
+	if spec.MemoryBytes == 0 || spec.MemoryBytes%geometry.PageSize2M != 0 {
+		return nil, fmt.Errorf("core: MemoryBytes %d must be a positive multiple of 2 MiB", spec.MemoryBytes)
+	}
+	if spec.Socket < 0 || spec.Socket >= h.cfg.Geometry.Sockets {
+		return nil, fmt.Errorf("core: socket %d out of range", spec.Socket)
+	}
+	if spec.MediatedBytes%geometry.PageSize4K != 0 {
+		return nil, fmt.Errorf("core: MediatedBytes %d must be 4 KiB aligned", spec.MediatedBytes)
+	}
+
+	vm := &VM{spec: spec, hv: h, tlb: make(map[uint64]uint64), ramNode: make(map[uint64]int)}
+
+	if h.mode == ModeSiloz {
+		if err := h.reserveGuestNodes(vm); err != nil {
+			return nil, err
+		}
+	}
+
+	// EPT hierarchy via GFP_EPT (§5.4).
+	eptA, err := h.eptAllocatorFor(spec.Socket)
+	if err != nil {
+		return nil, err
+	}
+	mode := ept.NoProtection
+	if h.mode == ModeSiloz {
+		mode = h.cfg.EPTProtection
+	}
+	vm.tables, err = ept.New(h.mem, eptAlloc{eptA}, mode)
+	if err != nil {
+		vm.releaseNodes()
+		return nil, err
+	}
+
+	if err := h.allocGuestRAM(vm); err != nil {
+		vm.teardown()
+		return nil, err
+	}
+	if err := h.allocMediated(vm); err != nil {
+		vm.teardown()
+		return nil, err
+	}
+	if err := h.allocRegions(vm); err != nil {
+		vm.teardown()
+		return nil, err
+	}
+	h.vms[spec.Name] = vm
+	nodeIDs := make([]int, len(vm.nodes))
+	for i, n := range vm.nodes {
+		nodeIDs[i] = n.ID
+	}
+	h.logf("created VM %q: %d MiB RAM on nodes %v, %d EPT pages, %d mediated pages",
+		spec.Name, spec.MemoryBytes>>20, nodeIDs, len(vm.tables.Pages()), len(vm.mediated))
+	return vm, nil
+}
+
+// reserveGuestNodes picks enough unowned guest-reserved nodes on the VM's
+// socket and creates its exclusive control group.
+func (h *Hypervisor) reserveGuestNodes(vm *VM) error {
+	// RAM plus every unmediated region must fit in the reserved groups.
+	bytes := vm.spec.MemoryBytes
+	for _, r := range vm.spec.Regions {
+		if r.Type.Unmediated() {
+			bytes += r.Bytes
+		}
+	}
+	// Prefer the home socket's nodes (§5.2 locality); optionally spill to
+	// other sockets. Reserve nodes until their *actual* free capacity —
+	// which can be below the nominal group size when isolation-hazard
+	// pages were offlined at boot (§6) — covers the request.
+	candidates := h.topo.NodesOnSocket(vm.spec.Socket, numa.GuestReserved)
+	if vm.spec.AllowRemote {
+		for s := 0; s < h.cfg.Geometry.Sockets; s++ {
+			if s != vm.spec.Socket {
+				candidates = append(candidates, h.topo.NodesOnSocket(s, numa.GuestReserved)...)
+			}
+		}
+	}
+	var ids []int
+	var capacity uint64
+	for _, n := range candidates {
+		if capacity >= bytes {
+			break
+		}
+		if _, owned := h.reg.OwnerOf(n.ID); owned {
+			continue
+		}
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, n.ID)
+		// RAM needs whole 2 MiB huge pages; offlined holes make some
+		// free bytes unusable for them.
+		capacity += uint64(a.FreePagesAtOrder(alloc.Order2M)) * geometry.PageSize2M
+	}
+	if capacity < bytes {
+		return fmt.Errorf("core: only %d bytes of huge-page-backed guest capacity available, VM %q needs %d",
+			capacity, vm.spec.Name, bytes)
+	}
+	cg, err := h.reg.Create("vm:"+vm.spec.Name, ids)
+	if err != nil {
+		return err
+	}
+	vm.cgroup = cg
+	vm.nodes = cg.Nodes()
+	return nil
+}
+
+// allocGuestRAM backs guest RAM with 2 MiB pages. Under Siloz pages come
+// from the VM's reserved nodes (the UNMEDIATED mmap path); under the
+// baseline from the socket's node.
+func (h *Hypervisor) allocGuestRAM(vm *VM) error {
+	pages := int(vm.spec.MemoryBytes / geometry.PageSize2M)
+	var sources []*numa.Node
+	if h.mode == ModeSiloz {
+		sources = vm.nodes
+	} else {
+		sources = h.topo.NodesOnSocket(vm.spec.Socket, numa.HostReserved)
+	}
+	si := 0
+	for p := 0; p < pages; p++ {
+		var hpa uint64
+		var err error
+		for {
+			if si >= len(sources) {
+				return fmt.Errorf("core: out of guest memory for VM %q at page %d/%d", vm.spec.Name, p, pages)
+			}
+			a, aerr := h.Allocator(sources[si].ID)
+			if aerr != nil {
+				return aerr
+			}
+			hpa, err = a.Alloc(alloc.Order2M)
+			if err == nil {
+				break
+			}
+			si++ // node exhausted; move to the next reserved node
+		}
+		gpa := uint64(p) * geometry.PageSize2M
+		if err := vm.tables.Map2M(gpa, hpa); err != nil {
+			return err
+		}
+		vm.ram = append(vm.ram, hpa)
+		vm.ramNode[hpa] = sources[si].ID
+	}
+	return nil
+}
+
+// allocMediated backs mediated regions with host-reserved 4 KiB pages and
+// maps them at MediatedBase.
+func (h *Hypervisor) allocMediated(vm *VM) error {
+	pages := int(vm.spec.MediatedBytes / geometry.PageSize4K)
+	if pages == 0 {
+		return nil
+	}
+	hpas, err := h.AllocHostPages(vm.spec.Socket, 0, pages)
+	if err != nil {
+		return err
+	}
+	for i, hpa := range hpas {
+		gpa := MediatedBase + uint64(i)*geometry.PageSize4K
+		if err := vm.tables.Map4K(gpa, hpa); err != nil {
+			return err
+		}
+	}
+	vm.mediated = hpas
+	return nil
+}
+
+// DestroyVM shuts a VM down, returning its memory to the logical nodes'
+// free pools; the node reservation persists until the control group is
+// destroyed separately (§5.3), which this helper also does for convenience.
+func (h *Hypervisor) DestroyVM(name string) error {
+	vm, ok := h.vms[name]
+	if !ok {
+		return fmt.Errorf("core: no VM %q", name)
+	}
+	vm.teardown()
+	delete(h.vms, name)
+	h.logf("destroyed VM %q (memory returned to node free pools)", name)
+	return nil
+}
+
+func (vm *VM) teardown() {
+	h := vm.hv
+	for _, hpa := range vm.ram {
+		if a, err := h.Allocator(vm.ramNode[hpa]); err == nil {
+			_ = a.Free(hpa, alloc.Order2M)
+		}
+	}
+	vm.ram = nil
+	if len(vm.mediated) > 0 {
+		_ = h.FreeHostPages(vm.spec.Socket, 0, vm.mediated)
+		vm.mediated = nil
+	}
+	vm.freeRegions()
+	if vm.tables != nil {
+		vm.tables.Destroy()
+		vm.tables = nil
+	}
+	vm.releaseCores()
+	vm.releaseNodes()
+}
+
+func (vm *VM) releaseNodes() {
+	if vm.cgroup != nil {
+		_ = vm.hv.reg.Destroy(vm.cgroup.Name)
+		vm.cgroup = nil
+		vm.nodes = nil
+	}
+}
+
+// Spec returns the VM's creation spec.
+func (vm *VM) Spec() VMSpec { return vm.spec }
+
+// Hypervisor returns the hypervisor hosting the VM.
+func (vm *VM) Hypervisor() *Hypervisor { return vm.hv }
+
+// Name returns the VM's name.
+func (vm *VM) Name() string { return vm.spec.Name }
+
+// Nodes returns the guest-reserved nodes backing the VM (Siloz mode).
+func (vm *VM) Nodes() []*numa.Node { return vm.nodes }
+
+// Tables returns the VM's extended page tables.
+func (vm *VM) Tables() *ept.Tables { return vm.tables }
+
+// RAMPages returns the HPAs of the VM's 2 MiB RAM pages in GPA order.
+func (vm *VM) RAMPages() []uint64 {
+	out := make([]uint64, len(vm.ram))
+	copy(out, vm.ram)
+	return out
+}
+
+// MediatedPages returns the HPAs of the VM's mediated 4 KiB pages.
+func (vm *VM) MediatedPages() []uint64 {
+	out := make([]uint64, len(vm.mediated))
+	copy(out, vm.mediated)
+	return out
+}
+
+// isMediatedGPA reports whether the address is in the mediated window.
+func (vm *VM) isMediatedGPA(gpa uint64) bool { return gpa >= MediatedBase }
+
+// isRAMGPA reports whether the address is in the 2 MiB-backed RAM window
+// (extra regions and the mediated window use 4 KiB pages).
+func (vm *VM) isRAMGPA(gpa uint64) bool { return gpa < ROMBase }
+
+// Translate resolves a GPA through the VM's EPTs with a software TLB; data
+// accesses use it. InvalidateTLB forces re-walks (as hardware TLB flushes
+// do), which is how EPT corruption becomes visible to translation.
+func (vm *VM) Translate(gpa uint64) (uint64, error) {
+	if vm.tables == nil {
+		return 0, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
+	}
+	pageBase := gpa &^ uint64(geometry.PageSize2M-1)
+	if hpa, ok := vm.tlb[pageBase]; ok {
+		return hpa + (gpa - pageBase), nil
+	}
+	hpa, err := vm.tables.Translate(gpa)
+	if err != nil {
+		return 0, err
+	}
+	if vm.isRAMGPA(gpa) {
+		vm.tlb[pageBase] = hpa &^ uint64(geometry.PageSize2M-1)
+	}
+	return hpa, nil
+}
+
+// TranslateUncached walks the EPTs directly, bypassing the TLB.
+func (vm *VM) TranslateUncached(gpa uint64) (uint64, error) {
+	if vm.tables == nil {
+		return 0, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
+	}
+	return vm.tables.Translate(gpa)
+}
+
+// InvalidateTLB drops all cached translations.
+func (vm *VM) InvalidateTLB() { vm.tlb = make(map[uint64]uint64) }
+
+// translateWrite resolves a GPA for a store. A write through a read-only
+// mapping (guest ROM) raises an EPT violation: the access exits into the
+// hypervisor, which emulates it (§5.1's mediated write path) — counted in
+// Exits.
+func (vm *VM) translateWrite(gpa uint64) (uint64, error) {
+	if vm.tables == nil {
+		return 0, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
+	}
+	if vm.isRAMGPA(gpa) {
+		return vm.Translate(gpa) // RAM is always writable; TLB applies
+	}
+	hpa, err := vm.tables.TranslateAccess(gpa, true)
+	if errors.Is(err, ept.ErrPermission) {
+		vm.exits++
+		return vm.tables.TranslateAccess(gpa, false)
+	}
+	return hpa, err
+}
+
+// Exits returns the number of VM exits taken for mediated accesses — the
+// hook the host can rate-limit (§5.1).
+func (vm *VM) Exits() uint64 { return vm.exits }
+
+// WriteGuest stores data at a guest physical address.
+func (vm *VM) WriteGuest(gpa uint64, data []byte) error {
+	return vm.guestIter(gpa, len(data), vm.translateWrite, func(hpa uint64, off, n int) error {
+		return vm.hv.mem.WritePhys(hpa, data[off:off+n])
+	})
+}
+
+// ReadGuest loads len(buf) bytes from a guest physical address.
+func (vm *VM) ReadGuest(gpa uint64, buf []byte) error {
+	return vm.guestIter(gpa, len(buf), vm.Translate, func(hpa uint64, off, n int) error {
+		return vm.hv.mem.ReadPhys(hpa, buf[off:off+n])
+	})
+}
+
+// guestIter walks a guest range in page-bounded pieces.
+func (vm *VM) guestIter(gpa uint64, n int, translate func(uint64) (uint64, error), fn func(hpa uint64, off, n int) error) error {
+	pageSize := uint64(geometry.PageSize2M)
+	if !vm.isRAMGPA(gpa) {
+		pageSize = geometry.PageSize4K
+	}
+	off := 0
+	for off < n {
+		cur := gpa + uint64(off)
+		hpa, err := translate(cur)
+		if err != nil {
+			return err
+		}
+		chunk := int(pageSize - cur%pageSize)
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if vm.isMediatedGPA(cur) {
+			// Every mediated-window access exits; the host performs
+			// the DRAM access on the guest's behalf and rate-limits
+			// it so it cannot be abused as a hammering deputy (§5.1).
+			vm.exits++
+			if err := vm.mediatedAccess(hpa); err != nil {
+				return err
+			}
+		}
+		if err := fn(hpa, off, chunk); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// mediatedAccess accounts one host-performed access to a mediated page:
+// the host's own load/store activates the row (so unbounded exit-driven
+// accesses could hammer host-reserved rows), hence the per-window cap.
+func (vm *VM) mediatedAccess(hpa uint64) error {
+	h := vm.hv
+	if w := h.mem.Window(); w != vm.mediatedWindow {
+		vm.mediatedWindow = w
+		vm.mediatedAccesses = 0
+	}
+	limit := h.cfg.MediatedAccessLimit
+	if limit > 0 && vm.mediatedAccesses >= limit {
+		vm.throttled++
+		return fmt.Errorf("%w: VM %q exceeded %d accesses this window", ErrThrottled, vm.spec.Name, limit)
+	}
+	vm.mediatedAccesses++
+	return h.mem.ActivatePhys(hpa, 1, 0)
+}
+
+// Throttled returns how many mediated accesses the rate limiter rejected.
+func (vm *VM) Throttled() uint64 { return vm.throttled }
+
+// Hammer issues count activations against the DRAM row backing a guest
+// physical address, holding the row open openNs per activation — the
+// unmediated access a malicious guest uses for Rowhammer. Mediated pages
+// cannot be hammered: the required VM exits let the host rate-limit (§5.1).
+func (vm *VM) Hammer(gpa uint64, count int, openNs int64) error {
+	if vm.isMediatedGPA(gpa) {
+		return fmt.Errorf("%w: gpa %#x", ErrMediated, gpa)
+	}
+	hpa, err := vm.Translate(gpa)
+	if err != nil {
+		return err
+	}
+	return vm.hv.mem.ActivatePhys(hpa, count, openNs)
+}
+
+// OwnsHPA reports whether a host physical address belongs to the VM's RAM.
+func (vm *VM) OwnsHPA(pa uint64) bool {
+	_, ok := vm.ramNode[pa&^uint64(geometry.PageSize2M-1)]
+	return ok
+}
+
+// InDomain reports whether a host physical address lies inside the VM's
+// reserved subarray groups (its DRAM isolation domain). Only meaningful
+// under Siloz.
+func (vm *VM) InDomain(pa uint64) bool {
+	for _, n := range vm.nodes {
+		if n.Contains(pa) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func BenchmarkActivateRowBatch(b *testing.B) {
+	m, err := NewModule(tinyGeometry(), testProfile(), 0, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank := geometry.BankID{Socket: 0, DIMM: 0, Rank: 0, Bank: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ActivateRow(bank, 100+(i%64), 100, 0); err != nil {
+			m.Refresh()
+		}
+	}
+}
+
+func BenchmarkWriteReadRow(b *testing.B) {
+	m, err := NewModule(tinyGeometry(), testProfile(), 0, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank := geometry.BankID{Socket: 0, DIMM: 0, Rank: 0, Bank: 0}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.WriteRow(bank, i%1000, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.ReadRow(bank, i%1000, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+// Memory is the whole server's DRAM: one Module per DIMM, plus the memory
+// controller's physical-to-media mapping. It is the single interface the
+// hypervisor, workloads and attack code use to touch "hardware".
+type Memory struct {
+	g       geometry.Geometry
+	mapper  addr.Mapper
+	modules [][]*Module // [socket][dimm]
+}
+
+// NewMemory builds server memory. profiles are assigned to DIMM slots
+// round-robin within each socket (pass six profiles to model the paper's
+// six distinct DIMMs per socket, or one profile for a uniform population).
+// repairs may be nil.
+func NewMemory(g geometry.Geometry, mapper addr.Mapper, profiles []Profile, repairs *addr.RepairTable) (*Memory, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("dram: at least one profile required")
+	}
+	mem := &Memory{g: g, mapper: mapper, modules: make([][]*Module, g.Sockets)}
+	for s := 0; s < g.Sockets; s++ {
+		mem.modules[s] = make([]*Module, g.DIMMsPerSocket)
+		for d := 0; d < g.DIMMsPerSocket; d++ {
+			mod, err := NewModule(g, profiles[d%len(profiles)], s, d, repairs)
+			if err != nil {
+				return nil, err
+			}
+			mem.modules[s][d] = mod
+		}
+	}
+	return mem, nil
+}
+
+// Geometry returns the server geometry.
+func (m *Memory) Geometry() geometry.Geometry { return m.g }
+
+// Mapper returns the physical-to-media mapper.
+func (m *Memory) Mapper() addr.Mapper { return m.mapper }
+
+// Module returns the DIMM at (socket, dimm).
+func (m *Memory) Module(socket, dimm int) *Module { return m.modules[socket][dimm] }
+
+// moduleFor routes a bank to its module.
+func (m *Memory) moduleFor(b geometry.BankID) (*Module, error) {
+	if !b.Valid(m.g) {
+		return nil, fmt.Errorf("dram: invalid bank %v", b)
+	}
+	return m.modules[b.Socket][b.DIMM], nil
+}
+
+// WritePhys stores bytes at a host physical address, spanning rows and
+// banks as the mapping dictates.
+func (m *Memory) WritePhys(pa uint64, data []byte) error {
+	return m.iter(pa, len(data), func(mod *Module, ma geometry.MediaAddr, off, n int) error {
+		return mod.WriteRow(ma.Bank, ma.Row, ma.Col, data[off:off+n])
+	})
+}
+
+// ReadPhys reads len(buf) bytes at a host physical address.
+func (m *Memory) ReadPhys(pa uint64, buf []byte) error {
+	return m.iter(pa, len(buf), func(mod *Module, ma geometry.MediaAddr, off, n int) error {
+		return mod.ReadRow(ma.Bank, ma.Row, ma.Col, buf[off:off+n])
+	})
+}
+
+// iter walks a physical range in cache-line pieces (the mapping
+// granularity), invoking fn with the owning module and media location.
+func (m *Memory) iter(pa uint64, n int, fn func(mod *Module, ma geometry.MediaAddr, off, n int) error) error {
+	off := 0
+	for off < n {
+		cur := pa + uint64(off)
+		chunk := geometry.CacheLineSize - int(cur%geometry.CacheLineSize)
+		if chunk > n-off {
+			chunk = n - off
+		}
+		ma, err := m.mapper.Decode(cur)
+		if err != nil {
+			return err
+		}
+		mod, err := m.moduleFor(ma.Bank)
+		if err != nil {
+			return err
+		}
+		if err := fn(mod, ma, off, chunk); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// ActivatePhys issues count activations of the row backing a physical
+// address, each holding the row open openNs nanoseconds. It is the
+// primitive hammering and the memory-controller model build on.
+func (m *Memory) ActivatePhys(pa uint64, count int, openNs int64) error {
+	ma, err := m.mapper.Decode(pa)
+	if err != nil {
+		return err
+	}
+	mod, err := m.moduleFor(ma.Bank)
+	if err != nil {
+		return err
+	}
+	return mod.ActivateRow(ma.Bank, ma.Row, count, openNs)
+}
+
+// Refresh ends the current refresh window on every module.
+func (m *Memory) Refresh() {
+	for _, socket := range m.modules {
+		for _, mod := range socket {
+			mod.Refresh()
+		}
+	}
+}
+
+// Window returns the refresh-window index (all modules refresh together).
+func (m *Memory) Window() int { return m.modules[0][0].Window() }
+
+// Flips aggregates all flips across modules.
+func (m *Memory) Flips() []Flip {
+	var out []Flip
+	for _, socket := range m.modules {
+		for _, mod := range socket {
+			out = append(out, mod.Flips()...)
+		}
+	}
+	return out
+}
+
+// ResetFlips clears every module's flip log.
+func (m *Memory) ResetFlips() {
+	for _, socket := range m.modules {
+		for _, mod := range socket {
+			mod.ResetFlips()
+		}
+	}
+}
+
+// FlipPhys translates a flip back to the host physical address of the
+// corrupted byte, letting callers attribute corruption to software-visible
+// locations.
+func (m *Memory) FlipPhys(f Flip) (uint64, error) {
+	return m.mapper.Encode(geometry.MediaAddr{
+		Bank: f.Bank,
+		Row:  f.MediaRow,
+		Col:  f.ByteOffset(m.g),
+	})
+}

@@ -1,0 +1,425 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+// Flip records one committed Rowhammer bit flip.
+type Flip struct {
+	// Bank locates the flip.
+	Bank geometry.BankID
+	// MediaRow is the externally-addressed row whose data was corrupted.
+	MediaRow int
+	// Side is the internal half-row the weak cell lives in.
+	Side addr.Side
+	// Bit is the bit index within the half-row (0 .. RowBytes/2*8).
+	Bit int
+	// AggressorMediaRow is the media row whose hammering caused the flip.
+	AggressorMediaRow int
+	// Window is the refresh-window index in which the flip committed.
+	Window int
+}
+
+// ByteOffset returns the flipped bit's byte offset within the 8 KiB
+// external row (A-side cells occupy the first half, B-side the second).
+func (f Flip) ByteOffset(g geometry.Geometry) int {
+	half := 0
+	if f.Side == addr.SideB {
+		half = g.RowBytes / 2
+	}
+	return half + f.Bit/8
+}
+
+func (f Flip) String() string {
+	return fmt.Sprintf("flip{%s row %d side %s bit %d by row %d win %d}",
+		f.Bank, f.MediaRow, f.Side, f.Bit, f.AggressorMediaRow, f.Window)
+}
+
+// spare is a per-bank manufacturing spare row in use by a repair.
+type spare struct {
+	virt   int // virtual internal index (>= RowsPerBank)
+	source int // the defective internal row it replaces
+	anchor int // physical position it is adjacent to
+}
+
+// bankState is the per-bank disturbance bookkeeping.
+type bankState struct {
+	id geometry.BankID
+
+	// disturb[side] accumulates weighted aggressor activations per
+	// victim internal (virtual) row index within the current window.
+	disturb [2]map[int]float64
+	// acts is the bank's activation count this window (budget check).
+	acts int
+
+	// TRR sampler state.
+	trrTable map[int]float64 // media row -> observed activations
+	trrActs  int             // activations since last TRR event
+
+	// Repairs affecting this bank.
+	spareBySource  map[int]*spare
+	sparesAtAnchor map[int][]*spare
+}
+
+func newBankState(id geometry.BankID) *bankState {
+	return &bankState{
+		id:      id,
+		disturb: [2]map[int]float64{make(map[int]float64), make(map[int]float64)},
+	}
+}
+
+// Module models one DIMM: data storage plus the disturbance state of its
+// ranks' banks.
+type Module struct {
+	g       geometry.Geometry
+	prof    Profile
+	im      *addr.InternalMapper
+	repairs *addr.RepairTable
+	socket  int
+	dimm    int
+
+	banks  map[[2]int]*bankState // keyed by (rank, bank)
+	rows   map[[3]int][]byte     // (rank, bank, mediaRow) -> row bytes
+	window int
+	flips  []Flip
+}
+
+// NewModule builds a DIMM with the given profile. repairs may be nil.
+func NewModule(g geometry.Geometry, prof Profile, socket, dimm int, repairs *addr.RepairTable) (*Module, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Module{
+		g:       g,
+		prof:    prof,
+		im:      addr.NewInternalMapper(g, prof.Transforms),
+		repairs: repairs,
+		socket:  socket,
+		dimm:    dimm,
+		banks:   make(map[[2]int]*bankState),
+		rows:    make(map[[3]int][]byte),
+	}
+	return m, nil
+}
+
+// Profile returns the module's disturbance profile.
+func (m *Module) Profile() Profile { return m.prof }
+
+// InternalMapper exposes the module's internal row address mapping; Siloz's
+// translation drivers use it when classifying isolation-violating rows (§6).
+func (m *Module) InternalMapper() *addr.InternalMapper { return m.im }
+
+// Window returns the current refresh-window index.
+func (m *Module) Window() int { return m.window }
+
+// owns reports whether the bank belongs to this module.
+func (m *Module) owns(b geometry.BankID) bool {
+	return b.Socket == m.socket && b.DIMM == m.dimm && b.Valid(m.g)
+}
+
+func (m *Module) bank(b geometry.BankID) *bankState {
+	key := [2]int{b.Rank, b.Bank}
+	bs := m.banks[key]
+	if bs == nil {
+		bs = newBankState(b)
+		m.loadRepairs(bs)
+		m.banks[key] = bs
+	}
+	return bs
+}
+
+// loadRepairs indexes the module's repairs for one bank.
+func (m *Module) loadRepairs(bs *bankState) {
+	if m.repairs == nil {
+		return
+	}
+	bs.spareBySource = make(map[int]*spare)
+	bs.sparesAtAnchor = make(map[int][]*spare)
+	var sources []int
+	for _, r := range m.repairs.Repairs() {
+		if r.Bank == bs.id {
+			sources = append(sources, r.From)
+		}
+	}
+	sort.Ints(sources)
+	for i, src := range sources {
+		sp, _ := m.repairs.Lookup(bs.id, src)
+		s := &spare{virt: m.g.RowsPerBank + i, source: src, anchor: sp.Anchor}
+		bs.spareBySource[src] = s
+		bs.sparesAtAnchor[sp.Anchor] = append(bs.sparesAtAnchor[sp.Anchor], s)
+	}
+}
+
+// internalTarget resolves a media row to the internal (virtual) row index
+// that its activation actually drives on one side, following any repair.
+func (m *Module) internalTarget(bs *bankState, mediaRow int, side addr.Side) (virt int, anchor int) {
+	internal := m.im.InternalRow(bs.id, mediaRow, side)
+	if sp, ok := bs.spareBySource[internal]; ok {
+		return sp.virt, sp.anchor
+	}
+	return internal, internal
+}
+
+// mediaRowOf maps an internal (virtual) victim index back to the media row
+// whose data it stores on the given side.
+func (m *Module) mediaRowOf(bs *bankState, virt int, side addr.Side) int {
+	if virt >= m.g.RowsPerBank {
+		for _, sp := range bs.spareBySource {
+			if sp.virt == virt {
+				return m.im.MediaRow(bs.id, sp.source, side)
+			}
+		}
+		panic("dram: unknown spare virtual index")
+	}
+	return m.im.MediaRow(bs.id, virt, side)
+}
+
+// anchorOf returns the physical position of an internal (virtual) row.
+func (m *Module) anchorOf(bs *bankState, virt int) int {
+	if virt >= m.g.RowsPerBank {
+		for _, sp := range bs.spareBySource {
+			if sp.virt == virt {
+				return sp.anchor
+			}
+		}
+		panic("dram: unknown spare virtual index")
+	}
+	return virt
+}
+
+// ActivateRow issues count activations of a media row, each holding the row
+// open for openNs nanoseconds (RowPress exposure). Disturbance accrues to
+// neighbouring rows within the aggressor's subarray on both internal sides.
+func (m *Module) ActivateRow(b geometry.BankID, mediaRow, count int, openNs int64) error {
+	if !m.owns(b) {
+		return fmt.Errorf("dram: bank %v not on module s%d.d%d", b, m.socket, m.dimm)
+	}
+	if mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
+		return fmt.Errorf("dram: row %d out of range", mediaRow)
+	}
+	if count <= 0 {
+		return fmt.Errorf("dram: activation count must be positive, got %d", count)
+	}
+	bs := m.bank(b)
+	if bs.acts+count > m.prof.MaxActsPerWindow {
+		return fmt.Errorf("dram: bank %v over activation budget (%d+%d > %d per window)",
+			b, bs.acts, count, m.prof.MaxActsPerWindow)
+	}
+	bs.acts += count
+
+	// Weighted disturbance per activation, including RowPress dwell.
+	eff := float64(count) * (1 + m.prof.RowPressFactor*float64(openNs)/1000.0)
+
+	for _, side := range []addr.Side{addr.SideA, addr.SideB} {
+		virt, anchor := m.internalTarget(bs, mediaRow, side)
+		// Activation refreshes the aggressor row's own charge.
+		delete(bs.disturb[side], virt)
+		m.disturbNeighbours(bs, side, virt, anchor, eff, mediaRow)
+	}
+
+	m.trrObserve(bs, mediaRow, count)
+	return nil
+}
+
+// disturbNeighbours adds disturbance around an aggressor at `anchor` (the
+// aggressor itself is the virtual row aggVirt and is skipped as a victim).
+func (m *Module) disturbNeighbours(bs *bankState, side addr.Side, aggVirt, anchor int, eff float64, aggMediaRow int) {
+	sub := m.g.RowsPerSubarray
+	blast := m.prof.BlastRadius
+	aggSub := anchor / sub
+	for off := -blast; off <= blast; off++ {
+		pos := anchor + off
+		if pos < 0 || pos >= m.g.RowsPerBank || pos/sub != aggSub {
+			continue // outside bank or electrically isolated (§2.5)
+		}
+		d := off
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			d = 1 // a spare sits adjacent to its anchor position
+		}
+		w := m.prof.DistanceWeights[d-1]
+		if pos != anchor || aggVirt >= m.g.RowsPerBank {
+			// Normal row victim at pos (skip the aggressor itself,
+			// unless the aggressor is a spare overlaying pos).
+			if pos != aggVirt {
+				m.accrue(bs, side, pos, w*eff, aggMediaRow)
+			}
+		}
+		// Spare victims anchored here.
+		for _, sp := range bs.sparesAtAnchor[pos] {
+			if sp.virt != aggVirt {
+				m.accrue(bs, side, sp.virt, w*eff, aggMediaRow)
+			}
+		}
+	}
+}
+
+// accrue adds disturbance to a victim and commits flips on threshold.
+func (m *Module) accrue(bs *bankState, side addr.Side, virt int, amount float64, aggMediaRow int) {
+	d := bs.disturb[side][virt] + amount
+	if d < m.prof.HammerThreshold {
+		bs.disturb[side][virt] = d
+		return
+	}
+	// Threshold exceeded: the victim's weak cells discharge. Reset the
+	// accumulation; committing is idempotent for already-failed cells.
+	delete(bs.disturb[side], virt)
+	m.commitFlips(bs, side, virt, aggMediaRow)
+}
+
+// commitFlips sets each weak cell of a victim half-row to its fail value.
+func (m *Module) commitFlips(bs *bankState, side addr.Side, virt int, aggMediaRow int) {
+	cells := weakCells(m.prof, m.socket, m.dimm, bs.id, side, virt, m.g.RowBytes/2*8)
+	if len(cells) == 0 {
+		return
+	}
+	mediaRow := m.mediaRowOf(bs, virt, side)
+	row := m.row(bs.id, mediaRow)
+	halfBase := 0
+	if side == addr.SideB {
+		halfBase = m.g.RowBytes / 2
+	}
+	for _, c := range cells {
+		byteOff := halfBase + c.bit/8
+		mask := byte(1) << (c.bit % 8)
+		cur := row[byteOff]&mask != 0
+		if cur == c.failsTo {
+			continue // already at fail value; nothing observable
+		}
+		if c.failsTo {
+			row[byteOff] |= mask
+		} else {
+			row[byteOff] &^= mask
+		}
+		m.flips = append(m.flips, Flip{
+			Bank: bs.id, MediaRow: mediaRow, Side: side, Bit: c.bit,
+			AggressorMediaRow: aggMediaRow, Window: m.window,
+		})
+	}
+}
+
+// trrObserve feeds the bank's TRR sampler and fires refresh events.
+func (m *Module) trrObserve(bs *bankState, mediaRow, count int) {
+	if m.prof.TRRTableSize == 0 {
+		return
+	}
+	if bs.trrTable == nil {
+		bs.trrTable = make(map[int]float64, m.prof.TRRTableSize)
+	}
+	c := float64(count)
+	if _, ok := bs.trrTable[mediaRow]; ok {
+		bs.trrTable[mediaRow] += c
+	} else if len(bs.trrTable) < m.prof.TRRTableSize {
+		bs.trrTable[mediaRow] = c
+	} else {
+		// Replace the lowest-count entry only if the incoming burst is
+		// larger: heavy decoy rows can pin the table, which is the
+		// sampler weakness Blacksmith-class patterns exploit (§2.5).
+		minRow, minC := -1, 0.0
+		for r, rc := range bs.trrTable {
+			if minRow == -1 || rc < minC || (rc == minC && r < minRow) {
+				minRow, minC = r, rc
+			}
+		}
+		if c > minC {
+			delete(bs.trrTable, minRow)
+			bs.trrTable[mediaRow] = c
+		}
+	}
+	bs.trrActs += count
+	if bs.trrActs >= m.prof.TRRInterval {
+		m.trrFire(bs)
+	}
+}
+
+// trrFire refreshes the sampled aggressors' neighbours and clears the table.
+func (m *Module) trrFire(bs *bankState) {
+	blast := m.prof.BlastRadius
+	sub := m.g.RowsPerSubarray
+	for mediaRow := range bs.trrTable {
+		for _, side := range []addr.Side{addr.SideA, addr.SideB} {
+			_, anchor := m.internalTarget(bs, mediaRow, side)
+			aggSub := anchor / sub
+			for off := -blast; off <= blast; off++ {
+				pos := anchor + off
+				if pos < 0 || pos >= m.g.RowsPerBank || pos/sub != aggSub {
+					continue
+				}
+				delete(bs.disturb[side], pos)
+				for _, sp := range bs.sparesAtAnchor[pos] {
+					delete(bs.disturb[side], sp.virt)
+				}
+			}
+		}
+	}
+	bs.trrTable = make(map[int]float64, m.prof.TRRTableSize)
+	bs.trrActs = 0
+}
+
+// Refresh ends the current 64 ms refresh window: every row's charge is
+// restored, activation counters reset, and TRR state cleared. Flips that
+// already committed persist in storage.
+func (m *Module) Refresh() {
+	for _, bs := range m.banks {
+		bs.disturb = [2]map[int]float64{make(map[int]float64), make(map[int]float64)}
+		bs.acts = 0
+		bs.trrTable = nil
+		bs.trrActs = 0
+	}
+	m.window++
+}
+
+// Flips returns all flips committed so far.
+func (m *Module) Flips() []Flip {
+	out := make([]Flip, len(m.flips))
+	copy(out, m.flips)
+	return out
+}
+
+// ResetFlips clears the flip log (storage corruption remains).
+func (m *Module) ResetFlips() { m.flips = nil }
+
+// row returns the backing storage of a media row, allocating zeroed bytes
+// on first touch.
+func (m *Module) row(b geometry.BankID, mediaRow int) []byte {
+	key := [3]int{b.Rank, b.Bank, mediaRow}
+	r := m.rows[key]
+	if r == nil {
+		r = make([]byte, m.g.RowBytes)
+		m.rows[key] = r
+	}
+	return r
+}
+
+// WriteRow stores data into a row starting at column col.
+func (m *Module) WriteRow(b geometry.BankID, mediaRow, col int, data []byte) error {
+	if !m.owns(b) || mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
+		return fmt.Errorf("dram: write target %v row %d invalid", b, mediaRow)
+	}
+	if col < 0 || col+len(data) > m.g.RowBytes {
+		return fmt.Errorf("dram: write [%d,%d) outside row", col, col+len(data))
+	}
+	copy(m.row(b, mediaRow)[col:], data)
+	return nil
+}
+
+// ReadRow copies a row's bytes starting at column col into buf.
+func (m *Module) ReadRow(b geometry.BankID, mediaRow, col int, buf []byte) error {
+	if !m.owns(b) || mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
+		return fmt.Errorf("dram: read target %v row %d invalid", b, mediaRow)
+	}
+	if col < 0 || col+len(buf) > m.g.RowBytes {
+		return fmt.Errorf("dram: read [%d,%d) outside row", col, col+len(buf))
+	}
+	copy(buf, m.row(b, mediaRow)[col:])
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package dram models server DDR4 modules at the level Rowhammer defenses
+// reason about: banks of subarrays of rows with per-row activation counts,
+// disturbance accumulation confined to subarrays (§2.5), DIMM-internal row
+// address transformations (§6), in-DRAM target row refresh (TRR), RowPress,
+// and sparse data storage so bit flips are observable as data corruption.
+//
+// Time is modelled in refresh windows: callers issue (possibly batched)
+// activations against rows and end a 64 ms refresh window explicitly with
+// Refresh, which restores all row charges. Bit flips committed inside a
+// window persist in storage until overwritten, as on real hardware.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Profile captures the disturbance characteristics of one DIMM model. The
+// six profiles A-F correspond to the six DIMMs of the paper's Table 3
+// security experiment; they differ in threshold, weak-cell population, TRR
+// configuration, and internal addressing, reflecting cross-vendor variation.
+type Profile struct {
+	// Name labels the DIMM (Table 3 uses A-F).
+	Name string
+	// HammerThreshold is the weighted activation count within one refresh
+	// window beyond which a victim row's weak cells flip. Modern server
+	// DIMM thresholds are in the tens of thousands and falling (§2.5).
+	HammerThreshold float64
+	// BlastRadius is how many rows away from an aggressor disturbance
+	// reaches; modern DIMMs require guarding up to 2 rows away on each
+	// side (Half-Double), i.e. 4 guard rows per protected row (§6).
+	BlastRadius int
+	// DistanceWeights[d-1] scales the disturbance a victim at distance d
+	// receives per aggressor activation.
+	DistanceWeights []float64
+	// VulnerableRowFraction is the probability that a given half-row
+	// contains any weak cells at all.
+	VulnerableRowFraction float64
+	// WeakCellsPerRow is the number of weak cells in a vulnerable
+	// half-row.
+	WeakCellsPerRow int
+	// RowPressFactor is the extra per-activation disturbance weight per
+	// microsecond the aggressor row is held open (RowPress, §2.5).
+	RowPressFactor float64
+	// TRRTableSize is the number of aggressor rows the in-DRAM TRR
+	// sampler can track per bank; 0 disables TRR.
+	TRRTableSize int
+	// TRRInterval is the number of bank activations between TRR refresh
+	// events; at each event the sampled aggressors' neighbours are
+	// refreshed and the table cleared.
+	TRRInterval int
+	// MaxActsPerWindow is the activation budget of one bank within one
+	// 64 ms refresh window (~1.36M at DDR4-2933 timings). Activations
+	// beyond it in a window are rejected.
+	MaxActsPerWindow int
+	// Transforms selects the module's internal row address
+	// transformations (§6).
+	Transforms addr.TransformConfig
+	// Seed feeds the deterministic weak-cell derivation and TRR sampler.
+	Seed int64
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	switch {
+	case p.HammerThreshold <= 0:
+		return fmt.Errorf("dram: HammerThreshold must be positive, got %v", p.HammerThreshold)
+	case p.BlastRadius < 1:
+		return fmt.Errorf("dram: BlastRadius must be >= 1, got %d", p.BlastRadius)
+	case len(p.DistanceWeights) != p.BlastRadius:
+		return fmt.Errorf("dram: need %d distance weights, got %d", p.BlastRadius, len(p.DistanceWeights))
+	case p.VulnerableRowFraction < 0 || p.VulnerableRowFraction > 1:
+		return fmt.Errorf("dram: VulnerableRowFraction %v out of [0,1]", p.VulnerableRowFraction)
+	case p.WeakCellsPerRow < 0:
+		return fmt.Errorf("dram: WeakCellsPerRow must be >= 0, got %d", p.WeakCellsPerRow)
+	case p.TRRTableSize < 0:
+		return fmt.Errorf("dram: TRRTableSize must be >= 0, got %d", p.TRRTableSize)
+	case p.TRRTableSize > 0 && p.TRRInterval <= 0:
+		return fmt.Errorf("dram: TRRInterval must be positive when TRR is enabled")
+	case p.MaxActsPerWindow <= 0:
+		return fmt.Errorf("dram: MaxActsPerWindow must be positive, got %d", p.MaxActsPerWindow)
+	}
+	return nil
+}
+
+// defaultMaxActs approximates a DDR4-2933 bank's activation budget in a
+// 64 ms refresh window (tRC ≈ 47 ns).
+const defaultMaxActs = 1_360_000
+
+// ProfileA through ProfileF return the six evaluation DIMM profiles of
+// Table 3. All are vulnerable to Blacksmith-class many-sided patterns
+// despite TRR, with vendor-specific parameters.
+func ProfileA() Profile {
+	return Profile{
+		Name: "A", HammerThreshold: 12_000, BlastRadius: 2,
+		DistanceWeights: []float64{1.0, 0.25}, VulnerableRowFraction: 0.65,
+		WeakCellsPerRow: 3, RowPressFactor: 0.02, TRRTableSize: 4,
+		TRRInterval: 5_000, MaxActsPerWindow: defaultMaxActs,
+		Transforms: addr.AllTransforms(), Seed: 0xA,
+	}
+}
+
+// ProfileB is a DIMM with a lower threshold and larger TRR table.
+func ProfileB() Profile {
+	return Profile{
+		Name: "B", HammerThreshold: 9_000, BlastRadius: 2,
+		DistanceWeights: []float64{1.0, 0.3}, VulnerableRowFraction: 0.5,
+		WeakCellsPerRow: 2, RowPressFactor: 0.03, TRRTableSize: 8,
+		TRRInterval: 4_000, MaxActsPerWindow: defaultMaxActs,
+		Transforms: addr.AllTransforms(), Seed: 0xB,
+	}
+}
+
+// ProfileC models a vendor without row scrambling.
+func ProfileC() Profile {
+	return Profile{
+		Name: "C", HammerThreshold: 15_000, BlastRadius: 2,
+		DistanceWeights: []float64{1.0, 0.2}, VulnerableRowFraction: 0.7,
+		WeakCellsPerRow: 4, RowPressFactor: 0.015, TRRTableSize: 4,
+		TRRInterval: 6_000, MaxActsPerWindow: defaultMaxActs,
+		Transforms: addr.TransformConfig{Mirroring: true, Inversion: true}, Seed: 0xC,
+	}
+}
+
+// ProfileD models a highly-susceptible part (lowest threshold).
+func ProfileD() Profile {
+	return Profile{
+		Name: "D", HammerThreshold: 6_000, BlastRadius: 2,
+		DistanceWeights: []float64{1.0, 0.35}, VulnerableRowFraction: 0.8,
+		WeakCellsPerRow: 5, RowPressFactor: 0.04, TRRTableSize: 6,
+		TRRInterval: 2_500, MaxActsPerWindow: defaultMaxActs,
+		Transforms: addr.AllTransforms(), Seed: 0xD,
+	}
+}
+
+// ProfileE models a part with single-row blast radius.
+func ProfileE() Profile {
+	return Profile{
+		Name: "E", HammerThreshold: 18_000, BlastRadius: 1,
+		DistanceWeights: []float64{1.0}, VulnerableRowFraction: 0.45,
+		WeakCellsPerRow: 2, RowPressFactor: 0.02, TRRTableSize: 4,
+		TRRInterval: 8_000, MaxActsPerWindow: defaultMaxActs,
+		Transforms: addr.AllTransforms(), Seed: 0xE,
+	}
+}
+
+// ProfileF models a part with no in-DRAM TRR at all.
+func ProfileF() Profile {
+	return Profile{
+		Name: "F", HammerThreshold: 20_000, BlastRadius: 2,
+		DistanceWeights: []float64{1.0, 0.25}, VulnerableRowFraction: 0.55,
+		WeakCellsPerRow: 3, RowPressFactor: 0.02, TRRTableSize: 0,
+		TRRInterval: 0, MaxActsPerWindow: defaultMaxActs,
+		Transforms: addr.AllTransforms(), Seed: 0xF,
+	}
+}
+
+// EvaluationProfiles returns the Table 3 DIMM set A-F in order.
+func EvaluationProfiles() []Profile {
+	return []Profile{ProfileA(), ProfileB(), ProfileC(), ProfileD(), ProfileE(), ProfileF()}
+}

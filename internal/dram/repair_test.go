@@ -1,0 +1,122 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestInterSubarrayRepairViolatesIsolation shows the §6 threat: a row
+// repaired to a spare in a different subarray can be flipped by hammering
+// near the spare's physical location — outside the row's nominal subarray.
+func TestInterSubarrayRepairViolatesIsolation(t *testing.T) {
+	g := tinyGeometry()
+	b := bank0()
+	rt := addr.NewRepairTable(g)
+	// Media/internal row 100 (subarray 0) repaired to a spare anchored at
+	// row 700 (subarray 1).
+	if err := rt.Add(addr.Repair{Bank: b, From: 100, Spare: addr.SpareRow{Anchor: 700}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModule(g, testProfile(), 0, 0, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer row 699 (subarray 1). The spare serving row 100 sits next
+	// to row 700, within blast radius of 699.
+	if err := m.ActivateRow(b, 699, 10_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows := flipRows(m.Flips())
+	if !rows[100] {
+		t.Errorf("repaired row 100 not flipped by hammering near its spare; flips: %v", rows)
+	}
+	// Row 100's nominal neighbours are untouched: the defective wordline
+	// is out of service and no disturbance reaches subarray 0.
+	if rows[99] || rows[101] {
+		t.Errorf("nominal neighbours of the repaired row flipped: %v", rows)
+	}
+}
+
+// TestRepairedRowActivationsDisturbSpareNeighbourhood shows the converse:
+// hammering the repaired row disturbs rows near the spare, not near the
+// defective row's nominal position.
+func TestRepairedRowActivationsDisturbSpareNeighbourhood(t *testing.T) {
+	g := tinyGeometry()
+	b := bank0()
+	rt := addr.NewRepairTable(g)
+	if err := rt.Add(addr.Repair{Bank: b, From: 100, Spare: addr.SpareRow{Anchor: 700}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModule(g, testProfile(), 0, 0, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ActivateRow(b, 100, 10_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows := flipRows(m.Flips())
+	if rows[99] || rows[101] {
+		t.Errorf("nominal neighbours of a repaired row flipped: %v", rows)
+	}
+	if !rows[700] {
+		t.Errorf("spare's neighbourhood (row 700) unaffected by hammering the repaired row: %v", rows)
+	}
+}
+
+// TestIntraSubarrayRepairPreservesIsolation: with the spare in the same
+// subarray, all disturbance stays inside the subarray.
+func TestIntraSubarrayRepairPreservesIsolation(t *testing.T) {
+	g := tinyGeometry()
+	b := bank0()
+	rt := addr.NewRepairTable(g)
+	if err := rt.Add(addr.Repair{Bank: b, From: 100, Spare: addr.SpareRow{Anchor: 400}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModule(g, testProfile(), 0, 0, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ActivateRow(b, 100, 50_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Flips() {
+		if f.MediaRow/g.RowsPerSubarray != 0 {
+			t.Errorf("intra-subarray repair leaked disturbance outside subarray 0: %v", f)
+		}
+	}
+}
+
+// TestSpareVictimDataCorruption: flips into a spare corrupt the repaired
+// row's data as seen through normal reads.
+func TestSpareVictimDataCorruption(t *testing.T) {
+	g := tinyGeometry()
+	b := bank0()
+	rt := addr.NewRepairTable(g)
+	if err := rt.Add(addr.Repair{Bank: b, From: 100, Spare: addr.SpareRow{Anchor: 700}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModule(g, testProfile(), 0, 0, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRows(t, m, b, []int{100}, 0xFF)
+	if err := m.ActivateRow(b, 699, 10_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, g.RowBytes)
+	if err := m.ReadRow(b, 100, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := true
+	for _, by := range buf {
+		if by != 0xFF {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		t.Error("repaired row's data not corrupted despite spare being hammered")
+	}
+}

@@ -1,0 +1,62 @@
+package dram
+
+import (
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+// weakCell is one Rowhammer-susceptible cell of a half-row: the bit index
+// it occupies and the value it decays to when disturbed past the threshold
+// (true-cells fail toward 0, anti-cells toward 1).
+type weakCell struct {
+	bit     int
+	failsTo bool
+}
+
+// splitmix64 is a small, high-quality deterministic mixer used to derive
+// per-cell randomness from structural coordinates without any global RNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// weakCells deterministically derives the weak-cell population of one
+// half-row. A half-row is vulnerable with probability
+// prof.VulnerableRowFraction; vulnerable half-rows contain exactly
+// prof.WeakCellsPerRow weak cells at pseudo-random bit positions. The
+// derivation depends only on the DIMM seed and the cell's physical
+// coordinates, so repeated hammering of the same row flips the same cells —
+// matching the repeatability of real Rowhammer errors.
+func weakCells(prof Profile, socket, dimm int, bank geometry.BankID, side addr.Side, virtRow, bitsPerHalfRow int) []weakCell {
+	h := splitmix64(uint64(prof.Seed))
+	h = splitmix64(h ^ uint64(socket)<<48 ^ uint64(dimm)<<40 ^ uint64(bank.Rank)<<32 ^ uint64(bank.Bank)<<24 ^ uint64(side)<<16)
+	h = splitmix64(h ^ uint64(virtRow))
+
+	// Vulnerability draw.
+	const scale = 1 << 53
+	if float64(h>>11)/scale >= prof.VulnerableRowFraction {
+		return nil
+	}
+	cells := make([]weakCell, 0, prof.WeakCellsPerRow)
+	seen := make(map[int]bool, prof.WeakCellsPerRow)
+	for i := 0; len(cells) < prof.WeakCellsPerRow; i++ {
+		h = splitmix64(h)
+		bit := int(h % uint64(bitsPerHalfRow))
+		if seen[bit] {
+			continue
+		}
+		seen[bit] = true
+		cells = append(cells, weakCell{bit: bit, failsTo: h&(1<<60) != 0})
+	}
+	return cells
+}
+
+// WeakCellCount reports how many weak cells a half-row holds; exported for
+// tests and analysis tooling.
+func (m *Module) WeakCellCount(bank geometry.BankID, side addr.Side, mediaRow int) int {
+	bs := m.bank(bank)
+	virt, _ := m.internalTarget(bs, mediaRow, side)
+	return len(weakCells(m.prof, m.socket, m.dimm, bank, side, virt, m.g.RowBytes/2*8))
+}

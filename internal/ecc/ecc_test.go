@@ -1,0 +1,153 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoErrorDecodesOK(t *testing.T) {
+	f := func(data uint64) bool {
+		w := NewWord(data)
+		got, res := w.Read()
+		return got == data && res == OK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleDataBitErrorsCorrected(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		b := int(bit % DataBits)
+		w := NewWord(data)
+		w.FlipDataBit(b)
+		got, res := w.Read()
+		return got == data && res == Corrected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleCheckBitErrorsCorrected(t *testing.T) {
+	for bit := 0; bit < CheckBits; bit++ {
+		data := uint64(0xDEADBEEFCAFEF00D)
+		w := NewWord(data)
+		w.FlipCheckBit(bit)
+		got, res := w.Read()
+		if got != data || res != Corrected {
+			t.Errorf("check bit %d: got %#x, %v; want original, Corrected", bit, got, res)
+		}
+	}
+}
+
+func TestCorrectionRepairsStorage(t *testing.T) {
+	data := uint64(0x0123456789ABCDEF)
+	w := NewWord(data)
+	w.FlipDataBit(17)
+	if _, res := w.Read(); res != Corrected {
+		t.Fatal("first read should correct")
+	}
+	if _, res := w.Read(); res != OK {
+		t.Error("second read should be clean after in-place repair")
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	f := func(data uint64, b1, b2 uint8) bool {
+		x, y := int(b1%DataBits), int(b2%DataBits)
+		if x == y {
+			return true
+		}
+		w := NewWord(data)
+		w.FlipDataBit(x)
+		w.FlipDataBit(y)
+		got, res := w.Read()
+		return res == Uncorrectable && got == w.Data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleErrorDataPlusCheckDetected(t *testing.T) {
+	data := uint64(0xFFFF0000FFFF0000)
+	for cb := 0; cb < CheckBits; cb++ {
+		w := NewWord(data)
+		w.FlipDataBit(3)
+		w.FlipCheckBit(cb)
+		if _, res := w.Read(); res != Uncorrectable {
+			t.Errorf("data+check(%d) double error: got %v, want Uncorrectable", cb, res)
+		}
+	}
+}
+
+func TestTripleErrorsCanMiscorrect(t *testing.T) {
+	// §2.5 / [25]: malicious workloads can induce uncorrected flips
+	// despite ECC. With 3 flipped bits the syndrome can alias to a
+	// single-bit error and silently miscorrect. Verify at least one
+	// triple produces silent corruption (res != Uncorrectable with wrong
+	// data).
+	rng := rand.New(rand.NewSource(42))
+	miscorrected := false
+	for trial := 0; trial < 2000 && !miscorrected; trial++ {
+		data := rng.Uint64()
+		w := NewWord(data)
+		bits := rng.Perm(DataBits)[:3]
+		for _, b := range bits {
+			w.FlipDataBit(b)
+		}
+		got, res := w.Read()
+		if res != Uncorrectable && got != data {
+			miscorrected = true
+		}
+	}
+	if !miscorrected {
+		t.Error("no triple-bit miscorrection observed; ECC model too strong")
+	}
+}
+
+func TestScrubberCountsAndLogs(t *testing.T) {
+	words := make([]Word, 64)
+	for i := range words {
+		words[i] = NewWord(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	words[3].FlipDataBit(5)
+	words[10].FlipDataBit(0)
+	words[20].FlipDataBit(1)
+	words[20].FlipDataBit(2)
+
+	log := &Log{}
+	s := &Scrubber{Log: log}
+	corr, uncorr := s.ScrubWords(words, func(i int) uint64 { return uint64(i) * 8 })
+	if corr != 2 || uncorr != 1 {
+		t.Fatalf("scrub found corr=%d uncorr=%d, want 2, 1", corr, uncorr)
+	}
+	ce := log.Corrected()
+	if len(ce) != 2 || ce[0].Addr != 24 || ce[0].Bit != 5 || ce[1].Addr != 80 {
+		t.Errorf("corrected log = %+v", ce)
+	}
+	if ue := log.Uncorrectable(); len(ue) != 1 || ue[0] != 160 {
+		t.Errorf("uncorrectable log = %+v", ue)
+	}
+
+	// After scrubbing, single-bit errors are repaired.
+	corr2, uncorr2 := s.ScrubWords(words, func(i int) uint64 { return uint64(i) * 8 })
+	if corr2 != 0 || uncorr2 != 1 {
+		t.Errorf("second scrub corr=%d uncorr=%d, want 0, 1", corr2, uncorr2)
+	}
+
+	log.Reset()
+	if len(log.Corrected()) != 0 || len(log.Uncorrectable()) != 0 {
+		t.Error("Reset did not clear log")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for r, want := range map[Result]string{OK: "ok", Corrected: "corrected", Uncorrectable: "uncorrectable", Result(99): "invalid"} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// Example shows SEC-DED behaviour under increasing corruption: one flip is
+// corrected, two are detected, and the stored word self-repairs on read.
+func Example() {
+	w := ecc.NewWord(0xDEADBEEF)
+	w.FlipDataBit(7)
+	data, res := w.Read()
+	fmt.Printf("1 flip: %v, data restored: %v\n", res, data == 0xDEADBEEF)
+
+	w2 := ecc.NewWord(0xDEADBEEF)
+	w2.FlipDataBit(7)
+	w2.FlipDataBit(40)
+	_, res = w2.Read()
+	fmt.Printf("2 flips: %v\n", res)
+	// Output:
+	// 1 flip: corrected, data restored: true
+	// 2 flips: uncorrectable
+}

@@ -1,0 +1,73 @@
+package ecc
+
+// CorrectableError records one ECC correction event. The stream of these
+// events is the correctable-error side channel: platforms log them, and
+// defenses like Copy-on-Flip key off them, but attackers co-located in a
+// subarray can also infer data from them (§3).
+type CorrectableError struct {
+	// Addr is the host physical address of the affected word.
+	Addr uint64
+	// Bit is the corrected data bit index, or -1 for a check-bit error.
+	Bit int
+}
+
+// Log accumulates error events from reads and patrol scrubs.
+type Log struct {
+	corrected     []CorrectableError
+	uncorrectable []uint64
+}
+
+// RecordCorrected appends a correction event.
+func (l *Log) RecordCorrected(e CorrectableError) { l.corrected = append(l.corrected, e) }
+
+// RecordUncorrectable appends a detected-uncorrectable event (machine-check
+// surface).
+func (l *Log) RecordUncorrectable(addr uint64) { l.uncorrectable = append(l.uncorrectable, addr) }
+
+// Corrected returns all correction events so far.
+func (l *Log) Corrected() []CorrectableError { return l.corrected }
+
+// Uncorrectable returns the addresses of all detected-uncorrectable words.
+func (l *Log) Uncorrectable() []uint64 { return l.uncorrectable }
+
+// Reset clears the log.
+func (l *Log) Reset() { l.corrected, l.uncorrectable = nil, nil }
+
+// Scrubber walks protected words, reading (and thereby correcting) each one
+// — the patrol scrub the paper relies on to surface any lingering bit flips
+// during the 24-hour containment run (§7.1).
+type Scrubber struct {
+	Log *Log
+}
+
+// ScrubWords reads every word, correcting single-bit errors in place and
+// logging events. addrOf maps a word index to its reported physical address.
+// It returns the number of corrected and uncorrectable words found.
+func (s *Scrubber) ScrubWords(words []Word, addrOf func(i int) uint64) (corrected, uncorrectable int) {
+	for i := range words {
+		before := words[i]
+		_, res := words[i].Read()
+		switch res {
+		case Corrected:
+			corrected++
+			if s.Log != nil {
+				bit := -1
+				if diff := before.Data ^ words[i].Data; diff != 0 {
+					for b := 0; b < DataBits; b++ {
+						if diff&(1<<b) != 0 {
+							bit = b
+							break
+						}
+					}
+				}
+				s.Log.RecordCorrected(CorrectableError{Addr: addrOf(i), Bit: bit})
+			}
+		case Uncorrectable:
+			uncorrectable++
+			if s.Log != nil {
+				s.Log.RecordUncorrectable(addrOf(i))
+			}
+		}
+	}
+	return corrected, uncorrectable
+}

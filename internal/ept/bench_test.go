@@ -1,0 +1,63 @@
+package ept
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/geometry"
+	"repro/internal/subarray"
+
+	allocpkg "repro/internal/alloc"
+)
+
+// benchTables builds a populated hierarchy for benchmarking.
+func benchTables(b *testing.B, mode IntegrityMode) *Tables {
+	b.Helper()
+	g := tinyGeometry()
+	mapper, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := dram.NewMemory(g, mapper, []dram.Profile{testProfile()}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := allocpkg.New([]subarray.Range{{Start: 0, End: 16 << 20}}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := New(mem, allocAdapter{a}, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if err := tables.Map2M(i*geometry.PageSize2M, i*geometry.PageSize2M); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+func BenchmarkTranslate2M(b *testing.B) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT} {
+		b.Run(mode.String(), func(b *testing.B) {
+			tables := benchTables(b, mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tables.Translate(uint64(i%16) * geometry.PageSize2M); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMap2M(b *testing.B) {
+	tables := benchTables(b, NoProtection)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpa := uint64(16+i%400) * geometry.PageSize2M
+		_ = tables.Map2M(gpa, gpa) // remaps of the same gpa overwrite the leaf
+	}
+}

@@ -1,0 +1,302 @@
+// Package ept implements extended page tables (§2.1, §5.4): the
+// hypervisor-managed GPA→HPA mappings that hardware walks on guest memory
+// access. Table pages live inside the simulated DRAM, so Rowhammer
+// disturbance can corrupt entries exactly as on real hardware — the threat
+// Siloz counters with guard-row placement or secure-EPT integrity checks.
+package ept
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/geometry"
+)
+
+// Entry bit layout (a simplified x86-64 EPT entry).
+const (
+	entryPresent = 1 << 0
+	entryWrite   = 1 << 1 // write permission
+	entryLeaf    = 1 << 7 // large-page bit at the PD level
+	frameMask    = 0x000F_FFFF_FFFF_F000
+)
+
+const (
+	pageShift  = 12
+	levelBits  = 9
+	levelMask  = (1 << levelBits) - 1
+	numLevels  = 4
+	entrySize  = 8
+	tableBytes = geometry.PageSize4K
+)
+
+// IntegrityMode selects how EPT integrity is ensured (§5.4).
+type IntegrityMode int
+
+const (
+	// NoProtection trusts DRAM contents (the unmodified baseline).
+	NoProtection IntegrityMode = iota
+	// SecureEPT models TDX/SNP-style hardware integrity: every entry
+	// carries an out-of-band MAC verified on walk. Corruption is
+	// detected — not prevented — so a flip becomes a fatal integrity
+	// fault rather than an escape.
+	SecureEPT
+	// GuardRows places table pages in the guard-protected row group
+	// block (§5.4), physically preventing flips; the walker trusts DRAM.
+	GuardRows
+)
+
+func (m IntegrityMode) String() string {
+	switch m {
+	case NoProtection:
+		return "none"
+	case SecureEPT:
+		return "secure-ept"
+	case GuardRows:
+		return "guard-rows"
+	}
+	return "invalid"
+}
+
+// Errors returned by Translate.
+var (
+	// ErrNotMapped reports a GPA with no valid mapping.
+	ErrNotMapped = errors.New("ept: gpa not mapped")
+	// ErrIntegrity reports a failed secure-EPT integrity check: an EPT
+	// entry changed outside the hypervisor's legitimate updates.
+	ErrIntegrity = errors.New("ept: integrity check failed")
+	// ErrPermission reports a write through a read-only mapping — the
+	// EPT violation that makes ROM writes trap into the hypervisor
+	// (§5.1's mediated access types).
+	ErrPermission = errors.New("ept: write to read-only mapping")
+)
+
+// PageAllocator provides table pages; Siloz passes a GFP_EPT-backed
+// allocator drawing from the EPT logical node (§5.4), the baseline passes a
+// normal host-node allocator.
+type PageAllocator interface {
+	AllocTablePage() (uint64, error)
+	FreeTablePage(pa uint64)
+}
+
+// Tables is one VM's extended page table hierarchy.
+type Tables struct {
+	mem   *dram.Memory
+	pages PageAllocator
+	mode  IntegrityMode
+	root  uint64
+	all   []uint64          // every table page, for accounting and attack targeting
+	macs  map[uint64]uint64 // entry pa -> MAC (SecureEPT only)
+}
+
+// New allocates an empty hierarchy (root only).
+func New(mem *dram.Memory, pages PageAllocator, mode IntegrityMode) (*Tables, error) {
+	root, err := pages.AllocTablePage()
+	if err != nil {
+		return nil, fmt.Errorf("ept: allocating root: %w", err)
+	}
+	t := &Tables{mem: mem, pages: pages, mode: mode, root: root, all: []uint64{root}}
+	if mode == SecureEPT {
+		t.macs = make(map[uint64]uint64)
+	}
+	if err := t.zeroPage(root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Root returns the root table page's physical address.
+func (t *Tables) Root() uint64 { return t.root }
+
+// Mode returns the integrity mode.
+func (t *Tables) Mode() IntegrityMode { return t.mode }
+
+// Pages returns every table page (root first).
+func (t *Tables) Pages() []uint64 {
+	out := make([]uint64, len(t.all))
+	copy(out, t.all)
+	return out
+}
+
+// Destroy releases all table pages.
+func (t *Tables) Destroy() {
+	for _, pa := range t.all {
+		t.pages.FreeTablePage(pa)
+	}
+	t.all = nil
+}
+
+func (t *Tables) zeroPage(pa uint64) error {
+	if err := t.mem.WritePhys(pa, make([]byte, tableBytes)); err != nil {
+		return err
+	}
+	if t.mode == SecureEPT {
+		for off := uint64(0); off < tableBytes; off += entrySize {
+			t.macs[pa+off] = mac(pa+off, 0)
+		}
+	}
+	return nil
+}
+
+// mac computes the keyed per-entry MAC used by the SecureEPT model.
+func mac(entryPA, value uint64) uint64 {
+	x := entryPA*0x9E3779B97F4A7C15 ^ value
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// readEntry loads one entry, verifying its MAC in SecureEPT mode.
+func (t *Tables) readEntry(entryPA uint64) (uint64, error) {
+	var buf [entrySize]byte
+	if err := t.mem.ReadPhys(entryPA, buf[:]); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(buf[:])
+	if t.mode == SecureEPT {
+		if want, ok := t.macs[entryPA]; !ok || want != mac(entryPA, v) {
+			return 0, fmt.Errorf("%w: entry %#x", ErrIntegrity, entryPA)
+		}
+	}
+	return v, nil
+}
+
+// writeEntry stores one entry as a legitimate hypervisor update.
+func (t *Tables) writeEntry(entryPA, v uint64) error {
+	var buf [entrySize]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if err := t.mem.WritePhys(entryPA, buf[:]); err != nil {
+		return err
+	}
+	if t.mode == SecureEPT {
+		t.macs[entryPA] = mac(entryPA, v)
+	}
+	return nil
+}
+
+// indexAt extracts the table index for a level (level 0 = root/PML4).
+func indexAt(gpa uint64, level int) uint64 {
+	shift := pageShift + levelBits*(numLevels-1-level)
+	return (gpa >> shift) & levelMask
+}
+
+// Map2M installs a writable 2 MiB leaf mapping gpa → hpa (both 2 MiB
+// aligned).
+func (t *Tables) Map2M(gpa, hpa uint64) error { return t.Map2MProt(gpa, hpa, true) }
+
+// Map2MProt installs a 2 MiB leaf with explicit write permission.
+func (t *Tables) Map2MProt(gpa, hpa uint64, writable bool) error {
+	if gpa%geometry.PageSize2M != 0 || hpa%geometry.PageSize2M != 0 {
+		return fmt.Errorf("ept: Map2M needs 2 MiB alignment (gpa=%#x hpa=%#x)", gpa, hpa)
+	}
+	return t.mapLeaf(gpa, hpa, 2, writable)
+}
+
+// Map4K installs a writable 4 KiB leaf mapping gpa → hpa (both page
+// aligned).
+func (t *Tables) Map4K(gpa, hpa uint64) error { return t.Map4KProt(gpa, hpa, true) }
+
+// Map4KProt installs a 4 KiB leaf with explicit write permission.
+func (t *Tables) Map4KProt(gpa, hpa uint64, writable bool) error {
+	if gpa%geometry.PageSize4K != 0 || hpa%geometry.PageSize4K != 0 {
+		return fmt.Errorf("ept: Map4K needs 4 KiB alignment (gpa=%#x hpa=%#x)", gpa, hpa)
+	}
+	return t.mapLeaf(gpa, hpa, 3, writable)
+}
+
+// mapLeaf walks to leafLevel, allocating intermediate tables, and installs
+// the leaf entry.
+func (t *Tables) mapLeaf(gpa, hpa uint64, leafLevel int, writable bool) error {
+	table := t.root
+	for level := 0; level < leafLevel; level++ {
+		entryPA := table + indexAt(gpa, level)*entrySize
+		v, err := t.readEntry(entryPA)
+		if err != nil {
+			return err
+		}
+		if v&entryPresent == 0 {
+			next, err := t.pages.AllocTablePage()
+			if err != nil {
+				return fmt.Errorf("ept: allocating level-%d table: %w", level+1, err)
+			}
+			t.all = append(t.all, next)
+			if err := t.zeroPage(next); err != nil {
+				return err
+			}
+			v = (next & frameMask) | entryPresent | entryWrite
+			if err := t.writeEntry(entryPA, v); err != nil {
+				return err
+			}
+		} else if v&entryLeaf != 0 {
+			return fmt.Errorf("ept: gpa %#x already mapped by a larger page", gpa)
+		}
+		table = v & frameMask
+	}
+	entryPA := table + indexAt(gpa, leafLevel)*entrySize
+	leaf := (hpa & frameMask) | entryPresent
+	if writable {
+		leaf |= entryWrite
+	}
+	if leafLevel < numLevels-1 {
+		leaf |= entryLeaf
+	}
+	return t.writeEntry(entryPA, leaf)
+}
+
+// Translate walks the tables for gpa, returning the backing HPA. The walk
+// reads entries from DRAM, so bit flips in table pages steer it — unless
+// SecureEPT detects them (ErrIntegrity).
+func (t *Tables) Translate(gpa uint64) (uint64, error) {
+	return t.TranslateAccess(gpa, false)
+}
+
+// Unmap clears the leaf entry mapping gpa (2 MiB or 4 KiB). Intermediate
+// tables are retained for reuse, as KVM does. Unmapping an unmapped GPA
+// returns ErrNotMapped.
+func (t *Tables) Unmap(gpa uint64) error {
+	table := t.root
+	for level := 0; level < numLevels; level++ {
+		entryPA := table + indexAt(gpa, level)*entrySize
+		v, err := t.readEntry(entryPA)
+		if err != nil {
+			return err
+		}
+		if v&entryPresent == 0 {
+			return fmt.Errorf("%w: gpa %#x (level %d)", ErrNotMapped, gpa, level)
+		}
+		if v&entryLeaf != 0 || level == numLevels-1 {
+			return t.writeEntry(entryPA, 0)
+		}
+		table = v & frameMask
+	}
+	panic("unreachable")
+}
+
+// TranslateAccess walks the tables for an access of the given kind; a write
+// through a read-only leaf returns ErrPermission (the EPT violation that
+// exits into the hypervisor).
+func (t *Tables) TranslateAccess(gpa uint64, write bool) (uint64, error) {
+	table := t.root
+	for level := 0; level < numLevels; level++ {
+		entryPA := table + indexAt(gpa, level)*entrySize
+		v, err := t.readEntry(entryPA)
+		if err != nil {
+			return 0, err
+		}
+		if v&entryPresent == 0 {
+			return 0, fmt.Errorf("%w: gpa %#x (level %d)", ErrNotMapped, gpa, level)
+		}
+		frame := v & frameMask
+		leaf := v&entryLeaf != 0 || level == numLevels-1
+		if leaf {
+			if write && v&entryWrite == 0 {
+				return 0, fmt.Errorf("%w: gpa %#x", ErrPermission, gpa)
+			}
+			pageBytes := uint64(1) << (pageShift + levelBits*(numLevels-1-level))
+			return frame | (gpa & (pageBytes - 1)), nil
+		}
+		table = frame
+	}
+	panic("unreachable")
+}

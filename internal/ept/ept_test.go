@@ -1,0 +1,303 @@
+package ept
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/geometry"
+	"repro/internal/subarray"
+
+	allocpkg "repro/internal/alloc"
+)
+
+func tinyGeometry() geometry.Geometry {
+	return geometry.Geometry{
+		Sockets:         1,
+		CoresPerSocket:  4,
+		DIMMsPerSocket:  1,
+		RanksPerDIMM:    2,
+		BanksPerRank:    2,
+		RowsPerBank:     2048,
+		RowBytes:        8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+}
+
+func testProfile() dram.Profile {
+	p := dram.ProfileF() // no TRR: deterministic flips
+	p.VulnerableRowFraction = 1
+	p.HammerThreshold = 1000
+	p.Transforms = addr.TransformConfig{}
+	return p
+}
+
+// allocAdapter exposes a buddy allocator as a PageAllocator.
+type allocAdapter struct{ a *allocpkg.Allocator }
+
+func (ad allocAdapter) AllocTablePage() (uint64, error) { return ad.a.Alloc(0) }
+func (ad allocAdapter) FreeTablePage(pa uint64)         { _ = ad.a.Free(pa, 0) }
+
+func testEnv(t *testing.T, mode IntegrityMode) (*dram.Memory, *Tables, *allocpkg.Allocator) {
+	t.Helper()
+	g := tinyGeometry()
+	mapper, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := dram.NewMemory(g, mapper, []dram.Profile{testProfile()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := allocpkg.New([]subarray.Range{{Start: 0, End: 16 << 20}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := New(mem, allocAdapter{a}, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, tables, a
+}
+
+func TestMapAndTranslate2M(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	gpa := uint64(4 * geometry.PageSize2M)
+	hpa := uint64(20 << 20)
+	if err := tables.Map2M(gpa, hpa); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tables.Translate(gpa + 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hpa+12345 {
+		t.Errorf("Translate = %#x, want %#x", got, hpa+12345)
+	}
+}
+
+func TestMapAndTranslate4K(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	if err := tables.Map4K(0x7000, 0x123000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tables.Translate(0x7abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x123abc {
+		t.Errorf("Translate = %#x, want 0x123abc", got)
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	if _, err := tables.Translate(0xdead000); err == nil {
+		t.Error("unmapped gpa translated")
+	}
+}
+
+func TestMapAlignmentChecks(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	if err := tables.Map2M(4096, 0); err == nil {
+		t.Error("misaligned 2M gpa accepted")
+	}
+	if err := tables.Map2M(0, 4096); err == nil {
+		t.Error("misaligned 2M hpa accepted")
+	}
+	if err := tables.Map4K(1, 0); err == nil {
+		t.Error("misaligned 4K gpa accepted")
+	}
+}
+
+func TestMapManyPagesSharesTables(t *testing.T) {
+	// 512 consecutive 2 MiB mappings fill exactly one PD: 1 root + 1
+	// PDPT + 1 PD = 3 table pages (§5.4's EPT-count arithmetic).
+	_, tables, _ := testEnv(t, NoProtection)
+	for i := uint64(0); i < 512; i++ {
+		if err := tables.Map2M(i*geometry.PageSize2M, i*geometry.PageSize2M); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tables.Pages()); got != 3 {
+		t.Errorf("table pages = %d, want 3", got)
+	}
+	// The 513th spills into a second PD.
+	if err := tables.Map2M(512*geometry.PageSize2M, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tables.Pages()); got != 4 {
+		t.Errorf("table pages = %d, want 4", got)
+	}
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	if err := tables.Map2M(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables.Map4K(4096, 0); err == nil {
+		t.Error("4K map under an existing 2M leaf accepted")
+	}
+}
+
+func TestDestroyReleasesPages(t *testing.T) {
+	_, tables, a := testEnv(t, NoProtection)
+	for i := uint64(0); i < 8; i++ {
+		if err := tables.Map2M(i*geometry.PageSize2M, i*geometry.PageSize2M); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := a.UsedBytes()
+	if used == 0 {
+		t.Fatal("no pages allocated?")
+	}
+	tables.Destroy()
+	if a.UsedBytes() != 0 {
+		t.Errorf("UsedBytes = %d after Destroy", a.UsedBytes())
+	}
+}
+
+// corruptEntry flips one bit of a present EPT leaf entry directly in DRAM,
+// simulating a Rowhammer flip (no legitimate writeEntry involved).
+func corruptEntry(t *testing.T, mem *dram.Memory, tables *Tables, gpa uint64) {
+	t.Helper()
+	// Walk manually to the leaf entry PA: for a 2M mapping the PD page
+	// is the 3rd table page; entry index from gpa.
+	pages := tables.Pages()
+	pd := pages[2]
+	entryPA := pd + ((gpa>>21)&0x1FF)*8
+	var buf [8]byte
+	if err := mem.ReadPhys(entryPA, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf[3] ^= 0x10 // flip a frame bit
+	if err := mem.WritePhys(entryPA, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnprotectedEPTFollowsCorruptedEntry(t *testing.T) {
+	// The §5.4 threat: without integrity, a flipped EPT entry silently
+	// redirects the VM to a different HPA.
+	mem, tables, _ := testEnv(t, NoProtection)
+	gpa := uint64(0)
+	hpa := uint64(32 << 20)
+	if err := tables.Map2M(gpa, hpa); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, mem, tables, gpa)
+	got, err := tables.Translate(gpa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == hpa {
+		t.Error("corruption had no effect; test is vacuous")
+	}
+}
+
+func TestSecureEPTDetectsCorruption(t *testing.T) {
+	mem, tables, _ := testEnv(t, SecureEPT)
+	gpa := uint64(0)
+	if err := tables.Map2M(gpa, 32<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tables.Translate(gpa); err != nil {
+		t.Fatalf("clean translate failed: %v", err)
+	}
+	corruptEntry(t, mem, tables, gpa)
+	if _, err := tables.Translate(gpa); err == nil {
+		t.Fatal("secure EPT missed corruption")
+	}
+}
+
+func TestSecureEPTAllowsLegitimateUpdates(t *testing.T) {
+	_, tables, _ := testEnv(t, SecureEPT)
+	for i := uint64(0); i < 16; i++ {
+		if err := tables.Map2M(i*geometry.PageSize2M, i*geometry.PageSize2M); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 16; i++ {
+		hpa, err := tables.Translate(i * geometry.PageSize2M)
+		if err != nil {
+			t.Fatalf("translate %d: %v", i, err)
+		}
+		if hpa != i*geometry.PageSize2M {
+			t.Errorf("translate %d = %#x", i, hpa)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[IntegrityMode]string{NoProtection: "none", SecureEPT: "secure-ept", GuardRows: "guard-rows", IntegrityMode(7): "invalid"} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q", m, got)
+		}
+	}
+}
+
+func TestSoftRefreshMissesDeadlines(t *testing.T) {
+	// §8.3: both scheduling models miss 1 ms deadlines; the task model
+	// misses nearly always (sleeps are *at least* the period) and shows
+	// >32 ms gaps.
+	task := SimulateSoftRefresh(DefaultSoftRefreshConfig(TaskScheduled))
+	if task.MissedDeadlines == 0 {
+		t.Error("task model never missed a deadline; paper observed pervasive misses")
+	}
+	if task.MaxGap < 32*time.Millisecond {
+		t.Errorf("task model max gap %v, paper observed >32 ms", task.MaxGap)
+	}
+	tick := SimulateSoftRefresh(DefaultSoftRefreshConfig(TickInterrupt))
+	if tick.MissedDeadlines == 0 {
+		t.Error("tick model never missed a deadline; paper observed delayed/dropped ticks")
+	}
+	// The tick model is better but still not safe — exactly the paper's
+	// conclusion motivating guard rows.
+	if tick.MissRate() >= task.MissRate() {
+		t.Errorf("tick miss rate %.4f should be below task miss rate %.4f", tick.MissRate(), task.MissRate())
+	}
+	if task.Refreshes == 0 || tick.Refreshes == 0 {
+		t.Error("no refreshes simulated")
+	}
+}
+
+func TestSoftRefreshDeterminism(t *testing.T) {
+	cfg := DefaultSoftRefreshConfig(TaskScheduled)
+	a := SimulateSoftRefresh(cfg)
+	b := SimulateSoftRefresh(cfg)
+	if a != b {
+		t.Error("soft refresh simulation not deterministic")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT} {
+		_, tables, _ := testEnv(t, mode)
+		gpa := uint64(8 * geometry.PageSize2M)
+		if err := tables.Map2M(gpa, 16<<20); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tables.Translate(gpa); err != nil {
+			t.Fatal(err)
+		}
+		if err := tables.Unmap(gpa); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tables.Translate(gpa); err == nil {
+			t.Errorf("mode %v: unmapped gpa still translates", mode)
+		}
+		if err := tables.Unmap(gpa); err == nil {
+			t.Errorf("mode %v: double unmap accepted", mode)
+		}
+		// The slot is reusable.
+		if err := tables.Map2M(gpa, 24<<20); err != nil {
+			t.Fatal(err)
+		}
+		hpa, err := tables.Translate(gpa)
+		if err != nil || hpa != 24<<20 {
+			t.Errorf("mode %v: remap translate = %#x, %v", mode, hpa, err)
+		}
+	}
+}

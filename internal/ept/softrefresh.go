@@ -1,0 +1,131 @@
+package ept
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file models the alternative EPT protection the paper evaluated and
+// rejected (§8.3): a SoftTRR-like software routine refreshing EPT rows every
+// millisecond. The Linux scheduler cannot provide the required real-time
+// guarantee — the paper observed a minimum of 1 ms between refreshes and
+// gaps exceeding 32 ms — so Siloz uses guard rows instead. The simulation
+// reproduces that engineering finding as a measurable experiment.
+
+// SchedulerModel selects how the periodic refresh routine is driven.
+type SchedulerModel int
+
+const (
+	// TaskScheduled runs the routine as a normal kernel task woken every
+	// 1 ms; wakeups are subject to scheduling latency (run-queue delay,
+	// timer slack) and occasionally very long preemption.
+	TaskScheduled SchedulerModel = iota
+	// TickInterrupt runs the routine directly in the timer tick IRQ;
+	// jitter is small but ticks can still be delayed or dropped while
+	// interrupts are disabled or the tick is stopped on idle (§8.3).
+	TickInterrupt
+)
+
+func (s SchedulerModel) String() string {
+	if s == TaskScheduled {
+		return "task"
+	}
+	return "tick-irq"
+}
+
+// SoftRefreshConfig parameterizes the §8.3 experiment.
+type SoftRefreshConfig struct {
+	// Model is the scheduling mechanism.
+	Model SchedulerModel
+	// Period is the target refresh period (1 ms in the paper).
+	Period time.Duration
+	// SafePeriod is the longest gap that still protects EPT rows; a gap
+	// beyond it leaves EPTs vulnerable until the next refresh.
+	SafePeriod time.Duration
+	// Duration is the simulated run length.
+	Duration time.Duration
+	// Seed drives the jitter distribution.
+	Seed int64
+}
+
+// DefaultSoftRefreshConfig mirrors the paper's parameters.
+func DefaultSoftRefreshConfig(model SchedulerModel) SoftRefreshConfig {
+	return SoftRefreshConfig{
+		Model:      model,
+		Period:     time.Millisecond,
+		SafePeriod: time.Millisecond + 10*time.Microsecond, // small protection margin
+		Duration:   60 * time.Second,
+		Seed:       1,
+	}
+}
+
+// SoftRefreshReport summarizes a simulated run.
+type SoftRefreshReport struct {
+	// Refreshes is the number of refreshes that ran.
+	Refreshes int
+	// MissedDeadlines counts gaps exceeding SafePeriod.
+	MissedDeadlines int
+	// MaxGap is the longest observed gap between refreshes.
+	MaxGap time.Duration
+	// VulnerableTime is total time spent beyond the safe period.
+	VulnerableTime time.Duration
+}
+
+// MissRate returns the fraction of intervals that missed the deadline.
+func (r SoftRefreshReport) MissRate() float64 {
+	if r.Refreshes == 0 {
+		return 1
+	}
+	return float64(r.MissedDeadlines) / float64(r.Refreshes)
+}
+
+func (r SoftRefreshReport) String() string {
+	return fmt.Sprintf("refreshes=%d missed=%d (%.2f%%) maxGap=%v vulnerable=%v",
+		r.Refreshes, r.MissedDeadlines, 100*r.MissRate(), r.MaxGap, r.VulnerableTime)
+}
+
+// SimulateSoftRefresh runs the jitter model and reports deadline behaviour.
+func SimulateSoftRefresh(cfg SoftRefreshConfig) SoftRefreshReport {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rep SoftRefreshReport
+	var now time.Duration
+	for now < cfg.Duration {
+		gap := cfg.Period + jitter(cfg.Model, rng)
+		now += gap
+		rep.Refreshes++
+		if gap > rep.MaxGap {
+			rep.MaxGap = gap
+		}
+		if gap > cfg.SafePeriod {
+			rep.MissedDeadlines++
+			rep.VulnerableTime += gap - cfg.SafePeriod
+		}
+	}
+	return rep
+}
+
+// jitter draws the extra latency beyond the nominal period.
+func jitter(model SchedulerModel, rng *rand.Rand) time.Duration {
+	switch model {
+	case TaskScheduled:
+		// Linux timer semantics guarantee *at least* the requested
+		// sleep (§8.3: "a minimum of 1 ms between software
+		// refreshes"), plus run-queue latency; with probability ~0.1%
+		// a long preemption exceeds 32 ms.
+		base := time.Duration(rng.Int63n(int64(400 * time.Microsecond)))
+		if rng.Float64() < 0.001 {
+			base += 32*time.Millisecond + time.Duration(rng.Int63n(int64(20*time.Millisecond)))
+		}
+		return base
+	case TickInterrupt:
+		// IRQ-time execution: sub-10µs jitter around the tick, but
+		// ticks are occasionally delayed while interrupts are disabled.
+		base := time.Duration(rng.Int63n(int64(10*time.Microsecond))) - 5*time.Microsecond
+		if rng.Float64() < 0.0005 {
+			base += time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		}
+		return base
+	}
+	return 0
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/memctrl"
+	"repro/internal/subarray"
+)
+
+// BLPResult quantifies the §4.1 design point: subarray groups preserve
+// bank-level parallelism, whereas isolating a VM to a single bank (the
+// naive alternative) destroys it.
+type BLPResult struct {
+	// InterleavedNs and SerialNs are stream completion times.
+	InterleavedNs, SerialNs float64
+	// SpeedupPct is how much faster the interleaved mapping is.
+	SpeedupPct float64
+}
+
+// Render formats the result.
+func (r BLPResult) Render() string {
+	return fmt.Sprintf(
+		"Bank-level parallelism ablation (§4.1)\ninterleaved (subarray group): %.2f ms\nsingle-bank isolation:        %.2f ms\nBLP benefit:                  +%.1f%% (paper cites >18%%)\n",
+		r.InterleavedNs/1e6, r.SerialNs/1e6, r.SpeedupPct)
+}
+
+// BankLevelParallelism streams over both mappings.
+func BankLevelParallelism(g geometry.Geometry, ops int) (BLPResult, error) {
+	var out BLPResult
+	run := func(mapper addr.Mapper) (float64, error) {
+		ctrl, err := memctrl.New(memctrl.Config{
+			Mapper: mapper, Timing: memctrl.DDR4_2933(), MLPWindow: 10,
+		})
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < ops; i++ {
+			if _, err := ctrl.Do(memctrl.Access{PA: uint64(i) * geometry.CacheLineSize}); err != nil {
+				return 0, err
+			}
+		}
+		return ctrl.Result().TotalNs, nil
+	}
+	sky, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		return out, err
+	}
+	lin, err := addr.NewLinearMapper(g)
+	if err != nil {
+		return out, err
+	}
+	if out.InterleavedNs, err = run(sky); err != nil {
+		return out, err
+	}
+	if out.SerialNs, err = run(lin); err != nil {
+		return out, err
+	}
+	out.SpeedupPct = 100 * (out.SerialNs/out.InterleavedNs - 1)
+	return out, nil
+}
+
+// OverheadRow is one row of the §3/§5.4 DRAM-reservation comparison.
+type OverheadRow struct {
+	Scheme      string
+	ReservedPct float64
+	Scope       string
+}
+
+// OverheadComparison reproduces the paper's accounting: guard-row schemes
+// (ZebRAM at 1 and 4 guard rows per protected row) versus Siloz's EPT block
+// and worst-case artificial-group reservations.
+func OverheadComparison(g geometry.Geometry) []OverheadRow {
+	rowGroups := float64(core.EPTBlockRowGroups)
+	eptPct := 100 * rowGroups * float64(g.RowBytes) / float64(g.BankBytes())
+	return []OverheadRow{
+		{Scheme: "ZebRAM (1 guard/row)", ReservedPct: 50, Scope: "entire protected region"},
+		{Scheme: "ZebRAM (4 guards/row, modern)", ReservedPct: 80, Scope: "entire protected region"},
+		{Scheme: "Siloz EPT block (b=32)", ReservedPct: eptPct, Scope: "whole DRAM"},
+		{Scheme: "Siloz artificial groups (512-row)", ReservedPct: 100 * 8.0 / 512, Scope: "non-power-of-2 DIMMs only"},
+		{Scheme: "Siloz artificial groups (2048-row)", ReservedPct: 100 * 8.0 / 2048, Scope: "non-power-of-2 DIMMs only"},
+		{Scheme: "Siloz power-of-2 subarrays", ReservedPct: eptPct, Scope: "whole DRAM (EPT block only)"},
+	}
+}
+
+// RenderOverheads formats the comparison.
+func RenderOverheads(rows []OverheadRow) string {
+	var b strings.Builder
+	b.WriteString("DRAM reserved for protection (§3, §5.4)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %8.3f%%  (%s)\n", r.Scheme, r.ReservedPct, r.Scope)
+	}
+	return b.String()
+}
+
+// SoftRefreshComparison reruns the §8.3 engineering experiment that led
+// Siloz to guard rows instead of software refresh.
+func SoftRefreshComparison() (task, tick ept.SoftRefreshReport) {
+	task = ept.SimulateSoftRefresh(ept.DefaultSoftRefreshConfig(ept.TaskScheduled))
+	tick = ept.SimulateSoftRefresh(ept.DefaultSoftRefreshConfig(ept.TickInterrupt))
+	return task, tick
+}
+
+// RemapRow summarizes §6 handling for one subarray size.
+type RemapRow struct {
+	// SubarrayRows is the true subarray size.
+	SubarrayRows int
+	// Artificial reports whether artificial groups are needed.
+	Artificial bool
+	// ManagedRows is the managed group size after rounding.
+	ManagedRows int
+	// ReservedPct is the DRAM share offlined for boundary guards.
+	ReservedPct float64
+}
+
+// RemapHandling sweeps subarray sizes over a geometry whose bank size
+// accommodates them, reporting the §6 reservations. Power-of-two commodity
+// sizes need nothing; others form artificial groups with guard rows.
+func RemapHandling() ([]RemapRow, error) {
+	var out []RemapRow
+	for _, rows := range []int{512, 640, 768, 1024, 1280, 2048} {
+		g := geometry.Geometry{
+			Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
+			BanksPerRank: 8, RowBytes: 8 * geometry.KiB,
+			RowsPerSubarray: rows,
+		}
+		// Bank must be a multiple of both the size and its round-up.
+		lcm := rows * nextPow2(rows) / gcd(rows, nextPow2(rows))
+		g.RowsPerBank = lcm
+		for g.RowsPerBank < 4*nextPow2(rows) {
+			g.RowsPerBank += lcm
+		}
+		mapper, err := addr.NewSkylakeMapper(g)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", rows, err)
+		}
+		layout, err := subarray.NewLayout(g, mapper)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", rows, err)
+		}
+		guards := layout.BoundaryGuardRows(addr.AllTransforms())
+		out = append(out, RemapRow{
+			SubarrayRows: rows,
+			Artificial:   layout.Artificial(),
+			ManagedRows:  layout.RowsPerGroup(),
+			ReservedPct:  100 * float64(len(guards)) / float64(g.RowsPerBank),
+		})
+	}
+	return out, nil
+}
+
+// RenderRemaps formats the sweep.
+func RenderRemaps(rows []RemapRow) string {
+	var b strings.Builder
+	b.WriteString("Media-to-internal remap handling (§6)\n")
+	fmt.Fprintf(&b, "%10s %12s %12s %12s\n", "subarray", "artificial", "managed", "reserved")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %12v %12d %11.2f%%\n", r.SubarrayRows, r.Artificial, r.ManagedRows, r.ReservedPct)
+	}
+	return b.String()
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GiBPageResult reproduces the §4.2 1 GiB page analysis.
+type GiBPageResult struct {
+	// SingleSetFraction is the share of 1 GiB physical ranges mapping
+	// into a single 3 GiB set of consecutive subarray groups.
+	SingleSetFraction float64
+}
+
+// Render formats the analysis.
+func (r GiBPageResult) Render() string {
+	return fmt.Sprintf("1 GiB page analysis (§4.2): %.1f%% of 1 GiB ranges map to a single 3 GiB group set (paper: at least 1/3)\n",
+		100*r.SingleSetFraction)
+}
+
+// GiBPages scans every 1 GiB physical range of the geometry.
+func GiBPages(g geometry.Geometry) (GiBPageResult, error) {
+	var out GiBPageResult
+	m, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		return out, err
+	}
+	const setBytes = 3 * geometry.GiB
+	nPages := g.TotalBytes() / geometry.PageSize1G
+	single := 0
+	for p := int64(0); p < nPages; p++ {
+		base := uint64(p * geometry.PageSize1G)
+		lo, hi := int64(1)<<62, int64(-1)
+		for off := int64(0); off < geometry.PageSize1G; off += m.ChunkBytes() {
+			end := off + m.ChunkBytes()
+			if end > geometry.PageSize1G {
+				end = geometry.PageSize1G
+			}
+			for _, o := range []uint64{uint64(off), uint64(end) - geometry.CacheLineSize} {
+				ma, err := m.Decode(base + o)
+				if err != nil {
+					return out, err
+				}
+				mo := int64(ma.Row) * g.RowGroupBytes()
+				if mo < lo {
+					lo = mo
+				}
+				if mo > hi {
+					hi = mo
+				}
+			}
+		}
+		if lo/setBytes == hi/setBytes {
+			single++
+		}
+	}
+	out.SingleSetFraction = float64(single) / float64(nPages)
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Package experiments reruns the paper's evaluation (§7): every table and
+// figure has a function here that builds the system, drives the workload or
+// attack, and renders rows/series in the paper's shape. The cmd/siloz-bench
+// binary and the repository's benchmark suite are thin wrappers over this
+// package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PerfConfig parameterizes the performance experiments (Figs. 4-7).
+type PerfConfig struct {
+	// Geometry of the simulated server; zero value = the paper's server.
+	Geometry geometry.Geometry
+	// VMMemory is the benchmark VM's RAM (paper: 160 GiB).
+	VMMemory uint64
+	// Ops is logical operations per run.
+	Ops int
+	// Reps is repetitions per configuration (for confidence intervals).
+	Reps int
+	// MLPWindow is the simulated core's memory-level parallelism.
+	MLPWindow int
+	// Seed bases all per-rep seeds.
+	Seed int64
+	// JitterSalt decorrelates timing noise between system configurations
+	// (independent reruns on different kernels, as in the paper).
+	JitterSalt int64
+}
+
+// DefaultPerfConfig mirrors the paper's setup: the dual-socket Skylake
+// server with a 160 GiB, 40-vCPU VM on socket 0.
+func DefaultPerfConfig() PerfConfig {
+	return PerfConfig{
+		Geometry:  geometry.Default(),
+		VMMemory:  160 * geometry.GiB,
+		Ops:       120_000,
+		Reps:      5,
+		MLPWindow: 10,
+		Seed:      1,
+	}
+}
+
+// QuickPerfConfig is a scaled-down configuration for tests.
+func QuickPerfConfig() PerfConfig {
+	cfg := DefaultPerfConfig()
+	cfg.VMMemory = 6 * geometry.GiB
+	cfg.Ops = 15_000
+	cfg.Reps = 3
+	return cfg
+}
+
+// perfProfile: performance experiments need no bit flips; use the no-TRR
+// profile with transforms intact.
+func perfProfile() dram.Profile { return dram.ProfileF() }
+
+// bootWithVM boots a hypervisor and creates the benchmark VM.
+func bootWithVM(cfg PerfConfig, mode core.Mode, subarrayRows int) (*core.Hypervisor, *core.VM, error) {
+	h, err := core.Boot(core.Config{
+		Geometry:      cfg.Geometry,
+		Profiles:      []dram.Profile{perfProfile()},
+		SubarrayRows:  subarrayRows,
+		EPTProtection: ept.GuardRows,
+	}, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	vm, err := h.CreateVM(core.Process{KVMPrivileged: true}, core.VMSpec{
+		Name:   "bench",
+		Socket: 0,
+		// 4 GiB per logical core in the paper; here simply cfg.VMMemory.
+		MemoryBytes: cfg.VMMemory,
+		VCPUs:       cfg.Geometry.CoresPerSocket,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, vm, nil
+}
+
+// llcBytes is the modelled last-level cache capacity (the Xeon Gold 6230
+// has 27.5 MiB of L3; we round to 32 MiB).
+const llcBytes = 32 * geometry.MiB
+
+// measure runs a workload Reps times on a fresh controller each time,
+// returning a sample of the chosen metric. Workloads run behind a
+// last-level cache model unless they declare themselves cache-bypassing
+// (Intel MLC).
+func measure(cfg PerfConfig, vm *core.VM, w workload.Workload, metric func(memctrl.Result) float64) (stats.Sample, error) {
+	s := stats.Sample{Name: w.Name()}
+	bypass := false
+	if b, ok := w.(interface{ BypassesCache() bool }); ok {
+		bypass = b.BypassesCache()
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		ctrl, err := memctrl.New(memctrl.Config{
+			Mapper:     vm.Hypervisor().Memory().Mapper(),
+			Timing:     memctrl.DDR4_2933(),
+			MLPWindow:  cfg.MLPWindow,
+			HomeSocket: vm.Spec().Socket,
+			JitterSeed: cfg.Seed + cfg.JitterSalt*92821 + int64(rep)*1009 + nameSalt(w.Name()) + 1,
+		})
+		if err != nil {
+			return s, err
+		}
+		var cache *memctrl.Cache
+		if !bypass {
+			if cache, err = memctrl.NewCache(llcBytes, 16); err != nil {
+				return s, err
+			}
+		}
+		res, err := workload.RunOnVM(vm, ctrl, cache, w, cfg.Ops, cfg.Seed+int64(rep))
+		if err != nil {
+			return s, err
+		}
+		s.Values = append(s.Values, metric(res))
+	}
+	return s, nil
+}
+
+// nameSalt decorrelates timing noise across workloads.
+func nameSalt(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return h % 100003
+}
+
+// execTime is the execution-time metric (lower is better).
+func execTime(r memctrl.Result) float64 { return r.TotalNs }
+
+// throughput is the bandwidth metric (higher is better); Figs. 5/7 plot
+// overhead, so we invert to keep "positive = worse".
+func throughput(r memctrl.Result) float64 { return 1 / r.ThroughputGBs() }
+
+// Figure is one rendered bar chart: baseline-normalized overheads.
+type Figure struct {
+	// Title names the figure (e.g. "Figure 4").
+	Title string
+	// Bars are per-workload overheads with confidence intervals.
+	Bars []stats.Normalized
+	// GeomeanPct is the geometric-mean overhead across bars.
+	GeomeanPct float64
+}
+
+// geomeanPct computes the geometric mean of the bars' ratios as a percent.
+func geomeanPct(bars []stats.Normalized) float64 {
+	ratios := make([]float64, len(bars))
+	for i, b := range bars {
+		ratios[i] = 1 + b.OverheadPct/100
+	}
+	return 100 * (stats.GeoMean(ratios) - 1)
+}
+
+// Render formats the figure as aligned text rows.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-22s %12s\n", "workload", "overhead")
+	for _, bar := range f.Bars {
+		fmt.Fprintf(&b, "%-22s %+8.2f%% ±%.2f%%\n", bar.Name, bar.OverheadPct, bar.CIPct)
+	}
+	fmt.Fprintf(&b, "%-22s %+8.2f%%\n", "geomean", f.GeomeanPct)
+	return b.String()
+}
+
+// WithinHalfPercent reports whether the figure reproduces the paper's
+// headline claim: geometric-mean overhead within ±0.5%.
+func (f Figure) WithinHalfPercent() bool {
+	return f.GeomeanPct < 0.5 && f.GeomeanPct > -0.5
+}
+
+// CSV renders the figure as comma-separated rows for external plotting.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,overhead_pct,ci95_pct\n")
+	for _, bar := range f.Bars {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f\n", bar.Name, bar.OverheadPct, bar.CIPct)
+	}
+	fmt.Fprintf(&b, "geomean,%.4f,\n", f.GeomeanPct)
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geometry"
+	"repro/internal/subarray"
+
+	"repro/internal/addr"
+)
+
+// FragmentationRow quantifies §8.1: provisioning whole subarray groups to
+// VMs whose sizes do not align wastes DRAM; sub-NUMA clustering halves the
+// group size and the waste.
+type FragmentationRow struct {
+	// Config labels the provisioning granularity.
+	Config string
+	// GroupGiB is the subarray group size.
+	GroupGiB float64
+	// WastePct is internal fragmentation across the VM size mix.
+	WastePct float64
+}
+
+// vmMix is a representative cloud VM size mix (GiB), spanning micro-VMs to
+// large instances (§8.1 highlights micro-VM pressure).
+var vmMix = []float64{0.5, 0.5, 1, 1, 2, 2, 4, 4, 8, 16, 16, 32, 64, 160}
+
+// FragmentationStudy computes waste for the three subarray sizes at SNC-1
+// and SNC-2 on the evaluation server.
+func FragmentationStudy() ([]FragmentationRow, error) {
+	var out []FragmentationRow
+	for _, snc := range []int{1, 2} {
+		g, err := geometry.Default().WithSNC(snc)
+		if err != nil {
+			return nil, err
+		}
+		for _, rows := range []int{512, 1024, 2048} {
+			gg := g.WithSubarraySize(rows)
+			groupBytes := float64(gg.SubarrayGroupBytes())
+			var used, granted float64
+			for _, vmGiB := range vmMix {
+				want := vmGiB * float64(geometry.GiB)
+				groups := int((want + groupBytes - 1) / groupBytes)
+				used += want
+				granted += float64(groups) * groupBytes
+			}
+			out = append(out, FragmentationRow{
+				Config:   fmt.Sprintf("SNC-%d, %d-row subarrays", snc, rows),
+				GroupGiB: groupBytes / float64(geometry.GiB),
+				WastePct: 100 * (granted - used) / granted,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFragmentation formats the study.
+func RenderFragmentation(rows []FragmentationRow) string {
+	var b strings.Builder
+	b.WriteString("Memory fragmentation under whole-group provisioning (§8.1)\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s\n", "configuration", "group", "waste")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %7.2f GiB %9.1f%%\n", r.Config, r.GroupGiB, r.WastePct)
+	}
+	return b.String()
+}
+
+// DDR5Row compares DDR4 and DDR5 handling of one subarray size (§8.2):
+// DDR5 undoes internal mirroring/inversion at each device, so
+// non-power-of-two sizes need no artificial groups or guard rows.
+type DDR5Row struct {
+	SubarrayRows  int
+	DDR4Reserved  float64 // % of DRAM offlined on DDR4
+	DDR5Reserved  float64 // % of DRAM offlined on DDR5
+	DDR4Artifical bool
+	DDR5Artifical bool
+}
+
+// DDR5Comparison sweeps subarray sizes under DDR4 and DDR5 transforms.
+func DDR5Comparison() ([]DDR5Row, error) {
+	ddr4 := addr.AllTransforms()
+	ddr5 := addr.TransformConfig{Scrambling: true} // vendor scrambling may remain
+	var out []DDR5Row
+	for _, rows := range []int{512, 640, 768, 1024, 1280, 2048} {
+		g := geometry.Geometry{
+			Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
+			BanksPerRank: 8, RowBytes: 8 * geometry.KiB,
+			RowsPerSubarray: rows,
+		}
+		lcm := rows * nextPow2(rows) / gcd(rows, nextPow2(rows))
+		g.RowsPerBank = lcm
+		for g.RowsPerBank < 4*nextPow2(rows) {
+			g.RowsPerBank += lcm
+		}
+		mapper, err := addr.NewSkylakeMapper(g)
+		if err != nil {
+			return nil, err
+		}
+		l4, err := subarray.NewLayoutForModule(g, mapper, ddr4)
+		if err != nil {
+			return nil, err
+		}
+		l5, err := subarray.NewLayoutForModule(g, mapper, ddr5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DDR5Row{
+			SubarrayRows:  rows,
+			DDR4Reserved:  100 * float64(len(l4.BoundaryGuardRows(ddr4))) / float64(g.RowsPerBank),
+			DDR5Reserved:  100 * float64(len(l5.BoundaryGuardRows(ddr5))) / float64(g.RowsPerBank),
+			DDR4Artifical: l4.Artificial(),
+			DDR5Artifical: l5.Artificial(),
+		})
+	}
+	return out, nil
+}
+
+// RenderDDR5 formats the comparison.
+func RenderDDR5(rows []DDR5Row) string {
+	var b strings.Builder
+	b.WriteString("DDR4 vs DDR5 subarray group formation (§8.2)\n")
+	fmt.Fprintf(&b, "%10s %18s %18s\n", "subarray", "DDR4 reserved", "DDR5 reserved")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %13.2f%% (%v) %13.2f%% (%v)\n",
+			r.SubarrayRows, r.DDR4Reserved, artLabel(r.DDR4Artifical), r.DDR5Reserved, artLabel(r.DDR5Artifical))
+	}
+	return b.String()
+}
+
+func artLabel(a bool) string {
+	if a {
+		return "artificial"
+	}
+	return "exact"
+}

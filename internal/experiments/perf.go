@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// fig4Workloads are the execution-time workloads of Fig. 4: redis+YCSB A-F,
+// terasort, and the SPEC/PARSEC suites (reported as single aggregate bars).
+func fig4Workloads() ([]workload.Workload, []suite) {
+	singles := append(workload.AllYCSB(), workload.Terasort{})
+	suites := []suite{
+		{name: "spec", members: workload.SPECSuite()},
+		{name: "parsec", members: workload.PARSECSuite()},
+	}
+	return singles, suites
+}
+
+// suite aggregates several workloads into one reported bar (geomean), the
+// way the paper reports SPEC and PARSEC.
+type suite struct {
+	name    string
+	members []workload.Workload
+}
+
+// fig5Workloads are the throughput workloads of Fig. 5.
+func fig5Workloads() []workload.Workload {
+	return append([]workload.Workload{workload.Memcached{}, workload.Sysbench{}}, workload.AllMLC()...)
+}
+
+// comparePerf measures every workload under two hypervisor variants and
+// normalizes variant metrics to the reference.
+func comparePerf(cfg PerfConfig, title string,
+	refMode, varMode core.Mode, refRows, varRows int,
+	singles []workload.Workload, suites []suite,
+	metric func(memctrl.Result) float64) (Figure, error) {
+
+	refCfg, varCfg := cfg, cfg
+	refCfg.JitterSalt = 1 + 3*int64(refMode) + 17*int64(refRows)
+	varCfg.JitterSalt = 2 + 5*int64(varMode) + 23*int64(varRows)
+
+	refH, refVM, err := bootWithVM(cfg, refMode, refRows)
+	if err != nil {
+		return Figure{}, fmt.Errorf("booting reference: %w", err)
+	}
+	varH, varVM, err := bootWithVM(cfg, varMode, varRows)
+	if err != nil {
+		return Figure{}, fmt.Errorf("booting variant: %w", err)
+	}
+	_ = refH
+	_ = varH
+
+	fig := Figure{Title: title}
+	addBar := func(name string, ref, vr stats.Sample) {
+		n := stats.Normalize(vr, ref)
+		n.Name = name
+		fig.Bars = append(fig.Bars, n)
+	}
+	for _, w := range singles {
+		ref, err := measure(refCfg, refVM, w, metric)
+		if err != nil {
+			return fig, err
+		}
+		vr, err := measure(varCfg, varVM, w, metric)
+		if err != nil {
+			return fig, err
+		}
+		addBar(w.Name(), ref, vr)
+	}
+	for _, s := range suites {
+		// Geomean the members into one synthetic sample per rep.
+		refAgg := stats.Sample{Name: s.name}
+		varAgg := stats.Sample{Name: s.name}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			repRef, repVar := refCfg, varCfg
+			repRef.Reps, repVar.Reps = 1, 1
+			repRef.Seed = cfg.Seed + int64(rep)*31
+			repVar.Seed = repRef.Seed
+			var refVals, varVals []float64
+			for _, w := range s.members {
+				ref, err := measure(repRef, refVM, w, metric)
+				if err != nil {
+					return fig, err
+				}
+				vr, err := measure(repVar, varVM, w, metric)
+				if err != nil {
+					return fig, err
+				}
+				refVals = append(refVals, ref.Values[0])
+				varVals = append(varVals, vr.Values[0])
+			}
+			refAgg.Values = append(refAgg.Values, stats.GeoMean(refVals))
+			varAgg.Values = append(varAgg.Values, stats.GeoMean(varVals))
+		}
+		addBar(s.name, refAgg, varAgg)
+	}
+	fig.GeomeanPct = geomeanPct(fig.Bars)
+	return fig, nil
+}
+
+// Fig4ExecutionTime reproduces Figure 4: baseline-normalized execution time
+// for Siloz across redis+YCSB, terasort, SPEC and PARSEC.
+func Fig4ExecutionTime(cfg PerfConfig) (Figure, error) {
+	singles, suites := fig4Workloads()
+	return comparePerf(cfg, "Figure 4: baseline-normalized execution time overhead (Siloz)",
+		core.ModeBaseline, core.ModeSiloz, 0, 0, singles, suites, execTime)
+}
+
+// Fig5Throughput reproduces Figure 5: baseline-normalized throughput
+// overhead for Siloz across memcached, mySQL and Intel MLC modes.
+func Fig5Throughput(cfg PerfConfig) (Figure, error) {
+	return comparePerf(cfg, "Figure 5: baseline-normalized throughput overhead (Siloz)",
+		core.ModeBaseline, core.ModeSiloz, 0, 0, fig5Workloads(), nil, throughput)
+}
+
+// SizeSensitivity reproduces Figures 6 and 7: Siloz-512 and Siloz-2048
+// normalized to Siloz-1024 (§7.4), for both metrics.
+type SizeSensitivity struct {
+	Time512, Time2048 Figure
+	Tput512, Tput2048 Figure
+}
+
+// Fig6And7SizeSensitivity runs the §7.4 sweep.
+func Fig6And7SizeSensitivity(cfg PerfConfig) (SizeSensitivity, error) {
+	var out SizeSensitivity
+	singles, suites := fig4Workloads()
+	var err error
+	out.Time512, err = comparePerf(cfg, "Figure 6 (Siloz-512 vs Siloz-1024): execution time",
+		core.ModeSiloz, core.ModeSiloz, 1024, 512, singles, suites, execTime)
+	if err != nil {
+		return out, err
+	}
+	out.Time2048, err = comparePerf(cfg, "Figure 6 (Siloz-2048 vs Siloz-1024): execution time",
+		core.ModeSiloz, core.ModeSiloz, 1024, 2048, singles, suites, execTime)
+	if err != nil {
+		return out, err
+	}
+	out.Tput512, err = comparePerf(cfg, "Figure 7 (Siloz-512 vs Siloz-1024): throughput",
+		core.ModeSiloz, core.ModeSiloz, 1024, 512, fig5Workloads(), nil, throughput)
+	if err != nil {
+		return out, err
+	}
+	out.Tput2048, err = comparePerf(cfg, "Figure 7 (Siloz-2048 vs Siloz-1024): throughput",
+		core.ModeSiloz, core.ModeSiloz, 1024, 2048, fig5Workloads(), nil, throughput)
+	return out, err
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+)
+
+// SecurityConfig parameterizes the §7.1 experiments.
+type SecurityConfig struct {
+	// Geometry of the simulated server; zero value = the paper's server.
+	Geometry geometry.Geometry
+	// Patterns per DIMM for the fuzzing campaign.
+	Patterns int
+	// Windows hammered per pattern ("leaving the system running", §7.1).
+	Windows int
+	// Seed drives the fuzzer.
+	Seed int64
+}
+
+// DefaultSecurityConfig sizes the campaign like one unit of the paper's
+// 24-hour run.
+func DefaultSecurityConfig() SecurityConfig {
+	return SecurityConfig{Geometry: geometry.Default(), Patterns: 40, Windows: 2, Seed: 7}
+}
+
+// DIMMContainment is one row of Table 3.
+type DIMMContainment struct {
+	// DIMM names the module (A-F).
+	DIMM string
+	// FlipsInside counts bit flips inside the fuzzer's subarray group.
+	FlipsInside int
+	// FlipsOutside counts bit flips outside it (must be 0 under Siloz).
+	FlipsOutside int
+	// AttackerObserved counts corruptions the attacker itself saw.
+	AttackerObserved int
+	// RanksWithFlips and BanksWithFlips count distinct ranks/banks that
+	// flipped (§7.1 reports flips "across ranks and banks").
+	RanksWithFlips, BanksWithFlips int
+}
+
+// Table3Result reproduces Table 3: per-DIMM bit-flip containment.
+type Table3Result struct {
+	Rows []DIMMContainment
+}
+
+// Contained reports whether no flip escaped on any DIMM.
+func (t Table3Result) Contained() bool {
+	for _, r := range t.Rows {
+		if r.FlipsOutside != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the table in the paper's shape.
+func (t Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: observed bit flips vs. the hammering domain's subarray group\n")
+	fmt.Fprintf(&b, "%-28s", "DIMM")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%8s", r.DIMM)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-28s", "Inside subarray group")
+	for _, r := range t.Rows {
+		yes := "yes"
+		if r.FlipsInside == 0 {
+			yes = "none"
+		}
+		fmt.Fprintf(&b, "%8s", yes)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-28s", "Outside subarray group")
+	for _, r := range t.Rows {
+		no := "NO"
+		if r.FlipsOutside > 0 {
+			no = "YES!"
+		}
+		fmt.Fprintf(&b, "%8s", no)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table3Containment runs the §7.1 hammering-containment experiment: on each
+// of the six DIMM profiles, a Blacksmith campaign is pinned to one Siloz
+// subarray group; every resulting flip is classified as inside or outside
+// the group.
+func Table3Containment(cfg SecurityConfig) (Table3Result, error) {
+	var out Table3Result
+	for dimmIdx, prof := range dram.EvaluationProfiles() {
+		h, err := core.Boot(core.Config{
+			Geometry:      cfg.Geometry,
+			Profiles:      []dram.Profile{prof},
+			EPTProtection: ept.GuardRows,
+		}, core.ModeSiloz)
+		if err != nil {
+			return out, err
+		}
+		mem := h.Memory()
+		// Pin the fuzzer to one guest subarray group, targeting a bank
+		// on the DIMM under test.
+		grp := h.Layout().Group(0, 1+dimmIdx%(h.Layout().GroupsPerSocket()-1))
+		var ranges []attack.PhysRange
+		for _, r := range grp.Ranges {
+			ranges = append(ranges, attack.PhysRange{Start: r.Start, End: r.End})
+		}
+		// Attack banks on both ranks of the DIMM under test (§7.1
+		// observes flips "across ranks and banks in the DIMMs").
+		g := cfg.Geometry
+		dimm := dimmIdx % g.DIMMsPerSocket
+		bankIdxs := []int{
+			dimm * g.BanksPerDIMM(),                  // rank 0, bank 0
+			dimm*g.BanksPerDIMM() + g.BanksPerRank,   // rank 1, bank 0
+			dimm*g.BanksPerDIMM() + g.BanksPerRank/2, // rank 0, mid bank
+		}
+		row := DIMMContainment{DIMM: prof.Name}
+		for bi, bankIdx := range bankIdxs {
+			target := &attack.PhysTarget{
+				Mem:       mem,
+				Ranges:    ranges,
+				BankIndex: bankIdx,
+			}
+			fz := attack.NewFuzzer(attack.FuzzerConfig{
+				Patterns:          cfg.Patterns,
+				WindowsPerPattern: cfg.Windows,
+				MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
+				FillPattern:       0xAA,
+				Seed:              cfg.Seed + int64(dimmIdx)*17 + int64(bi),
+			})
+			rep, err := fz.Run(target)
+			if err != nil {
+				return out, err
+			}
+			row.AttackerObserved += len(rep.Corruptions)
+		}
+		ranksHit := map[int]bool{}
+		banksHit := map[geometry.BankID]bool{}
+		for _, f := range mem.Flips() {
+			pa, err := mem.FlipPhys(f)
+			if err != nil {
+				return out, err
+			}
+			if grp.Contains(pa) {
+				row.FlipsInside++
+				ranksHit[f.Bank.Rank] = true
+				banksHit[f.Bank] = true
+			} else {
+				row.FlipsOutside++
+			}
+		}
+		row.RanksWithFlips = len(ranksHit)
+		row.BanksWithFlips = len(banksHit)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// EPTProtectionResult reproduces the §7.1 EPT experiment: hammering groups
+// of 32 consecutive rows protected per Siloz's mitigation vs. unprotected
+// row groups in the same subarray group.
+type EPTProtectionResult struct {
+	// ProtectedFlips counts flips landing in the protected row (must be 0).
+	ProtectedFlips int
+	// UnprotectedFlips counts flips in the unprotected control rows.
+	UnprotectedFlips int
+	// TranslationsIntact reports whether the VM's EPT mappings survived.
+	TranslationsIntact bool
+}
+
+// Render formats the result.
+func (r EPTProtectionResult) Render() string {
+	return fmt.Sprintf(
+		"EPT bit-flip prevention (§7.1)\nprotected 32-row blocks: %d flips\nunprotected rows:        %d flips\ntranslations intact:     %v\n",
+		r.ProtectedFlips, r.UnprotectedFlips, r.TranslationsIntact)
+}
+
+// EPTProtection runs the experiment on the default evaluation server.
+func EPTProtection(cfg SecurityConfig) (EPTProtectionResult, error) {
+	var out EPTProtectionResult
+	prof := dram.ProfileD() // most susceptible part
+	prof.VulnerableRowFraction = 1
+	h, err := core.Boot(core.Config{
+		Geometry:      cfg.Geometry,
+		Profiles:      []dram.Profile{prof},
+		EPTProtection: ept.GuardRows,
+	}, core.ModeSiloz)
+	if err != nil {
+		return out, err
+	}
+	vm, err := h.CreateVM(core.Process{KVMPrivileged: true}, core.VMSpec{
+		Name: "probe", Socket: 0,
+		MemoryBytes: uint64(h.Layout().GroupBytes()),
+	})
+	if err != nil {
+		return out, err
+	}
+	before := make(map[uint64]uint64)
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			return out, err
+		}
+		before[gpa] = hpa
+	}
+
+	mem := h.Memory()
+
+	eptNode, err := h.EPTNode(0)
+	if err != nil {
+		return out, err
+	}
+	ma, err := mem.Mapper().Decode(eptNode.Ranges[0].Start)
+	if err != nil {
+		return out, err
+	}
+	// Protected block: hammer the closest allocatable rows around the
+	// 32-row EPT block (rows just above it).
+	for _, row := range []int{core.EPTBlockRowGroups, core.EPTBlockRowGroups + 1} {
+		pa, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+		if err != nil {
+			return out, err
+		}
+		if err := mem.ActivatePhys(pa, int(prof.HammerThreshold)*4, 0); err != nil {
+			return out, err
+		}
+	}
+	mem.Refresh()
+	// Unprotected control rows in the same subarray group: hammer row
+	// 100 (host group interior).
+	ctrlPA, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: 100, Col: 0})
+	if err != nil {
+		return out, err
+	}
+	if err := mem.ActivatePhys(ctrlPA, int(prof.HammerThreshold)*4, 0); err != nil {
+		return out, err
+	}
+	mem.Refresh()
+
+	for _, f := range mem.Flips() {
+		if f.MediaRow < core.EPTBlockRowGroups {
+			if f.MediaRow == core.EPTRowGroupOffset {
+				out.ProtectedFlips++
+			}
+			// Flips in offlined guard rows are harmless by design.
+			continue
+		}
+		out.UnprotectedFlips++
+	}
+	out.TranslationsIntact = true
+	for gpa, want := range before {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil || hpa != want {
+			out.TranslationsIntact = false
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/geometry"
+)
+
+// This file makes the §3 guard-row comparison executable. A ZebRAM-style
+// scheme reserves guard rows between rows of different isolation domains:
+// at 1 guard per normal row it costs 50% of the protected region, and —
+// because modern DIMMs disturb rows two away (Half-Double) — it *still*
+// leaks; safety requires 4 guards per normal row (80%). Siloz's subarray
+// groups get the same containment from the silicon itself at ~0% cost.
+
+// ZebRAMRow is one configuration of the comparison.
+type ZebRAMRow struct {
+	// Scheme names the configuration.
+	Scheme string
+	// OverheadPct is the DRAM share reserved as guards.
+	OverheadPct float64
+	// CrossDomainFlips counts flips landing in the other domain's rows.
+	CrossDomainFlips int
+	// Safe reports whether isolation held.
+	Safe bool
+}
+
+// RenderZebRAM formats the comparison.
+func RenderZebRAM(rows []ZebRAMRow) string {
+	var b strings.Builder
+	b.WriteString("Guard-row schemes vs subarray groups under a blast-radius-2 DIMM (§3)\n")
+	fmt.Fprintf(&b, "%-34s %10s %14s %6s\n", "scheme", "overhead", "cross flips", "safe")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %9.1f%% %14d %6v\n", r.Scheme, r.OverheadPct, r.CrossDomainFlips, r.Safe)
+	}
+	return b.String()
+}
+
+// zebramProbe lays two domains' rows into one bank under a guard-row
+// scheme with the given stride (domain rows at multiples of stride, guards
+// between; stride 1 = adjacent domains, no guards), hammers every row
+// domain A owns, and counts flips landing in domain B's rows.
+func zebramProbe(stride int) (int, error) {
+	g := geometry.Geometry{
+		Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
+		BanksPerRank: 8, RowsPerBank: 2048, RowBytes: 8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+	prof := dram.ProfileF() // blast radius 2
+	prof.VulnerableRowFraction = 1
+	prof.Transforms = addr.TransformConfig{}
+	mod, err := dram.NewModule(g, prof, 0, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	bank := geometry.BankID{Socket: 0, DIMM: 0, Rank: 0, Bank: 0}
+
+	// Alternate domain ownership of the usable rows: A, B, A, B...
+	owner := map[int]byte{}
+	usable := 0
+	for r := 0; r < g.RowsPerSubarray; r += stride {
+		if usable%2 == 0 {
+			owner[r] = 'A'
+		} else {
+			owner[r] = 'B'
+		}
+		usable++
+	}
+	// Domain A hammers every row it owns, hard.
+	for r, who := range owner {
+		if who != 'A' {
+			continue
+		}
+		if err := mod.ActivateRow(bank, r, int(prof.HammerThreshold)*5, 0); err != nil {
+			return 0, err
+		}
+		mod.Refresh() // fresh activation budget per aggressor
+	}
+	cross := 0
+	for _, f := range mod.Flips() {
+		if owner[f.MediaRow] == 'B' {
+			cross++
+		}
+	}
+	return cross, nil
+}
+
+// ZebRAMComparison runs the guard-row schemes and the Siloz equivalent.
+func ZebRAMComparison() ([]ZebRAMRow, error) {
+	var out []ZebRAMRow
+	cases := []struct {
+		scheme   string
+		stride   int
+		overhead float64
+	}{
+		{"no guards (baseline placement)", 1, 0},
+		{"ZebRAM, 1 guard/row (50%)", 2, 50},
+		{"ZebRAM, 2 guards/row (66%)", 3, 100.0 * 2 / 3},
+		{"ZebRAM, 4 guards/row (80%)", 5, 80},
+	}
+	for _, c := range cases {
+		cross, err := zebramProbe(c.stride)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ZebRAMRow{
+			Scheme:           c.scheme,
+			OverheadPct:      c.overhead,
+			CrossDomainFlips: cross,
+			Safe:             cross == 0,
+		})
+	}
+	// Siloz: the two domains are separate subarray groups; hammering all
+	// of A's rows cannot reach B's subarray at any cost.
+	cross, err := silozProbe()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ZebRAMRow{
+		Scheme:           "Siloz subarray groups (~0%)",
+		OverheadPct:      0.024, // the EPT block, §5.4
+		CrossDomainFlips: cross,
+		Safe:             cross == 0,
+	})
+	return out, nil
+}
+
+// silozProbe gives domain A one whole subarray and B the next, A hammering
+// everything it owns including the boundary rows.
+func silozProbe() (int, error) {
+	g := geometry.Geometry{
+		Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
+		BanksPerRank: 8, RowsPerBank: 2048, RowBytes: 8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+	prof := dram.ProfileF()
+	prof.VulnerableRowFraction = 1
+	prof.Transforms = addr.TransformConfig{}
+	mod, err := dram.NewModule(g, prof, 0, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	bank := geometry.BankID{Socket: 0, DIMM: 0, Rank: 0, Bank: 0}
+	// A = subarray 0 rows, B = subarray 1 rows. Hammer A's boundary-most
+	// rows plus a spread.
+	for _, r := range []int{509, 510, 511, 100, 200, 300} {
+		if err := mod.ActivateRow(bank, r, int(prof.HammerThreshold)*5, 0); err != nil {
+			return 0, err
+		}
+		mod.Refresh()
+	}
+	cross := 0
+	for _, f := range mod.Flips() {
+		if f.MediaRow >= 512 && f.MediaRow < 1024 {
+			cross++
+		}
+	}
+	return cross, nil
+}

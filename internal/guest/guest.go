@@ -1,0 +1,218 @@
+// Package guest implements the guest operating system's side of the §2.1
+// address translation story: guest page tables, stored in guest RAM and
+// managed by the guest kernel, map guest virtual addresses (GVAs) to guest
+// physical addresses (GPAs); the hypervisor's EPTs then map GPAs to host
+// physical addresses. Together the packages realize all three address types
+// the paper's background defines.
+//
+// The guest layer also makes the §9 trade-off concrete: a process inside
+// the VM can hammer its *own* kernel's page tables (PTHammer-style), because
+// Siloz only provides inter-VM isolation — everything the guest owns,
+// including its page tables, shares the VM's subarray groups.
+package guest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+)
+
+// Page table entry layout mirrors x86-64: present bit 0, frame bits 12+.
+const (
+	ptePresent = 1 << 0
+	pteFrame   = 0x000F_FFFF_FFFF_F000
+
+	levels    = 4
+	levelBits = 9
+	ptShift   = 12
+)
+
+// ErrNotMapped reports an unmapped guest virtual address.
+var ErrNotMapped = errors.New("guest: gva not mapped")
+
+// Kernel is a minimal guest OS: a physical-frame allocator over guest RAM
+// and per-process page tables living inside that RAM.
+type Kernel struct {
+	vm *core.VM
+	// nextFrame is the guest frame allocator bump pointer (GPA).
+	nextFrame uint64
+	limit     uint64
+	procs     map[int]*Process
+	nextPID   int
+}
+
+// NewKernel boots a guest kernel inside a VM. Frame allocation starts after
+// reserved low memory.
+func NewKernel(vm *core.VM) *Kernel {
+	return &Kernel{
+		vm:        vm,
+		nextFrame: 1 << 20, // leave the first MiB for "firmware"
+		limit:     vm.Spec().MemoryBytes,
+		procs:     make(map[int]*Process),
+	}
+}
+
+// allocFrame hands out one zeroed 4 KiB guest frame.
+func (k *Kernel) allocFrame() (uint64, error) {
+	if k.nextFrame+geometry.PageSize4K > k.limit {
+		return 0, fmt.Errorf("guest: out of guest frames")
+	}
+	gpa := k.nextFrame
+	k.nextFrame += geometry.PageSize4K
+	if err := k.vm.WriteGuest(gpa, make([]byte, geometry.PageSize4K)); err != nil {
+		return 0, err
+	}
+	return gpa, nil
+}
+
+// Process is one guest process with its own address space.
+type Process struct {
+	PID  int
+	k    *Kernel
+	root uint64 // GPA of the top-level page table
+	// tablePages records every page-table frame, in allocation order —
+	// the state PTHammer-style attacks target.
+	tablePages []uint64
+}
+
+// Spawn creates a process with an empty address space.
+func (k *Kernel) Spawn() (*Process, error) {
+	root, err := k.allocFrame()
+	if err != nil {
+		return nil, err
+	}
+	k.nextPID++
+	p := &Process{PID: k.nextPID, k: k, root: root, tablePages: []uint64{root}}
+	k.procs[p.PID] = p
+	return p, nil
+}
+
+// TablePages returns the GPAs of the process's page-table frames.
+func (p *Process) TablePages() []uint64 {
+	out := make([]uint64, len(p.tablePages))
+	copy(out, p.tablePages)
+	return out
+}
+
+// readPTE loads a page table entry from guest RAM.
+func (p *Process) readPTE(gpa uint64) (uint64, error) {
+	var buf [8]byte
+	if err := p.k.vm.ReadGuest(gpa, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// writePTE stores a page table entry into guest RAM.
+func (p *Process) writePTE(gpa, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return p.k.vm.WriteGuest(gpa, buf[:])
+}
+
+func indexAt(gva uint64, level int) uint64 {
+	shift := ptShift + levelBits*(levels-1-level)
+	return (gva >> shift) & ((1 << levelBits) - 1)
+}
+
+// Map installs a 4 KiB mapping gva → gpa in the process's address space.
+func (p *Process) Map(gva, gpa uint64) error {
+	if gva%geometry.PageSize4K != 0 || gpa%geometry.PageSize4K != 0 {
+		return fmt.Errorf("guest: Map needs 4 KiB alignment (gva=%#x gpa=%#x)", gva, gpa)
+	}
+	table := p.root
+	for level := 0; level < levels-1; level++ {
+		entryGPA := table + indexAt(gva, level)*8
+		v, err := p.readPTE(entryGPA)
+		if err != nil {
+			return err
+		}
+		if v&ptePresent == 0 {
+			next, err := p.k.allocFrame()
+			if err != nil {
+				return err
+			}
+			p.tablePages = append(p.tablePages, next)
+			v = (next & pteFrame) | ptePresent
+			if err := p.writePTE(entryGPA, v); err != nil {
+				return err
+			}
+		}
+		table = v & pteFrame
+	}
+	leafGPA := table + indexAt(gva, levels-1)*8
+	return p.writePTE(leafGPA, (gpa&pteFrame)|ptePresent)
+}
+
+// MapAnonymous allocates a fresh guest frame and maps it at gva, returning
+// the backing GPA (the guest's mmap).
+func (p *Process) MapAnonymous(gva uint64) (uint64, error) {
+	gpa, err := p.k.allocFrame()
+	if err != nil {
+		return 0, err
+	}
+	return gpa, p.Map(gva, gpa)
+}
+
+// Translate walks the guest page tables for a GVA, returning the GPA. The
+// walk reads page table entries from guest RAM — flipped PTE bits steer it,
+// exactly like hardware.
+func (p *Process) Translate(gva uint64) (uint64, error) {
+	table := p.root
+	for level := 0; level < levels; level++ {
+		entryGPA := table + indexAt(gva, level)*8
+		v, err := p.readPTE(entryGPA)
+		if err != nil {
+			return 0, err
+		}
+		if v&ptePresent == 0 {
+			return 0, fmt.Errorf("%w: gva %#x (level %d)", ErrNotMapped, gva, level)
+		}
+		if level == levels-1 {
+			return (v & pteFrame) | (gva & (geometry.PageSize4K - 1)), nil
+		}
+		table = v & pteFrame
+	}
+	panic("unreachable")
+}
+
+// TranslateToHost resolves the full §2.1 chain: GVA → GPA (guest page
+// tables) → HPA (the hypervisor's EPTs).
+func (p *Process) TranslateToHost(gva uint64) (uint64, error) {
+	gpa, err := p.Translate(gva)
+	if err != nil {
+		return 0, err
+	}
+	return p.k.vm.Translate(gpa)
+}
+
+// Write stores data at a guest virtual address (single page).
+func (p *Process) Write(gva uint64, data []byte) error {
+	gpa, err := p.Translate(gva)
+	if err != nil {
+		return err
+	}
+	return p.k.vm.WriteGuest(gpa, data)
+}
+
+// Read loads data from a guest virtual address (single page).
+func (p *Process) Read(gva uint64, buf []byte) error {
+	gpa, err := p.Translate(gva)
+	if err != nil {
+		return err
+	}
+	return p.k.vm.ReadGuest(gpa, buf)
+}
+
+// HammerVirtual hammers the DRAM row backing a guest virtual address — an
+// in-guest process's unmediated access path.
+func (p *Process) HammerVirtual(gva uint64, count int, openNs int64) error {
+	gpa, err := p.Translate(gva)
+	if err != nil {
+		return err
+	}
+	return p.k.vm.Hammer(gpa, count, openNs)
+}

@@ -1,0 +1,38 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+func BenchmarkControllerStream(b *testing.B) {
+	g := geometry.Default()
+	m, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := uint64(g.TotalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Do(Access{PA: uint64(i) * geometry.CacheLineSize % total}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := NewCache(32<<20, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%100000) * geometry.CacheLineSize)
+	}
+}

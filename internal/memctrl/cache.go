@@ -1,0 +1,85 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Cache models the CPU's last-level cache in front of the memory
+// controller: a physically-indexed, set-associative, write-back LRU cache.
+// Hot lines (e.g. zipfian-popular keys) are served here and never reach
+// DRAM — which is why placement-only changes like Siloz's leave workload
+// performance unchanged (§7.2-7.3): only the DRAM-miss stream differs, and
+// its bank/row statistics are placement-invariant in aggregate.
+type Cache struct {
+	ways     int
+	sets     int
+	tags     [][]uint64 // per set, line addresses (0 = invalid)
+	lru      [][]int64  // per set, last-use stamps
+	clock    int64
+	hitCount int64
+	missed   int64
+	// HitNs is the service latency of a cache hit.
+	HitNs float64
+}
+
+// NewCache builds a cache of the given capacity and associativity.
+func NewCache(capacityBytes int64, ways int) (*Cache, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("memctrl: ways must be positive")
+	}
+	lines := capacityBytes / geometry.CacheLineSize
+	sets := int(lines) / ways
+	if sets <= 0 {
+		return nil, fmt.Errorf("memctrl: capacity %d too small for %d ways", capacityBytes, ways)
+	}
+	c := &Cache{ways: ways, sets: sets, HitNs: 20}
+	c.tags = make([][]uint64, sets)
+	c.lru = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.lru[i] = make([]int64, ways)
+	}
+	return c, nil
+}
+
+// Access looks a physical address up, filling on miss. It returns true on
+// hit. Addresses are line-aligned internally.
+func (c *Cache) Access(pa uint64) bool {
+	line := pa &^ uint64(geometry.CacheLineSize-1)
+	set := int((line / geometry.CacheLineSize) % uint64(c.sets))
+	c.clock++
+	tags := c.tags[set]
+	for w, t := range tags {
+		if t == line+1 { // +1 so 0 stays "invalid"
+			c.lru[set][w] = c.clock
+			c.hitCount++
+			return true
+		}
+	}
+	// Miss: fill the LRU way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	tags[victim] = line + 1
+	c.lru[set][victim] = c.clock
+	c.missed++
+	return false
+}
+
+// HitRate returns the fraction of accesses served by the cache.
+func (c *Cache) HitRate() float64 {
+	total := c.hitCount + c.missed
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hitCount) / float64(total)
+}
+
+// Hits and Misses expose the raw counters.
+func (c *Cache) Hits() int64   { return c.hitCount }
+func (c *Cache) Misses() int64 { return c.missed }

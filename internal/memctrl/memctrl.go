@@ -1,0 +1,344 @@
+// Package memctrl models a DDR4 memory controller's timing behaviour at the
+// level the paper's performance claims depend on: per-bank serialization of
+// row activations (row buffer hits vs. misses), bank-level parallelism
+// across a socket's banks (§2.4 — the >18% effect subarray groups preserve,
+// §4.1), limited memory-level parallelism from the core, and NUMA locality.
+//
+// The controller consumes a stream of physical-address accesses and
+// produces simulated execution time and throughput. It is deliberately a
+// first-order model: precise absolute latencies are not the point —
+// *relative* behaviour between Siloz and the baseline is, and that is
+// governed by which banks and rows a mapping spreads accesses over.
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+// Timing holds DDR4 timing parameters in nanoseconds (DDR4-2933 defaults).
+type Timing struct {
+	// TRCD is the activate-to-read delay.
+	TRCD float64
+	// TRP is the precharge time.
+	TRP float64
+	// TCL is the CAS latency.
+	TCL float64
+	// TBurst is the data burst time for one 64-byte line.
+	TBurst float64
+	// TRRD is the minimum spacing between activations to the same rank.
+	TRRD float64
+	// TFAW is the rolling window in which a rank accepts at most four
+	// activations (the four-activation-window constraint).
+	TFAW float64
+	// TRFC is the refresh cycle time: how long a refresh occupies a rank.
+	TRFC float64
+	// TREFI is the average refresh interval; one refresh is issued per
+	// TREFI to meet the 64 ms retention window (§2.3).
+	TREFI float64
+	// RemotePenalty is the added latency for cross-socket accesses.
+	RemotePenalty float64
+}
+
+// DDR4_2933 returns timings for the evaluation server's DIMMs.
+func DDR4_2933() Timing {
+	return Timing{
+		TRCD:          13.64,
+		TRP:           13.64,
+		TCL:           13.64,
+		TBurst:        2.73,
+		TRRD:          4.9,
+		TFAW:          21.0,
+		TRFC:          350,
+		TREFI:         7800,
+		RemotePenalty: 60,
+	}
+}
+
+// hitLatency is the access latency on a row buffer hit.
+func (t Timing) hitLatency() float64 { return t.TCL + t.TBurst }
+
+// missLatency is the access latency on a row buffer conflict (precharge +
+// activate + CAS).
+func (t Timing) missLatency() float64 { return t.TRP + t.TRCD + t.TCL + t.TBurst }
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Mapper is the physical-to-media decode applied per access.
+	Mapper addr.Mapper
+	// Timing are the DRAM timing parameters.
+	Timing Timing
+	// MLPWindow is the maximum number of outstanding memory accesses
+	// (the core's memory-level parallelism); typical out-of-order cores
+	// sustain ~10 per thread.
+	MLPWindow int
+	// HomeSocket is the socket the accessing cores live on, for NUMA
+	// penalty accounting.
+	HomeSocket int
+	// JitterSeed adds bounded per-access service-time noise (±1%),
+	// modelling run-to-run variance; 0 disables noise.
+	JitterSeed int64
+	// TrackActivations records per-row activation counts within 64 ms
+	// refresh windows, the quantity Rowhammer thresholds are defined
+	// over (§2.5). Costs one map update per row miss.
+	TrackActivations bool
+}
+
+// refreshWindowNs is the DDR4 retention window (64 ms).
+const refreshWindowNs = 64e6
+
+// Access is one memory request.
+type Access struct {
+	// PA is the host physical address.
+	PA uint64
+	// Write marks stores (otherwise loads).
+	Write bool
+	// ThinkNs is core compute time between the previous access's issue
+	// and this one.
+	ThinkNs float64
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// TotalNs is the simulated wall time from first issue to last
+	// completion.
+	TotalNs float64
+	// Accesses, Reads and Writes count requests.
+	Accesses, Reads, Writes int
+	// RowHits and RowMisses classify row buffer behaviour.
+	RowHits, RowMisses int
+	// Bytes is the data volume moved.
+	Bytes int64
+	// PeakRowACTs is the maximum activation count any single row
+	// received within one 64 ms refresh window (needs
+	// Config.TrackActivations). Comparing it against a DIMM's
+	// Rowhammer threshold shows whether the access stream could
+	// disturb neighbours (§1, §2.5).
+	PeakRowACTs int
+}
+
+// ThroughputGBs returns achieved bandwidth in GB/s.
+func (r Result) ThroughputGBs() float64 {
+	if r.TotalNs == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.TotalNs
+}
+
+// OpsPerSec returns achieved request rate.
+func (r Result) OpsPerSec() float64 {
+	if r.TotalNs == 0 {
+		return 0
+	}
+	return float64(r.Accesses) / (r.TotalNs / 1e9)
+}
+
+// HitRate returns the row buffer hit fraction.
+func (r Result) HitRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(r.Accesses)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("time=%.2fms ops=%d hit=%.1f%% bw=%.2fGB/s",
+		r.TotalNs/1e6, r.Accesses, 100*r.HitRate(), r.ThroughputGBs())
+}
+
+// Controller simulates one run; create a fresh one (or call Reset) per run.
+type Controller struct {
+	cfg Config
+
+	bankFree []float64    // per flat bank: earliest next activation
+	openRow  []int        // per flat bank: row in the row buffer (-1 closed)
+	faw      [][4]float64 // per rank: times of the last four activations
+	fawPos   []int
+	lastAct  []float64 // per rank: time of the last activation (tRRD)
+	ring     []float64 // completion times of the last MLPWindow requests
+	ringPos  int
+	now      float64 // issue clock
+	last     float64 // latest completion
+	res      Result
+	rng      *rand.Rand
+	runScale float64 // per-run latency scale (thermal/frequency noise)
+
+	// Activation tracking (Config.TrackActivations).
+	actWindow int64
+	actCounts map[[2]int]int // (bank, row) -> ACTs in the current window
+	peakActs  int
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Mapper == nil {
+		return nil, fmt.Errorf("memctrl: mapper required")
+	}
+	if cfg.MLPWindow <= 0 {
+		return nil, fmt.Errorf("memctrl: MLPWindow must be positive, got %d", cfg.MLPWindow)
+	}
+	c := &Controller{cfg: cfg}
+	c.Reset()
+	return c, nil
+}
+
+// Reset clears all timing state for a new run.
+func (c *Controller) Reset() {
+	g := c.cfg.Mapper.Geometry()
+	n := g.TotalBanks()
+	c.bankFree = make([]float64, n)
+	c.openRow = make([]int, n)
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	ranks := n / g.BanksPerRank
+	c.faw = make([][4]float64, ranks)
+	c.fawPos = make([]int, ranks)
+	c.lastAct = make([]float64, ranks)
+	for r := range c.faw {
+		for i := range c.faw[r] {
+			c.faw[r][i] = -1e18
+		}
+		c.lastAct[r] = -1e18
+	}
+	c.ring = make([]float64, c.cfg.MLPWindow)
+	c.ringPos = 0
+	c.now = 0
+	c.last = 0
+	c.res = Result{}
+	c.actWindow = -1
+	c.actCounts = nil
+	c.peakActs = 0
+	c.runScale = 1
+	if c.cfg.JitterSeed != 0 {
+		c.rng = rand.New(rand.NewSource(c.cfg.JitterSeed))
+		// Per-run systematic noise (±0.3%), modelling frequency and
+		// thermal drift between benchmark repetitions.
+		c.runScale = 1 + (c.rng.Float64()-0.5)*0.006
+	} else {
+		c.rng = nil
+	}
+}
+
+// Do issues one access, returning its completion time.
+func (c *Controller) Do(a Access) (float64, error) {
+	done, _, err := c.DoTimed(a)
+	return done, err
+}
+
+// DoTimed issues one access, returning its completion time and the latency
+// observable by the issuing core: completion minus the instant the request
+// was ready to issue. The observable latency includes bank queueing delay —
+// the contention signal DRAM timing side channels measure (§8.4).
+func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
+	ma, err := c.cfg.Mapper.Decode(a.PA)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := c.cfg.Mapper.Geometry()
+	bank := ma.Bank.Flat(g)
+
+	// Core-side issue: think time plus the MLP window constraint (the
+	// oldest outstanding request must have completed).
+	c.now += a.ThinkNs * c.runScale
+	if oldest := c.ring[c.ringPos]; oldest > c.now {
+		c.now = oldest
+	}
+	ready := c.now
+
+	start := c.now
+	if bf := c.bankFree[bank]; bf > start {
+		start = bf
+	}
+	var latency, occupancy float64
+	if c.openRow[bank] == ma.Row {
+		latency = c.cfg.Timing.hitLatency()
+		occupancy = c.cfg.Timing.TBurst
+		c.res.RowHits++
+	} else {
+		// A row miss needs an activation, subject to the rank's
+		// refresh, tRRD and tFAW constraints.
+		rank := bank / g.BanksPerRank
+		tm := c.cfg.Timing
+		if tm.TREFI > 0 && tm.TRFC > 0 {
+			refStart := float64(int64(start/tm.TREFI)) * tm.TREFI
+			if start < refStart+tm.TRFC {
+				start = refStart + tm.TRFC
+			}
+		}
+		if t := c.lastAct[rank] + tm.TRRD; t > start {
+			start = t
+		}
+		if t := c.faw[rank][c.fawPos[rank]] + tm.TFAW; t > start {
+			start = t
+		}
+		c.faw[rank][c.fawPos[rank]] = start
+		c.fawPos[rank] = (c.fawPos[rank] + 1) % 4
+		c.lastAct[rank] = start
+
+		latency = tm.missLatency()
+		occupancy = tm.TRP + tm.TRCD + tm.TBurst
+		c.res.RowMisses++
+		c.openRow[bank] = ma.Row
+		if c.cfg.TrackActivations {
+			c.trackActivation(bank, ma.Row, start)
+		}
+	}
+	if ma.Bank.Socket != c.cfg.HomeSocket {
+		latency += c.cfg.Timing.RemotePenalty
+	}
+	if c.rng != nil {
+		latency *= c.runScale * (1 + (c.rng.Float64()-0.5)*0.02)
+	}
+	c.bankFree[bank] = start + occupancy*c.runScale
+	done = start + latency
+	c.ring[c.ringPos] = done
+	c.ringPos = (c.ringPos + 1) % len(c.ring)
+	if done > c.last {
+		c.last = done
+	}
+
+	c.res.Accesses++
+	if a.Write {
+		c.res.Writes++
+	} else {
+		c.res.Reads++
+	}
+	c.res.Bytes += geometry.CacheLineSize
+	return done, done - ready, nil
+}
+
+// trackActivation counts one row activation toward the current refresh
+// window's per-row totals.
+func (c *Controller) trackActivation(bank, row int, at float64) {
+	w := int64(at / refreshWindowNs)
+	if w != c.actWindow || c.actCounts == nil {
+		c.actWindow = w
+		c.actCounts = make(map[[2]int]int)
+	}
+	key := [2]int{bank, row}
+	c.actCounts[key]++
+	if c.actCounts[key] > c.peakActs {
+		c.peakActs = c.actCounts[key]
+	}
+}
+
+// Idle advances the core's clock by think-only time (e.g. trailing cache
+// hits) with no DRAM access.
+func (c *Controller) Idle(ns float64) {
+	c.now += ns * c.runScale
+	if c.now > c.last {
+		c.last = c.now
+	}
+}
+
+// Result returns the run summary so far.
+func (c *Controller) Result() Result {
+	r := c.res
+	r.TotalNs = c.last
+	r.PeakRowACTs = c.peakActs
+	return r
+}

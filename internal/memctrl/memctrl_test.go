@@ -1,0 +1,321 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+func tinyGeometry() geometry.Geometry {
+	return geometry.Geometry{
+		Sockets:         2,
+		CoresPerSocket:  4,
+		DIMMsPerSocket:  1,
+		RanksPerDIMM:    2,
+		BanksPerRank:    2,
+		RowsPerBank:     2048,
+		RowBytes:        8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+}
+
+func newCtrl(t *testing.T, mapper addr.Mapper, window int) *Controller {
+	t.Helper()
+	c, err := New(Config{Mapper: mapper, Timing: DDR4_2933(), MLPWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func streamRun(t *testing.T, c *Controller, n int, stride uint64) Result {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := c.Do(Access{PA: uint64(i) * stride}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c.Result()
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	if _, err := New(Config{Mapper: m, MLPWindow: 0}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := New(Config{MLPWindow: 4}); err == nil {
+		t.Error("nil mapper accepted")
+	}
+}
+
+func TestBankLevelParallelismSpeedsUpStreams(t *testing.T) {
+	// §4.1: losing bank-level parallelism costs >18% on streaming
+	// workloads. The interleaved (Skylake) mapping must beat the
+	// one-bank-at-a-time (linear) mapping by a wide margin.
+	g := tinyGeometry()
+	sky, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := addr.NewLinearMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	interleaved := streamRun(t, newCtrl(t, sky, 10), n, geometry.CacheLineSize)
+	serial := streamRun(t, newCtrl(t, lin, 10), n, geometry.CacheLineSize)
+	if interleaved.TotalNs >= serial.TotalNs {
+		t.Fatalf("interleaving slower than serial: %v vs %v", interleaved.TotalNs, serial.TotalNs)
+	}
+	speedup := serial.TotalNs / interleaved.TotalNs
+	// The linear mapping still gets row-buffer hits, so it is not
+	// catastrophically slow — but BLP should win by well beyond the
+	// paper's 18% figure for pure streams.
+	if speedup < 1.18 {
+		t.Errorf("BLP speedup = %.2fx, want > 1.18x (§4.1)", speedup)
+	}
+}
+
+func TestRowBufferHitsCounted(t *testing.T) {
+	// Accesses within one row group at the same bank offset: second
+	// access to the same row is a hit.
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c := newCtrl(t, m, 1)
+	if _, err := c.Do(Access{PA: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Same bank, same row: PA 0 and PA + banks*64 land in the same bank.
+	banks := uint64(g.BanksPerSocket())
+	if _, err := c.Do(Access{PA: banks * geometry.CacheLineSize}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Result()
+	if r.RowMisses != 1 || r.RowHits != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", r.RowHits, r.RowMisses)
+	}
+}
+
+func TestMLPWindowLimitsOverlap(t *testing.T) {
+	// With window 1, every access serializes: total time ~= sum of
+	// latencies. With window 16, random-bank accesses overlap.
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	n := 10000
+	narrow := streamRun(t, newCtrl(t, m, 1), n, geometry.CacheLineSize)
+	wide := streamRun(t, newCtrl(t, m, 16), n, geometry.CacheLineSize)
+	if wide.TotalNs >= narrow.TotalNs {
+		t.Errorf("wider MLP window did not help: %v vs %v", wide.TotalNs, narrow.TotalNs)
+	}
+}
+
+func TestRemoteSocketPenalty(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	local := newCtrl(t, m, 1)
+	if _, err := local.Do(Access{PA: 0}); err != nil { // socket 0
+		t.Fatal(err)
+	}
+	remoteCfg := Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 1, HomeSocket: 1}
+	remote, err := New(remoteCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Do(Access{PA: 0}); err != nil { // socket 0 from socket 1
+		t.Fatal(err)
+	}
+	if remote.Result().TotalNs <= local.Result().TotalNs {
+		t.Error("remote access not penalized")
+	}
+	want := local.Result().TotalNs + DDR4_2933().RemotePenalty
+	if got := remote.Result().TotalNs; got != want {
+		t.Errorf("remote total = %v, want %v", got, want)
+	}
+}
+
+func TestThinkTimeAdvancesClock(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c := newCtrl(t, m, 4)
+	if _, err := c.Do(Access{PA: 0, ThinkNs: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Result().TotalNs; got < 1000 {
+		t.Errorf("TotalNs = %v, want >= 1000 (think time)", got)
+	}
+}
+
+func TestResultCounters(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c := newCtrl(t, m, 4)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(Access{PA: uint64(i) * 64, Write: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := c.Result()
+	if r.Accesses != 10 || r.Reads != 5 || r.Writes != 5 {
+		t.Errorf("counters wrong: %+v", r)
+	}
+	if r.Bytes != 640 {
+		t.Errorf("Bytes = %d", r.Bytes)
+	}
+	if r.ThroughputGBs() <= 0 || r.OpsPerSec() <= 0 {
+		t.Error("derived rates must be positive")
+	}
+}
+
+func TestJitterIsBoundedAndSeeded(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	run := func(seed int64) float64 {
+		c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 8, JitterSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return streamRun(t, c, 20000, geometry.CacheLineSize).TotalNs
+	}
+	base := run(0)
+	a1, a2, b := run(1), run(1), run(2)
+	if a1 != a2 {
+		t.Error("same seed produced different results")
+	}
+	if a1 == b {
+		t.Error("different seeds produced identical results")
+	}
+	rel := (a1 - base) / base
+	if rel > 0.02 || rel < -0.02 {
+		t.Errorf("jitter moved total by %.3f, want within ±2%%", rel)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c := newCtrl(t, m, 4)
+	streamRun(t, c, 100, 64)
+	c.Reset()
+	r := c.Result()
+	if r.Accesses != 0 || r.TotalNs != 0 {
+		t.Errorf("Reset left state: %+v", r)
+	}
+}
+
+func TestDoRejectsOutOfRange(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c := newCtrl(t, m, 4)
+	if _, err := c.Do(Access{PA: uint64(g.TotalBytes())}); err == nil {
+		t.Error("out-of-range access accepted")
+	}
+}
+
+func TestRefreshStallsRequests(t *testing.T) {
+	// A row miss issued during a refresh cycle waits for tRFC.
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	tm := DDR4_2933()
+	c, err := New(Config{Mapper: m, Timing: tm, MLPWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The very first access at t=0 falls inside refresh window 0
+	// ([0, tRFC)) and is pushed past it.
+	done, err := c.Do(Access{PA: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < tm.TRFC {
+		t.Errorf("first access completed at %v, want >= tRFC (%v)", done, tm.TRFC)
+	}
+}
+
+func TestRefreshOverheadBounded(t *testing.T) {
+	// Long random-miss runs lose roughly tRFC/tREFI (~4.5%) to refresh.
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	withRef := DDR4_2933()
+	noRef := withRef
+	noRef.TREFI, noRef.TRFC = 0, 0
+	run := func(tm Timing) float64 {
+		c, err := New(Config{Mapper: m, Timing: tm, MLPWindow: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stride by a whole row group so every access misses.
+		stride := uint64(g.RowGroupBytes())
+		for i := 0; i < 20000; i++ {
+			pa := (uint64(i) * stride) % uint64(g.TotalBytes())
+			if _, err := c.Do(Access{PA: pa}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Result().TotalNs
+	}
+	overhead := run(withRef)/run(noRef) - 1
+	if overhead <= 0 || overhead > 0.10 {
+		t.Errorf("refresh overhead %.3f, want within (0, 0.10]", overhead)
+	}
+}
+
+func TestFAWLimitsActivationBursts(t *testing.T) {
+	// Five back-to-back row misses in one rank: the fifth activation
+	// cannot start before the first + tFAW.
+	g := tinyGeometry()
+	m, _ := addr.NewLinearMapper(g) // same bank -> same rank trivially
+	tm := DDR4_2933()
+	tm.TREFI, tm.TRFC = 0, 0 // isolate the FAW effect
+	c, err := New(Config{Mapper: m, Timing: tm, MLPWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different rows of the same bank: every access is a miss.
+	var last float64
+	for i := 0; i < 5; i++ {
+		done, err := c.Do(Access{PA: uint64(i) * uint64(g.RowBytes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = done
+	}
+	if min := tm.TFAW + tm.missLatency(); last < min {
+		t.Errorf("fifth activation completed at %v, want >= %v (tFAW)", last, min)
+	}
+}
+
+func TestActivationTracking(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 4, TrackActivations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ping-pong two rows of one bank: every access is an activation of
+	// one of two rows.
+	rowStride := uint64(g.BanksPerSocket()) * geometry.CacheLineSize * uint64(g.RowBytes/geometry.CacheLineSize)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		pa := uint64(0)
+		if i%2 == 1 {
+			pa = rowStride
+		}
+		if _, err := c.Do(Access{PA: pa}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peak := c.Result().PeakRowACTs
+	if peak < n/2-10 || peak > n/2+10 {
+		t.Errorf("PeakRowACTs = %d, want ~%d", peak, n/2)
+	}
+	// Untracked controllers report zero.
+	c2, _ := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 4})
+	if _, err := c2.Do(Access{PA: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Result().PeakRowACTs != 0 {
+		t.Error("untracked controller reported activations")
+	}
+}

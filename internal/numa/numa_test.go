@@ -1,0 +1,212 @@
+package numa
+
+import (
+	"testing"
+
+	"repro/internal/subarray"
+)
+
+func mkRange(start, size uint64) subarray.Range {
+	return subarray.Range{Start: start, End: start + size}
+}
+
+func testTopology(t *testing.T) *Topology {
+	t.Helper()
+	topo := &Topology{}
+	// Socket 0: host node + 2 guest nodes + ept node.
+	mustAdd := func(n *Node) *Node {
+		t.Helper()
+		added, err := topo.AddNode(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return added
+	}
+	mustAdd(&Node{Kind: HostReserved, Socket: 0, Groups: []int{0},
+		Ranges: []subarray.Range{mkRange(0, 1<<20)}, Cores: []int{0, 1}})
+	mustAdd(&Node{Kind: GuestReserved, Socket: 0, Groups: []int{1},
+		Ranges: []subarray.Range{mkRange(1<<20, 1<<20)}})
+	mustAdd(&Node{Kind: GuestReserved, Socket: 0, Groups: []int{2},
+		Ranges: []subarray.Range{mkRange(2<<20, 1<<20)}})
+	mustAdd(&Node{Kind: EPTReserved, Socket: 0,
+		Ranges: []subarray.Range{mkRange(3<<20, 64<<10)}})
+	// Socket 1: host + guest.
+	mustAdd(&Node{Kind: HostReserved, Socket: 1, Groups: []int{0},
+		Ranges: []subarray.Range{mkRange(16<<20, 1<<20)}, Cores: []int{2, 3}})
+	mustAdd(&Node{Kind: GuestReserved, Socket: 1, Groups: []int{1},
+		Ranges: []subarray.Range{mkRange(17<<20, 1<<20)}})
+	return topo
+}
+
+func TestTopologyBasics(t *testing.T) {
+	topo := testTopology(t)
+	if len(topo.Nodes()) != 6 {
+		t.Fatalf("node count = %d, want 6", len(topo.Nodes()))
+	}
+	n0, err := topo.Node(0)
+	if err != nil || n0.Kind != HostReserved {
+		t.Fatalf("node 0: %v, %v", n0, err)
+	}
+	if _, err := topo.Node(99); err == nil {
+		t.Error("Node(99) should fail")
+	}
+	if _, err := topo.AddNode(&Node{Kind: HostReserved}); err == nil {
+		t.Error("rangeless node accepted")
+	}
+}
+
+func TestNodeContainsAndBytes(t *testing.T) {
+	topo := testTopology(t)
+	n, _ := topo.Node(1)
+	if n.Bytes() != 1<<20 {
+		t.Errorf("Bytes = %d", n.Bytes())
+	}
+	if !n.Contains(1<<20) || n.Contains(0) || n.Contains(2<<20) {
+		t.Error("Contains boundaries wrong")
+	}
+}
+
+func TestNodesOnSocketAndKind(t *testing.T) {
+	topo := testTopology(t)
+	if got := len(topo.NodesOnSocket(0)); got != 4 {
+		t.Errorf("socket 0 nodes = %d, want 4", got)
+	}
+	if got := len(topo.NodesOnSocket(0, GuestReserved)); got != 2 {
+		t.Errorf("socket 0 guest nodes = %d, want 2", got)
+	}
+	if got := len(topo.NodesOfKind(EPTReserved)); got != 1 {
+		t.Errorf("ept nodes = %d, want 1", got)
+	}
+	// Guest nodes are memory-only (§5.2).
+	for _, n := range topo.NodesOfKind(GuestReserved) {
+		if len(n.Cores) != 0 {
+			t.Errorf("guest node %d has cores %v", n.ID, n.Cores)
+		}
+	}
+	// Host nodes carry their socket's cores.
+	for _, n := range topo.NodesOfKind(HostReserved) {
+		if len(n.Cores) == 0 {
+			t.Errorf("host node %d has no cores", n.ID)
+		}
+	}
+}
+
+func TestNodeOfAndPhysicalMapping(t *testing.T) {
+	topo := testTopology(t)
+	n, ok := topo.NodeOf(17 << 20)
+	if !ok || n.ID != 5 {
+		t.Fatalf("NodeOf(17M) = %v, %v", n, ok)
+	}
+	if _, ok := topo.NodeOf(1 << 30); ok {
+		t.Error("NodeOf found a node for unowned pa")
+	}
+	s, err := topo.PhysicalNodeOf(5)
+	if err != nil || s != 1 {
+		t.Errorf("PhysicalNodeOf(5) = %d, %v", s, err)
+	}
+	if _, err := topo.PhysicalNodeOf(-1); err == nil {
+		t.Error("PhysicalNodeOf(-1) should fail")
+	}
+}
+
+func TestCGroupExclusiveGuestOwnership(t *testing.T) {
+	topo := testTopology(t)
+	reg := NewRegistry(topo)
+	cg1, err := reg.Create("vm0", []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg1.Allows(1) || cg1.Allows(2) {
+		t.Error("cgroup membership wrong")
+	}
+	// Same guest node cannot be reserved twice.
+	if _, err := reg.Create("vm1", []int{1}); err == nil {
+		t.Fatal("double reservation of guest node accepted")
+	}
+	// Host node can be shared.
+	if _, err := reg.Create("hostA", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("hostB", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Failed creation must not leak ownership: node 2 was in the failing
+	// request below, and must remain reservable.
+	if _, err := reg.Create("bad", []int{2, 1}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if _, err := reg.Create("vm2", []int{2}); err != nil {
+		t.Fatalf("node 2 leaked ownership from failed create: %v", err)
+	}
+}
+
+func TestCGroupDestroyReleasesNodes(t *testing.T) {
+	topo := testTopology(t)
+	reg := NewRegistry(topo)
+	if _, err := reg.Create("vm0", []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := reg.OwnerOf(1); !ok || owner != "vm0" {
+		t.Errorf("OwnerOf(1) = %q, %v", owner, ok)
+	}
+	if err := reg.Destroy("vm0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.OwnerOf(1); ok {
+		t.Error("ownership survived destroy")
+	}
+	if _, err := reg.Create("vm1", []int{1}); err != nil {
+		t.Errorf("node not reusable after destroy: %v", err)
+	}
+	if err := reg.Destroy("nope"); err == nil {
+		t.Error("destroying unknown cgroup should fail")
+	}
+}
+
+func TestRegistryDuplicateName(t *testing.T) {
+	topo := testTopology(t)
+	reg := NewRegistry(topo)
+	if _, err := reg.Create("x", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("x", []int{2}); err == nil {
+		t.Error("duplicate cgroup name accepted")
+	}
+	if cg, ok := reg.Get("x"); !ok || cg.Name != "x" {
+		t.Error("Get failed")
+	}
+	if nodes := mustGet(t, reg, "x").Nodes(); len(nodes) != 1 || nodes[0].ID != 1 {
+		t.Errorf("Nodes() = %v", nodes)
+	}
+}
+
+func mustGet(t *testing.T, r *Registry, name string) *CGroup {
+	t.Helper()
+	cg, ok := r.Get(name)
+	if !ok {
+		t.Fatalf("cgroup %q missing", name)
+	}
+	return cg
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{HostReserved: "host", GuestReserved: "guest", EPTReserved: "ept", NodeKind(9): "invalid"} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", k, got)
+		}
+	}
+}
+
+func TestNodeDistances(t *testing.T) {
+	topo := testTopology(t)
+	// Nodes 0 and 1 share socket 0; node 4 is socket 1.
+	if d, err := topo.Distance(0, 1); err != nil || d != DistanceLocal {
+		t.Errorf("local distance = %d, %v", d, err)
+	}
+	if d, err := topo.Distance(0, 4); err != nil || d != DistanceRemote {
+		t.Errorf("remote distance = %d, %v", d, err)
+	}
+	if _, err := topo.Distance(0, 99); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

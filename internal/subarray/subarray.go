@@ -1,0 +1,264 @@
+// Package subarray implements the paper's core primitive (§4): subarray
+// groups — collections of at least one subarray from every bank in a
+// physical NUMA node — as software-visible DRAM isolation domains.
+//
+// A Layout computes, from a geometry and the platform's physical-to-media
+// address mapping, the physical address ranges composing every subarray
+// group, the group that owns any physical address, and the page-offlining
+// requirements of §6 (artificial groups with boundary guard rows for
+// non-power-of-two subarray sizes, and inter-subarray row repairs).
+package subarray
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/geometry"
+)
+
+// Range is a half-open physical address range [Start, End).
+type Range struct {
+	Start, End uint64
+}
+
+// Bytes returns the range's length.
+func (r Range) Bytes() uint64 { return r.End - r.Start }
+
+// Contains reports whether pa falls in the range.
+func (r Range) Contains(pa uint64) bool { return pa >= r.Start && pa < r.End }
+
+func (r Range) String() string { return fmt.Sprintf("[%#x,%#x)", r.Start, r.End) }
+
+// Group is one subarray group: RowsPerSubarray consecutive row groups in a
+// physical node, i.e. the same subarray index in every bank of the socket
+// (Fig. 2).
+type Group struct {
+	// Socket is the physical node the group belongs to.
+	Socket int
+	// Index is the subarray group index within the socket; the group
+	// covers media rows [Index*r, (Index+1)*r) of every bank, where r is
+	// the (possibly artificial) subarray size in rows.
+	Index int
+	// FirstRow and LastRow bound the group's media rows [FirstRow,
+	// LastRow] in every bank of the socket.
+	FirstRow, LastRow int
+	// Ranges are the physical address ranges backing the group, sorted
+	// and coalesced.
+	Ranges []Range
+}
+
+// Bytes returns the group's total capacity.
+func (g *Group) Bytes() uint64 {
+	var n uint64
+	for _, r := range g.Ranges {
+		n += r.Bytes()
+	}
+	return n
+}
+
+// Contains reports whether a physical address belongs to the group.
+func (g *Group) Contains(pa uint64) bool {
+	i := sort.Search(len(g.Ranges), func(i int) bool { return g.Ranges[i].End > pa })
+	return i < len(g.Ranges) && g.Ranges[i].Contains(pa)
+}
+
+// Layout is the boot-time computed map from physical addresses to subarray
+// groups (§5.3). RowsPerGroup is the managed subarray size: the true size
+// for power-of-two modules, or the next power of two ("artificial groups")
+// otherwise (§6).
+type Layout struct {
+	g            geometry.Geometry
+	mapper       addr.Mapper
+	rowsPerGroup int
+	artificial   bool
+	groups       [][]*Group // [socket][index]
+}
+
+// NewLayout computes subarray groups for g under the platform mapping. For
+// non-power-of-two subarray sizes the layout automatically forms artificial
+// groups by rounding the size up to the next power of two; callers must then
+// offline the BoundaryGuardRows. It assumes a DDR4 module applying the full
+// set of internal transformations; use NewLayoutForModule when the module's
+// transformations are known.
+func NewLayout(g geometry.Geometry, mapper addr.Mapper) (*Layout, error) {
+	return NewLayoutForModule(g, mapper, addr.AllTransforms())
+}
+
+// NewLayoutForModule computes subarray groups taking the module's internal
+// address transformations into account. Artificial (rounded-up) groups are
+// only needed when a non-power-of-two subarray size combines with
+// transformations that reorder rows across its boundaries (§6); DDR5
+// modules undo mirroring and inversion at each device (§8.2), so they get
+// exact groups for any size.
+func NewLayoutForModule(g geometry.Geometry, mapper addr.Mapper, transforms addr.TransformConfig) (*Layout, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	rows := g.RowsPerSubarray
+	nonPow2 := rows&(rows-1) != 0
+	// Scrambling only reorders within 8-row blocks; mirroring/inversion
+	// within 512-row blocks.
+	hazardous := transforms.Mirroring || transforms.Inversion ||
+		(transforms.Scrambling && rows%8 != 0)
+	artificial := nonPow2 && hazardous
+	if artificial {
+		for rows&(rows-1) != 0 {
+			rows &= rows - 1
+		}
+		rows <<= 1 // next power of two
+	}
+	if g.RowsPerBank%rows != 0 {
+		return nil, fmt.Errorf("subarray: bank rows %d not divisible by managed group size %d",
+			g.RowsPerBank, rows)
+	}
+	l := &Layout{g: g, mapper: mapper, rowsPerGroup: rows, artificial: artificial}
+	if err := l.build(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// build computes every group's physical ranges by encoding each row group's
+// first cache line and coalescing adjacent images.
+func (l *Layout) build() error {
+	g := l.g
+	rowGroupBytes := uint64(g.RowGroupBytes())
+	perSocket := g.RowsPerBank / l.rowsPerGroup
+	l.groups = make([][]*Group, g.Sockets)
+	for s := 0; s < g.Sockets; s++ {
+		l.groups[s] = make([]*Group, perSocket)
+		bank0 := firstBank(g, s)
+		for idx := 0; idx < perSocket; idx++ {
+			grp := &Group{
+				Socket:   s,
+				Index:    idx,
+				FirstRow: idx * l.rowsPerGroup,
+				LastRow:  (idx+1)*l.rowsPerGroup - 1,
+			}
+			var ranges []Range
+			for row := grp.FirstRow; row <= grp.LastRow; row++ {
+				pa, err := l.mapper.Encode(geometry.MediaAddr{Bank: bank0, Row: row, Col: 0})
+				if err != nil {
+					return fmt.Errorf("subarray: encoding row %d of socket %d: %w", row, s, err)
+				}
+				ranges = append(ranges, Range{Start: pa, End: pa + rowGroupBytes})
+			}
+			grp.Ranges = coalesce(ranges)
+			l.groups[s][idx] = grp
+		}
+	}
+	return nil
+}
+
+// firstBank returns the bank with SocketFlat index 0 on socket s.
+func firstBank(g geometry.Geometry, s int) geometry.BankID {
+	return geometry.BankID{Socket: s, DIMM: 0, Rank: 0, Bank: 0}
+}
+
+// coalesce sorts ranges in place and merges adjacent/overlapping ones.
+func coalesce(rs []Range) []Range {
+	if len(rs) == 0 {
+		return nil
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Start <= last.End {
+			if r.End > last.End {
+				last.End = r.End
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Coalesce returns a sorted, merged copy of the given ranges.
+func Coalesce(rs []Range) []Range {
+	cp := make([]Range, len(rs))
+	copy(cp, rs)
+	return coalesce(cp)
+}
+
+// Subtract removes every range in remove from usable, returning the
+// coalesced remainder. It is how boot-time offlining (guard rows, repaired
+// rows, the EPT block) carves holes out of node memory.
+func Subtract(usable, remove []Range) []Range {
+	u := Coalesce(usable)
+	rm := Coalesce(remove)
+	var out []Range
+	for _, cur := range u {
+		for _, off := range rm {
+			if off.End <= cur.Start || off.Start >= cur.End {
+				continue
+			}
+			if off.Start > cur.Start {
+				out = append(out, Range{Start: cur.Start, End: off.Start})
+			}
+			if off.End >= cur.End {
+				cur.Start = cur.End
+				break
+			}
+			cur.Start = off.End
+		}
+		if cur.Start < cur.End {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// Intersect returns the coalesced intersection of two range sets.
+func Intersect(a, b []Range) []Range {
+	var out []Range
+	for _, x := range Coalesce(a) {
+		for _, y := range Coalesce(b) {
+			lo, hi := x.Start, x.End
+			if y.Start > lo {
+				lo = y.Start
+			}
+			if y.End < hi {
+				hi = y.End
+			}
+			if lo < hi {
+				out = append(out, Range{Start: lo, End: hi})
+			}
+		}
+	}
+	return coalesce(out)
+}
+
+// Geometry returns the layout's geometry.
+func (l *Layout) Geometry() geometry.Geometry { return l.g }
+
+// RowsPerGroup returns the managed (possibly artificial) group size in rows.
+func (l *Layout) RowsPerGroup() int { return l.rowsPerGroup }
+
+// Artificial reports whether the layout had to round the subarray size up
+// to a power of two (§6).
+func (l *Layout) Artificial() bool { return l.artificial }
+
+// GroupsPerSocket returns the number of subarray groups per physical node.
+func (l *Layout) GroupsPerSocket() int { return len(l.groups[0]) }
+
+// Group returns the group at (socket, index).
+func (l *Layout) Group(socket, index int) *Group {
+	return l.groups[socket][index]
+}
+
+// GroupOf returns the subarray group owning a physical address.
+func (l *Layout) GroupOf(pa uint64) (*Group, error) {
+	ma, err := l.mapper.Decode(pa)
+	if err != nil {
+		return nil, err
+	}
+	return l.groups[ma.Bank.Socket][ma.Row/l.rowsPerGroup], nil
+}
+
+// GroupBytes returns the capacity of each group.
+func (l *Layout) GroupBytes() uint64 {
+	return uint64(l.g.BanksPerSocket()) * uint64(l.rowsPerGroup) * uint64(l.g.RowBytes)
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Terasort models Hadoop terasort's memory phases (§7.2): a sequential scan
+// of the input, a shuffle writing records to hash partitions, and a merge
+// reading partitions back sequentially while writing sorted output.
+type Terasort struct{}
+
+// Name implements Workload.
+func (Terasort) Name() string { return "terasort" }
+
+// Generate implements Workload. One "op" is one 100-byte record (rounded to
+// two cache lines).
+func (Terasort) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	third := alignDown(region/3, region)
+	if third == 0 {
+		third = line
+	}
+	const recLines = 2
+	for op := 0; op < ops; op++ {
+		rec := uint64(op)
+		// Phase weights by record index keep the stream deterministic
+		// while mixing phases as map/shuffle/reduce overlap.
+		switch op % 3 {
+		case 0: // map: sequential input read
+			base := (rec * recLines * line) % third
+			for i := uint64(0); i < recLines; i++ {
+				if !emit(Access{Offset: base + i*line, ThinkNs: 80}) {
+					return
+				}
+			}
+		case 1: // shuffle: write to a random partition
+			part := uint64(rng.Intn(64))
+			base := third + alignDown(part*(third/64)+uint64(rng.Intn(int(third/64/line)))*line, third)
+			for i := uint64(0); i < recLines; i++ {
+				if !emit(Access{Offset: (base + i*line) % region, Write: true, ThinkNs: 60}) {
+					return
+				}
+			}
+		default: // merge: sequential read + sequential output write
+			base := third + (rec*recLines*line)%third
+			if !emit(Access{Offset: base % region, ThinkNs: 60}) {
+				return
+			}
+			out := 2*third + (rec*recLines*line)%third
+			if !emit(Access{Offset: out % region, Write: true}) {
+				return
+			}
+		}
+	}
+}
+
+// Memcached models the memcached throughput benchmark (§7.3): a GET-heavy
+// small-object cache with occasional SETs.
+type Memcached struct{}
+
+// Name implements Workload.
+func (Memcached) Name() string { return "memcached" }
+
+// Generate implements Workload.
+func (Memcached) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	l := newKVLayout(region, 256) // small cached objects
+	z := zipfKey(rng, l.keys)
+	for op := 0; op < ops; op++ {
+		key := z.Uint64()
+		write := rng.Intn(10) == 0 // 90% GET / 10% SET
+		if !l.emitLookup(key, 120, emit) {
+			return
+		}
+		if !l.emitValue(key, write, 0, emit) {
+			return
+		}
+	}
+}
+
+// Sysbench models SysBench mySQL OLTP (§7.3): B-tree index descents
+// (dependent pointer chases), row-page reads, and transactional writes with
+// a sequential log.
+type Sysbench struct{}
+
+// Name implements Workload.
+func (Sysbench) Name() string { return "mysql" }
+
+// Generate implements Workload.
+func (Sysbench) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	logBase := alignDown(region-region/16, region)
+	logOff := uint64(0)
+	for op := 0; op < ops; op++ {
+		// B-tree descent: 4 dependent random lines.
+		h := uint64(rng.Int63())
+		for d := 0; d < 4; d++ {
+			h = h*0x9E3779B97F4A7C15 + 1
+			if !emit(Access{Offset: alignDown(h, logBase), ThinkNs: 100}) {
+				return
+			}
+		}
+		// Row page: two adjacent lines.
+		row := alignDown(h>>7, logBase)
+		if !emit(Access{Offset: row}) {
+			return
+		}
+		if !emit(Access{Offset: (row + line) % logBase}) {
+			return
+		}
+		// 30% of transactions write the row and append to the log.
+		if rng.Intn(10) < 3 {
+			if !emit(Access{Offset: row, Write: true, ThinkNs: 50}) {
+				return
+			}
+			if !emit(Access{Offset: logBase + logOff%((region-logBase)/line*line), Write: true}) {
+				return
+			}
+			logOff += line
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/workload"
+)
+
+// ExampleRecord freezes a workload into a replayable trace.
+func ExampleRecord() {
+	tr := workload.Record(workload.MLC{Mode: "stream", Threads: 2}, geometry.GiB, 10, 1)
+	s := tr.Stats()
+	fmt.Printf("%s: %d accesses, %d writes\n", tr.Name(), s.Accesses, s.Writes)
+	// Output:
+	// trace:mlc-stream: 30 accesses, 10 writes
+}

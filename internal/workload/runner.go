@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+)
+
+// RunOnVM executes a workload inside a VM: each guest-RAM access is
+// translated through the VM's EPTs (with its TLB) to a host physical
+// address, filtered through an optional last-level cache model, and issued
+// to the memory-controller model. This is the measurement path behind
+// Figures 4-7: the only difference between Siloz and the baseline is where
+// the hypervisor placed the VM's pages.
+//
+// cache may be nil to drive raw DRAM traffic (e.g. Intel MLC, which defeats
+// caching by design). Cache hits contribute their hit latency as think time
+// preceding the next DRAM access, matching how an out-of-order core hides
+// them.
+func RunOnVM(vm *core.VM, ctrl *memctrl.Controller, cache *memctrl.Cache, w Workload, ops int, seed int64) (memctrl.Result, error) {
+	region := vm.Spec().MemoryBytes
+	var firstErr error
+	pendingThink := 0.0
+	w.Generate(region, ops, seed, func(a Access) bool {
+		hpa, err := vm.Translate(a.Offset % region)
+		if err != nil {
+			firstErr = fmt.Errorf("workload %s: translating %#x: %w", w.Name(), a.Offset, err)
+			return false
+		}
+		if cache != nil && cache.Access(hpa) {
+			pendingThink += a.ThinkNs + cache.HitNs
+			return true
+		}
+		if _, err := ctrl.Do(memctrl.Access{PA: hpa, Write: a.Write, ThinkNs: a.ThinkNs + pendingThink}); err != nil {
+			firstErr = fmt.Errorf("workload %s: access %#x: %w", w.Name(), hpa, err)
+			return false
+		}
+		pendingThink = 0
+		return true
+	})
+	if firstErr != nil {
+		return memctrl.Result{}, firstErr
+	}
+	if pendingThink > 0 {
+		ctrl.Idle(pendingThink)
+	}
+	return ctrl.Result(), nil
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/memctrl"
+)
+
+func runnerGeometry() geometry.Geometry {
+	return geometry.Geometry{
+		Sockets:         2,
+		CoresPerSocket:  4,
+		DIMMsPerSocket:  1,
+		RanksPerDIMM:    2,
+		BanksPerRank:    8,
+		RowsPerBank:     2048,
+		RowBytes:        8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+}
+
+func runnerProfile() dram.Profile {
+	p := dram.ProfileF()
+	p.Transforms = addr.TransformConfig{}
+	return p
+}
+
+func bootVM(t *testing.T, mode core.Mode) (*core.Hypervisor, *core.VM) {
+	t.Helper()
+	h, err := core.Boot(core.Config{
+		Geometry:      runnerGeometry(),
+		Profiles:      []dram.Profile{runnerProfile()},
+		EPTProtection: ept.GuardRows,
+	}, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(core.Process{KVMPrivileged: true},
+		core.VMSpec{Name: "bench", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, vm
+}
+
+func TestRunOnVMProducesResults(t *testing.T) {
+	h, vm := bootVM(t, core.ModeSiloz)
+	ctrl, err := memctrl.New(memctrl.Config{
+		Mapper: h.Memory().Mapper(), Timing: memctrl.DDR4_2933(), MLPWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOnVM(vm, ctrl, nil, YCSB{Letter: 'a'}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses == 0 || res.TotalNs <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Writes == 0 {
+		t.Error("YCSB-A run had no writes")
+	}
+}
+
+func TestSilozAndBaselinePerformanceComparable(t *testing.T) {
+	// The central performance claim (§7.2-7.3): Siloz placement changes
+	// *where* pages live, not bank-level parallelism, so identical
+	// workloads complete in nearly identical simulated time.
+	times := make(map[core.Mode]float64)
+	for _, mode := range []core.Mode{core.ModeSiloz, core.ModeBaseline} {
+		h, vm := bootVM(t, mode)
+		ctrl, err := memctrl.New(memctrl.Config{
+			Mapper: h.Memory().Mapper(), Timing: memctrl.DDR4_2933(), MLPWindow: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOnVM(vm, ctrl, nil, MLC{Mode: "stream", Threads: 8}, 30000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[mode] = res.TotalNs
+	}
+	rel := times[core.ModeSiloz]/times[core.ModeBaseline] - 1
+	if rel > 0.02 || rel < -0.02 {
+		t.Errorf("Siloz vs baseline differ by %.2f%%, want within ±2%%", 100*rel)
+	}
+}
+
+func TestRunOnVMSurfacesTranslationErrors(t *testing.T) {
+	h, vm := bootVM(t, core.ModeSiloz)
+	ctrl, err := memctrl.New(memctrl.Config{
+		Mapper: h.Memory().Mapper(), Timing: memctrl.DDR4_2933(), MLPWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Kernel{KernelName: "bad", StreamFrac: 1}
+	// Destroy the VM to invalidate its tables, then run.
+	if err := h.DestroyVM("bench"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOnVM(vm, ctrl, nil, bad, 10, 1); err == nil {
+		t.Error("expected an error running on a destroyed VM")
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kernel is a parameterized synthetic compute kernel standing in for one
+// SPEC CPU 2017 or PARSEC 3.0 benchmark's memory behaviour (§7.2). Each
+// kernel mixes four archetypes with benchmark-specific proportions:
+// sequential streaming, strided sweeps, dependent pointer chasing, and
+// random read-modify-write.
+type Kernel struct {
+	// KernelName labels the benchmark (e.g. "spec-mcf").
+	KernelName string
+	// StreamFrac, StrideFrac, ChaseFrac, RandRWFrac are archetype mix
+	// weights; they need not sum to 1 (remainder is stream).
+	StreamFrac, StrideFrac, ChaseFrac, RandRWFrac float64
+	// Stride is the stride in lines for the strided archetype.
+	Stride uint64
+	// ThinkNs is the per-access compute intensity.
+	ThinkNs float64
+	// Threads models parallel workers emitting interleaved streams
+	// (PARSEC runs with a power-of-two thread count, §7).
+	Threads int
+}
+
+// Name implements Workload.
+func (k Kernel) Name() string { return k.KernelName }
+
+// Generate implements Workload.
+func (k Kernel) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	threads := k.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	rngs := make([]*rand.Rand, threads)
+	seq := make([]uint64, threads)
+	chase := make([]uint64, threads)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
+		seq[i] = uint64(i) * (region / uint64(threads))
+		chase[i] = rngs[i].Uint64()
+	}
+	perThread := region / uint64(threads)
+	if perThread < 4*line {
+		perThread = 4 * line
+	}
+	for op := 0; op < ops; op++ {
+		ti := op % threads
+		rng := rngs[ti]
+		base := uint64(ti) * perThread
+		r := rng.Float64()
+		var a Access
+		switch {
+		case r < k.ChaseFrac:
+			// Dependent chase: next address derived from current.
+			chase[ti] = chase[ti]*0x9E3779B97F4A7C15 + 12345
+			a = Access{Offset: base + alignDown(chase[ti], perThread), ThinkNs: k.ThinkNs}
+		case r < k.ChaseFrac+k.RandRWFrac:
+			off := base + alignDown(rng.Uint64(), perThread)
+			if !emit(Access{Offset: off % region, ThinkNs: k.ThinkNs}) {
+				return
+			}
+			a = Access{Offset: off % region, Write: true}
+		case r < k.ChaseFrac+k.RandRWFrac+k.StrideFrac:
+			seq[ti] = (seq[ti] + k.Stride*line) % perThread
+			a = Access{Offset: base + seq[ti], ThinkNs: k.ThinkNs}
+		default:
+			seq[ti] = (seq[ti] + line) % perThread
+			a = Access{Offset: base + seq[ti], ThinkNs: k.ThinkNs}
+		}
+		a.Offset %= region
+		if !emit(a) {
+			return
+		}
+	}
+}
+
+// SPECSuite returns kernels modelling representative SPECspeed 2017
+// benchmarks; §7.2 reports the suite as one bar, produced by geomeaning
+// these.
+func SPECSuite() []Workload {
+	return []Workload{
+		Kernel{KernelName: "spec-lbm", StreamFrac: 0.9, StrideFrac: 0.1, Stride: 4, ThinkNs: 40},
+		Kernel{KernelName: "spec-mcf", ChaseFrac: 0.8, RandRWFrac: 0.1, ThinkNs: 60},
+		Kernel{KernelName: "spec-gcc", StreamFrac: 0.4, ChaseFrac: 0.3, RandRWFrac: 0.1, ThinkNs: 120},
+		Kernel{KernelName: "spec-xz", StreamFrac: 0.5, StrideFrac: 0.2, Stride: 16, RandRWFrac: 0.2, ThinkNs: 80},
+		Kernel{KernelName: "spec-deepsjeng", ChaseFrac: 0.6, StreamFrac: 0.2, ThinkNs: 150},
+		Kernel{KernelName: "spec-cactus", StrideFrac: 0.7, Stride: 32, RandRWFrac: 0.15, ThinkNs: 70},
+	}
+}
+
+// PARSECSuite returns kernels modelling representative PARSEC 3.0
+// benchmarks, run with 32 threads (§7: PARSEC needs a power-of-two count).
+func PARSECSuite() []Workload {
+	return []Workload{
+		Kernel{KernelName: "parsec-blackscholes", StreamFrac: 0.95, ThinkNs: 200, Threads: 32},
+		Kernel{KernelName: "parsec-canneal", ChaseFrac: 0.7, RandRWFrac: 0.25, ThinkNs: 70, Threads: 32},
+		Kernel{KernelName: "parsec-fluidanimate", StrideFrac: 0.6, Stride: 8, RandRWFrac: 0.2, ThinkNs: 90, Threads: 32},
+		Kernel{KernelName: "parsec-streamcluster", StreamFrac: 0.8, RandRWFrac: 0.1, ThinkNs: 50, Threads: 32},
+		Kernel{KernelName: "parsec-swaptions", StreamFrac: 0.6, ChaseFrac: 0.1, ThinkNs: 180, Threads: 32},
+		Kernel{KernelName: "parsec-dedup", ChaseFrac: 0.4, RandRWFrac: 0.3, ThinkNs: 100, Threads: 32},
+	}
+}
+
+// MLC models Intel Memory Latency Checker bandwidth modes (§7.3): pure
+// reads, fixed read:write ratios, and a STREAM-triad-like mode.
+type MLC struct {
+	// Mode is one of "reads", "3:1", "2:1", "1:1", "stream".
+	Mode string
+	// Threads is the number of load-generating threads.
+	Threads int
+}
+
+// Name implements Workload.
+func (m MLC) Name() string { return "mlc-" + m.Mode }
+
+// BypassesCache reports that MLC generates non-temporal traffic sized far
+// beyond the LLC, measuring raw DRAM bandwidth.
+func (MLC) BypassesCache() bool { return true }
+
+// Generate implements Workload.
+func (m MLC) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	threads := m.Threads
+	if threads <= 0 {
+		threads = 8
+	}
+	perThread := region / uint64(threads)
+	if perThread < 8*line {
+		perThread = 8 * line
+	}
+	var readsPerWrite int
+	switch m.Mode {
+	case "reads":
+		readsPerWrite = -1
+	case "3:1":
+		readsPerWrite = 3
+	case "2:1":
+		readsPerWrite = 2
+	case "1:1":
+		readsPerWrite = 1
+	case "stream":
+		readsPerWrite = 2 // triad: a[i] = b[i] + s*c[i]
+	default:
+		panic(fmt.Sprintf("workload: unknown MLC mode %q", m.Mode))
+	}
+	pos := make([]uint64, threads)
+	for op := 0; op < ops; op++ {
+		ti := op % threads
+		base := uint64(ti) * perThread
+		p := pos[ti]
+		if m.Mode == "stream" {
+			// Triad touches three separate arrays within the slice.
+			third := perThread / 3 &^ uint64(line-1)
+			if !emit(Access{Offset: (base + p%third) % region}) {
+				return
+			}
+			if !emit(Access{Offset: (base + third + p%third) % region}) {
+				return
+			}
+			if !emit(Access{Offset: (base + 2*third + p%third) % region, Write: true}) {
+				return
+			}
+		} else {
+			write := readsPerWrite >= 0 && op/threads%(max(readsPerWrite, 1)+1) == max(readsPerWrite, 1)
+			if !emit(Access{Offset: (base + p%perThread) % region, Write: write}) {
+				return
+			}
+		}
+		pos[ti] = p + line
+	}
+}
+
+// AllMLC returns the five MLC modes of Fig. 5.
+func AllMLC() []Workload {
+	modes := []string{"reads", "3:1", "2:1", "1:1", "stream"}
+	out := make([]Workload, len(modes))
+	for i, m := range modes {
+		out[i] = MLC{Mode: m}
+	}
+	return out
+}

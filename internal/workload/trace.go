@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a recorded access stream: a workload frozen into a replayable,
+// serializable artifact. Traces decouple workload generation from
+// measurement — the same trace can be replayed against different hypervisor
+// placements, and regressions can be debugged against a fixed input.
+type Trace struct {
+	// Source names the workload the trace came from.
+	Source string `json:"source"`
+	// Region is the RAM size the trace was generated for; replay against
+	// a smaller region wraps offsets.
+	Region uint64 `json:"region"`
+	// Seed and Ops record the generation parameters.
+	Seed int64 `json:"seed"`
+	Ops  int   `json:"ops"`
+	// Accesses is the stream itself.
+	Accesses []Access `json:"accesses"`
+}
+
+// Record materializes a workload into a trace.
+func Record(w Workload, region uint64, ops int, seed int64) Trace {
+	tr := Trace{Source: w.Name(), Region: region, Seed: seed, Ops: ops}
+	w.Generate(region, ops, seed, func(a Access) bool {
+		tr.Accesses = append(tr.Accesses, a)
+		return true
+	})
+	return tr
+}
+
+// Name implements Workload.
+func (t Trace) Name() string { return "trace:" + t.Source }
+
+// Generate implements Workload by replaying the recorded stream. The ops
+// and seed arguments are ignored — a trace is already fixed; offsets wrap
+// into the replay region.
+func (t Trace) Generate(region uint64, _ int, _ int64, emit func(Access) bool) {
+	for _, a := range t.Accesses {
+		a.Offset = alignDown(a.Offset, region)
+		if !emit(a) {
+			return
+		}
+	}
+}
+
+// Save writes the trace as JSON.
+func (t Trace) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t)
+}
+
+// LoadTrace reads a trace written by Save.
+func LoadTrace(r io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return t, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if t.Region == 0 {
+		return t, fmt.Errorf("workload: trace has zero region")
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace for reporting.
+type TraceStats struct {
+	Accesses   int
+	Writes     int
+	UniqueRows int // distinct 8 KiB-granular offsets touched
+	ThinkNs    float64
+}
+
+// Stats computes summary statistics.
+func (t Trace) Stats() TraceStats {
+	s := TraceStats{Accesses: len(t.Accesses)}
+	rows := make(map[uint64]bool)
+	for _, a := range t.Accesses {
+		if a.Write {
+			s.Writes++
+		}
+		rows[a.Offset>>13] = true
+		s.ThinkNs += a.ThinkNs
+	}
+	s.UniqueRows = len(rows)
+	return s
+}

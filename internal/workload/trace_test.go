@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndReplayIdentical(t *testing.T) {
+	w := YCSB{Letter: 'a'}
+	tr := Record(w, testRegion, 500, 7)
+	if len(tr.Accesses) == 0 {
+		t.Fatal("empty trace")
+	}
+	if tr.Name() != "trace:redis-a" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	// Replay emits exactly the recorded stream.
+	var replayed []Access
+	tr.Generate(testRegion, 0, 0, func(a Access) bool {
+		replayed = append(replayed, a)
+		return true
+	})
+	if len(replayed) != len(tr.Accesses) {
+		t.Fatalf("replay length %d, want %d", len(replayed), len(tr.Accesses))
+	}
+	for i := range replayed {
+		if replayed[i] != tr.Accesses[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr := Record(Memcached{}, testRegion, 200, 3)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != tr.Source || got.Region != tr.Region || len(got.Accesses) != len(tr.Accesses) {
+		t.Fatalf("reload mismatch: %+v", got.Stats())
+	}
+	if _, err := LoadTrace(strings.NewReader("{bogus")); err == nil {
+		t.Error("corrupt trace accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader("{}")); err == nil {
+		t.Error("zero-region trace accepted")
+	}
+}
+
+func TestTraceReplayWrapsIntoSmallerRegion(t *testing.T) {
+	tr := Record(MLC{Mode: "reads", Threads: 1}, testRegion, 300, 1)
+	small := uint64(1 << 20)
+	tr.Generate(small, 0, 0, func(a Access) bool {
+		if a.Offset >= small {
+			t.Fatalf("offset %#x outside replay region", a.Offset)
+		}
+		return true
+	})
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := Record(YCSB{Letter: 'a'}, testRegion, 400, 5)
+	s := tr.Stats()
+	if s.Accesses != len(tr.Accesses) || s.Writes == 0 || s.UniqueRows == 0 || s.ThinkNs <= 0 {
+		t.Errorf("stats implausible: %+v", s)
+	}
+}
+
+func TestTraceStopPropagates(t *testing.T) {
+	tr := Record(Terasort{}, testRegion, 100, 2)
+	n := 0
+	tr.Generate(testRegion, 0, 0, func(Access) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("emitted %d after stop", n)
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// YCSB models redis under the six YCSB core workloads A-F (§7.2) against a
+// KV layout in guest RAM. Mixes follow the YCSB definitions:
+//
+//	A: 50% read / 50% update, zipfian
+//	B: 95% read / 5% update, zipfian
+//	C: 100% read, zipfian
+//	D: 95% read / 5% insert, latest distribution
+//	E: 95% scan / 5% insert, zipfian
+//	F: 50% read / 50% read-modify-write, zipfian
+type YCSB struct {
+	// Letter selects the workload, 'a'-'f'.
+	Letter byte
+}
+
+// Name returns e.g. "redis-a".
+func (y YCSB) Name() string { return fmt.Sprintf("redis-%c", y.Letter) }
+
+// valueBytes is the redis value size modelled (1 KiB objects).
+const valueBytes = 1024
+
+// thinkServer is per-op request handling compute (ns).
+const thinkServer = 150
+
+// Generate implements Workload.
+func (y YCSB) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	l := newKVLayout(region, valueBytes)
+	z := zipfKey(rng, l.keys)
+	inserted := uint64(1) // for D's "latest" distribution
+
+	for op := 0; op < ops; op++ {
+		switch y.Letter {
+		case 'a':
+			key := z.Uint64()
+			if rng.Intn(2) == 0 {
+				if !y.read(l, key, emit) {
+					return
+				}
+			} else if !y.update(l, key, emit) {
+				return
+			}
+		case 'b':
+			key := z.Uint64()
+			if rng.Intn(100) < 95 {
+				if !y.read(l, key, emit) {
+					return
+				}
+			} else if !y.update(l, key, emit) {
+				return
+			}
+		case 'c':
+			if !y.read(l, z.Uint64(), emit) {
+				return
+			}
+		case 'd':
+			if rng.Intn(100) < 95 {
+				// Latest distribution: recent inserts are hot.
+				back := z.Uint64()
+				var key uint64
+				if back < inserted {
+					key = inserted - back
+				}
+				if !y.read(l, key, emit) {
+					return
+				}
+			} else {
+				inserted++
+				if !y.update(l, inserted, emit) {
+					return
+				}
+			}
+		case 'e':
+			if rng.Intn(100) < 95 {
+				// Scan: up to 32 consecutive keys.
+				start := z.Uint64()
+				n := 1 + rng.Intn(32)
+				for i := 0; i < n; i++ {
+					if !y.read(l, start+uint64(i), emit) {
+						return
+					}
+				}
+			} else {
+				inserted++
+				if !y.update(l, inserted, emit) {
+					return
+				}
+			}
+		case 'f':
+			key := z.Uint64()
+			if !y.read(l, key, emit) {
+				return
+			}
+			if rng.Intn(2) == 0 {
+				if !y.update(l, key, emit) {
+					return
+				}
+			}
+		default:
+			panic(fmt.Sprintf("workload: unknown YCSB letter %q", y.Letter))
+		}
+	}
+}
+
+func (y YCSB) read(l kvLayout, key uint64, emit func(Access) bool) bool {
+	return l.emitLookup(key, thinkServer, emit) && l.emitValue(key, false, 0, emit)
+}
+
+func (y YCSB) update(l kvLayout, key uint64, emit func(Access) bool) bool {
+	return l.emitLookup(key, thinkServer, emit) && l.emitValue(key, true, 0, emit)
+}
+
+// AllYCSB returns redis-a through redis-f (§7.2 runs all six core
+// workloads).
+func AllYCSB() []Workload {
+	out := make([]Workload, 0, 6)
+	for _, c := range []byte("abcdef") {
+		out = append(out, YCSB{Letter: c})
+	}
+	return out
+}
