@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-quick examples tools check clean
+.PHONY: all build vet test test-short race race-quick bench bench-quick examples tools check clean
 
 all: check
 
@@ -17,6 +17,16 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Whole suite under the race detector (slow; the experiment scheduler's
+# parallel fan-out is the interesting surface).
+race:
+	$(GO) test -race ./...
+
+# Quick suite under the race detector: the scheduler, determinism and
+# cancellation tests that exercise every parallel path.
+race-quick:
+	$(GO) test -race -run 'TestParallelDeterminism|TestRunAll|TestPoolMap|TestCancellation|TestRepSeed|TestRegistry|TestRenderers' ./internal/experiments
 
 # Full benchmark sweep: every table/figure plus per-substrate microbenches.
 bench:

@@ -1,11 +1,13 @@
 // Benchmarks regenerating the paper's tables and figures (§7). Each bench
-// runs one experiment end to end and reports the headline quantity as a
-// custom metric, so `go test -bench=. -benchmem` reproduces the whole
-// evaluation. Scaled-down parameters keep a full sweep tractable; use
-// cmd/siloz-bench for paper-scale runs.
+// dispatches one experiment from the registry end to end and reports the
+// headline quantity from the structured Result's scalars, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. Scaled-down
+// parameters keep a full sweep tractable; use cmd/siloz-bench for
+// paper-scale runs.
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -32,153 +34,142 @@ func benchPerf() experiments.PerfConfig {
 	return cfg
 }
 
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Perf:     benchPerf(),
+		Security: benchSecurity(),
+	}
+}
+
+// runExp dispatches one registered experiment, failing the benchmark if it
+// errors or any of its self-checks fail.
+func runExp(b *testing.B, name string, cfg experiments.Config) *experiments.Result {
+	b.Helper()
+	e, ok := experiments.Get(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	r, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !r.Passed() {
+		for _, c := range r.Checks {
+			if !c.Pass {
+				b.Fatalf("%s: check %s failed: %s", name, c.Name, c.Detail)
+			}
+		}
+	}
+	return r
+}
+
+// scalar reads a headline metric out of the Result.
+func scalar(b *testing.B, r *experiments.Result, name string) float64 {
+	b.Helper()
+	v, err := r.Scalar(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
 // BenchmarkTable3Containment regenerates Table 3: Blacksmith pinned to a
 // subarray group on DIMMs A-F; flips inside vs outside the group.
 func BenchmarkTable3Containment(b *testing.B) {
-	cfg := benchSecurity()
-	var inside, outside int
+	cfg := benchConfig()
+	var inside, outside float64
 	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i) + 7
-		res, err := experiments.Table3Containment(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		inside, outside = 0, 0
-		for _, r := range res.Rows {
-			inside += r.FlipsInside
-			outside += r.FlipsOutside
-		}
-		if !res.Contained() {
-			b.Fatalf("containment violated: %d flips escaped", outside)
-		}
+		cfg.Security.Seed = int64(i) + 7
+		r := runExp(b, "table3", cfg)
+		inside = scalar(b, r, "flips_inside")
+		outside = scalar(b, r, "flips_outside")
 	}
-	b.ReportMetric(float64(inside), "flips-inside")
-	b.ReportMetric(float64(outside), "flips-outside")
+	b.ReportMetric(inside, "flips-inside")
+	b.ReportMetric(outside, "flips-outside")
 }
 
 // BenchmarkEPTProtection regenerates the §7.1 EPT experiment.
 func BenchmarkEPTProtection(b *testing.B) {
-	cfg := benchSecurity()
-	var prot, unprot int
+	cfg := benchConfig()
+	var prot, unprot float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.EPTProtection(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		prot, unprot = res.ProtectedFlips, res.UnprotectedFlips
-		if prot != 0 {
-			b.Fatalf("protected rows flipped %d times", prot)
-		}
+		r := runExp(b, "ept", cfg)
+		prot = scalar(b, r, "protected_flips")
+		unprot = scalar(b, r, "unprotected_flips")
 	}
-	b.ReportMetric(float64(prot), "protected-flips")
-	b.ReportMetric(float64(unprot), "unprotected-flips")
+	b.ReportMetric(prot, "protected-flips")
+	b.ReportMetric(unprot, "unprotected-flips")
 }
 
 // BenchmarkFig4ExecutionTime regenerates Figure 4.
 func BenchmarkFig4ExecutionTime(b *testing.B) {
-	cfg := benchPerf()
+	cfg := benchConfig()
 	var geomean float64
 	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i) + 1
-		fig, err := experiments.Fig4ExecutionTime(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		geomean = fig.GeomeanPct
-		if !fig.WithinHalfPercent() {
-			b.Fatalf("geomean overhead %.2f%% outside ±0.5%%", geomean)
-		}
+		cfg.Perf.Seed = int64(i) + 1
+		geomean = scalar(b, runExp(b, "fig4", cfg), "geomean_overhead_pct")
 	}
 	b.ReportMetric(geomean, "geomean-overhead-%")
 }
 
 // BenchmarkFig5Throughput regenerates Figure 5.
 func BenchmarkFig5Throughput(b *testing.B) {
-	cfg := benchPerf()
+	cfg := benchConfig()
 	var geomean float64
 	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i) + 1
-		fig, err := experiments.Fig5Throughput(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		geomean = fig.GeomeanPct
-		if !fig.WithinHalfPercent() {
-			b.Fatalf("geomean overhead %.2f%% outside ±0.5%%", geomean)
-		}
+		cfg.Perf.Seed = int64(i) + 1
+		geomean = scalar(b, runExp(b, "fig5", cfg), "geomean_overhead_pct")
 	}
 	b.ReportMetric(geomean, "geomean-overhead-%")
 }
 
-// BenchmarkFig6SizeSensitivityTime regenerates Figure 6 (execution time for
-// Siloz-512/-2048 vs Siloz-1024).
-func BenchmarkFig6SizeSensitivityTime(b *testing.B) {
-	cfg := benchPerf()
-	var g512, g2048 float64
+// BenchmarkFig67SizeSensitivity regenerates Figures 6 and 7 (execution time
+// and throughput for Siloz-512/-2048 vs Siloz-1024).
+func BenchmarkFig67SizeSensitivity(b *testing.B) {
+	cfg := benchConfig()
+	var t512, t2048, p512, p2048 float64
 	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i) + 1
-		res, err := experiments.Fig6And7SizeSensitivity(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		g512, g2048 = res.Time512.GeomeanPct, res.Time2048.GeomeanPct
+		cfg.Perf.Seed = int64(i) + 1
+		r := runExp(b, "fig67", cfg)
+		t512 = scalar(b, r, "fig6-siloz512_geomean_pct")
+		t2048 = scalar(b, r, "fig6-siloz2048_geomean_pct")
+		p512 = scalar(b, r, "fig7-siloz512_geomean_pct")
+		p2048 = scalar(b, r, "fig7-siloz2048_geomean_pct")
 	}
-	b.ReportMetric(g512, "siloz512-overhead-%")
-	b.ReportMetric(g2048, "siloz2048-overhead-%")
-}
-
-// BenchmarkFig7SizeSensitivityTput regenerates Figure 7 (throughput for
-// Siloz-512/-2048 vs Siloz-1024).
-func BenchmarkFig7SizeSensitivityTput(b *testing.B) {
-	cfg := benchPerf()
-	var g512, g2048 float64
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i) + 1
-		res, err := experiments.Fig6And7SizeSensitivity(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		g512, g2048 = res.Tput512.GeomeanPct, res.Tput2048.GeomeanPct
-	}
-	b.ReportMetric(g512, "siloz512-overhead-%")
-	b.ReportMetric(g2048, "siloz2048-overhead-%")
+	b.ReportMetric(t512, "time-siloz512-overhead-%")
+	b.ReportMetric(t2048, "time-siloz2048-overhead-%")
+	b.ReportMetric(p512, "tput-siloz512-overhead-%")
+	b.ReportMetric(p2048, "tput-siloz2048-overhead-%")
 }
 
 // BenchmarkBankLevelParallelism regenerates the §4.1 ablation.
 func BenchmarkBankLevelParallelism(b *testing.B) {
+	cfg := benchConfig()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.BankLevelParallelism(geometry.Default(), 60_000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		speedup = res.SpeedupPct
-		if speedup < 18 {
-			b.Fatalf("BLP benefit %.1f%% below the paper's 18%%", speedup)
-		}
+		speedup = scalar(b, runExp(b, "blp", cfg), "blp_benefit_pct")
 	}
 	b.ReportMetric(speedup, "blp-benefit-%")
 }
 
 // BenchmarkGuardRowOverhead regenerates the §3/§5.4 reservation accounting.
 func BenchmarkGuardRowOverhead(b *testing.B) {
+	cfg := benchConfig()
 	var siloz float64
 	for i := 0; i < b.N; i++ {
-		for _, r := range experiments.OverheadComparison(geometry.Default()) {
-			if r.Scheme == "Siloz EPT block (b=32)" {
-				siloz = r.ReservedPct
-			}
-		}
+		siloz = scalar(b, runExp(b, "overhead", cfg), "siloz_ept_reserved_pct")
 	}
 	b.ReportMetric(siloz, "siloz-reserved-%")
 }
 
 // BenchmarkSoftwareRefresh regenerates the §8.3 deadline experiment.
 func BenchmarkSoftwareRefresh(b *testing.B) {
+	cfg := benchConfig()
 	var taskMiss, tickMiss float64
 	for i := 0; i < b.N; i++ {
-		task, tick := experiments.SoftRefreshComparison()
-		taskMiss, tickMiss = task.MissRate(), tick.MissRate()
+		r := runExp(b, "softrefresh", cfg)
+		taskMiss = scalar(b, r, "task_miss_rate")
+		tickMiss = scalar(b, r, "tick_miss_rate")
 	}
 	b.ReportMetric(100*taskMiss, "task-miss-%")
 	b.ReportMetric(100*tickMiss, "tick-miss-%")
@@ -186,100 +177,66 @@ func BenchmarkSoftwareRefresh(b *testing.B) {
 
 // BenchmarkRemapHandling regenerates the §6 sweep.
 func BenchmarkRemapHandling(b *testing.B) {
+	cfg := benchConfig()
 	var maxReserved float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RemapHandling()
-		if err != nil {
-			b.Fatal(err)
-		}
-		maxReserved = 0
-		for _, r := range rows {
-			if r.ReservedPct > maxReserved {
-				maxReserved = r.ReservedPct
-			}
-		}
+		maxReserved = scalar(b, runExp(b, "remaps", cfg), "max_reserved_pct")
 	}
 	b.ReportMetric(maxReserved, "max-reserved-%")
 }
 
 // BenchmarkGiBPages regenerates the §4.2 1 GiB page analysis.
 func BenchmarkGiBPages(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Perf.Geometry = geometry.Default()
 	var frac float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.GiBPages(geometry.Default())
-		if err != nil {
-			b.Fatal(err)
-		}
-		frac = res.SingleSetFraction
+		frac = scalar(b, runExp(b, "gbpages", cfg), "single_set_fraction")
 	}
 	b.ReportMetric(100*frac, "single-set-%")
 }
 
 // BenchmarkECCStudy regenerates the §2.5/§3 ECC analysis.
 func BenchmarkECCStudy(b *testing.B) {
-	var corrected, uncorrectable int
+	cfg := benchConfig()
+	var corrected, uncorrectable float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ECCStudy()
-		if err != nil {
-			b.Fatal(err)
-		}
-		corrected, uncorrectable = res.WordsCorrected, res.WordsUncorrectable
-		if !res.Leak {
-			b.Fatal("side channel not demonstrated")
-		}
+		r := runExp(b, "ecc", cfg)
+		corrected = scalar(b, r, "words_corrected")
+		uncorrectable = scalar(b, r, "words_uncorrectable")
 	}
-	b.ReportMetric(float64(corrected), "corrected-words")
-	b.ReportMetric(float64(uncorrectable), "uncorrectable-words")
+	b.ReportMetric(corrected, "corrected-words")
+	b.ReportMetric(uncorrectable, "uncorrectable-words")
 }
 
 // BenchmarkFragmentation regenerates the §8.1 provisioning-waste study.
 func BenchmarkFragmentation(b *testing.B) {
+	cfg := benchConfig()
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.FragmentationStudy()
-		if err != nil {
-			b.Fatal(err)
-		}
-		worst = 0
-		for _, r := range rows {
-			if r.WastePct > worst {
-				worst = r.WastePct
-			}
-		}
+		worst = scalar(b, runExp(b, "fragmentation", cfg), "worst_waste_pct")
 	}
 	b.ReportMetric(worst, "worst-waste-%")
 }
 
 // BenchmarkDDR5Comparison regenerates the §8.2 DDR4-vs-DDR5 sweep.
 func BenchmarkDDR5Comparison(b *testing.B) {
+	cfg := benchConfig()
 	var ddr4Max float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DDR5Comparison()
-		if err != nil {
-			b.Fatal(err)
-		}
-		ddr4Max = 0
-		for _, r := range rows {
-			if r.DDR5Reserved != 0 {
-				b.Fatal("DDR5 should reserve nothing")
-			}
-			if r.DDR4Reserved > ddr4Max {
-				ddr4Max = r.DDR4Reserved
-			}
-		}
+		ddr4Max = scalar(b, runExp(b, "ddr5", cfg), "ddr4_max_reserved_pct")
 	}
 	b.ReportMetric(ddr4Max, "ddr4-max-reserved-%")
 }
 
 // BenchmarkDRAMAStudy regenerates the §8.4 timing-side-channel study.
 func BenchmarkDRAMAStudy(b *testing.B) {
+	cfg := benchConfig()
 	var sharedSignal, partSignal float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DRAMAStudy()
-		if err != nil {
-			b.Fatal(err)
-		}
-		sharedSignal, partSignal = rows[0].SignalPct, rows[1].SignalPct
+		r := runExp(b, "drama", cfg)
+		sharedSignal = scalar(b, r, "shared_signal_pct")
+		partSignal = scalar(b, r, "partitioned_signal_pct")
 	}
 	b.ReportMetric(sharedSignal, "shared-signal-%")
 	b.ReportMetric(partSignal, "partitioned-signal-%")
@@ -287,40 +244,22 @@ func BenchmarkDRAMAStudy(b *testing.B) {
 
 // BenchmarkActivationRates regenerates the §1 activation-rate study.
 func BenchmarkActivationRates(b *testing.B) {
-	cfg := experiments.QuickPerfConfig()
-	cfg.Ops = 250_000
-	var hammerPeak int
+	cfg := benchConfig()
+	cfg.Perf = experiments.QuickPerfConfig()
+	var hammerPeak float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ActivationRates(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if r.Workload == "hammer-pair" {
-				hammerPeak = r.PeakACTs
-			}
-		}
+		hammerPeak = scalar(b, runExp(b, "actrates", cfg), "hammer_peak_acts")
 	}
-	b.ReportMetric(float64(hammerPeak), "hammer-peak-acts")
+	b.ReportMetric(hammerPeak, "hammer-peak-acts")
 }
 
 // BenchmarkZebRAMComparison regenerates the §3 executable guard-row
 // comparison.
 func BenchmarkZebRAMComparison(b *testing.B) {
+	cfg := benchConfig()
 	var silozOverhead float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ZebRAMComparison()
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if r.Scheme == "Siloz subarray groups (~0%)" {
-				if !r.Safe {
-					b.Fatal("subarray groups leaked")
-				}
-				silozOverhead = r.OverheadPct
-			}
-		}
+		silozOverhead = scalar(b, runExp(b, "zebram", cfg), "siloz_overhead_pct")
 	}
 	b.ReportMetric(silozOverhead, "siloz-overhead-%")
 }

@@ -1,259 +1,135 @@
-// Command siloz-bench regenerates the paper's tables and figures (§7):
+// Command siloz-bench regenerates the paper's tables and figures (§7) by
+// dispatching the experiment registry: every table and figure is an
+// experiments.Experiment, scheduled onto a bounded worker pool that fans
+// out both across experiments and across each experiment's repetitions.
+// Results stream to stdout in registry order — bit-for-bit identical no
+// matter the pool width — while progress and timing go to stderr.
 //
-//	table3      bit-flip containment across DIMMs A-F (Table 3)
-//	ept         EPT bit-flip prevention (§7.1)
-//	fig4        baseline-normalized execution time (Figure 4)
-//	fig5        baseline-normalized throughput (Figure 5)
-//	fig67       subarray-size sensitivity (Figures 6 and 7)
-//	blp         bank-level parallelism ablation (§4.1)
-//	overhead    DRAM reservation comparison vs guard-row schemes (§3, §5.4)
-//	softrefresh software-refresh deadline experiment (§8.3)
-//	remaps      media-to-internal remap handling sweep (§6)
-//	gbpages     1 GiB page analysis (§4.2)
-//	ecc         ECC correction/miscorrection and side channel (§2.5, §3)
-//	fragmentation  whole-group provisioning waste and SNC (§8.1)
-//	ddr5        DDR4 vs DDR5 group formation (§8.2)
-//	drama       DRAM timing side channel and bank partitioning (§8.4)
-//	actrates    peak per-row activation rates of workloads vs thresholds (§1)
-//	zebram      executable guard-row scheme comparison (§3)
-//	all         everything above
+// Run `siloz-bench -list` for the experiment names.
 //
 // Usage:
 //
-//	siloz-bench [-exp NAME] [-quick] [-ops N] [-reps N]
+//	siloz-bench [-exp NAME[,NAME...]] [-json] [-quick] [-seed N] [-ops N]
+//	            [-reps N] [-parallel N] [-timeout D] [-csv DIR] [-patterns N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
-	"repro/internal/geometry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("siloz-bench: ")
-	exp := flag.String("exp", "all", "experiment to run")
-	quick := flag.Bool("quick", false, "scaled-down parameters for a fast pass")
-	ops := flag.Int("ops", 0, "override operations per performance run")
-	reps := flag.Int("reps", 0, "override repetitions per configuration")
+	exp := flag.String("exp", "all", "experiment: all, one name, or a comma-separated list")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON document per experiment instead of text")
+	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
 	patterns := flag.Int("patterns", 0, "override fuzzing patterns per DIMM")
-	csvDir := flag.String("csv", "", "directory to also write per-figure CSV files into")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	writeCSV := func(name string, fig experiments.Figure) {
-		if *csvDir == "" {
-			return
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
 		}
-		path := filepath.Join(*csvDir, name+".csv")
-		if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
-			log.Fatalf("writing %s: %v", path, err)
-		}
-		fmt.Printf("    wrote %s\n", path)
+		return
 	}
 
 	perf := experiments.DefaultPerfConfig()
-	if *quick {
+	if common.Quick {
 		perf = experiments.QuickPerfConfig()
 	}
-	if *ops > 0 {
-		perf.Ops = *ops
+	perf.Seed = common.Seed
+	if common.Ops > 0 {
+		perf.Ops = common.Ops
 	}
-	if *reps > 0 {
-		perf.Reps = *reps
+	if common.Reps > 0 {
+		perf.Reps = common.Reps
 	}
 	sec := experiments.DefaultSecurityConfig()
+	// The security campaign keeps its own default seed unless -seed is
+	// given explicitly, so default outputs match earlier releases.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			sec.Seed = common.Seed
+		}
+	})
 	if *patterns > 0 {
 		sec.Patterns = *patterns
 	}
 
-	run := func(name string, fn func() error) {
-		start := time.Now()
-		fmt.Printf("==> %s\n", name)
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+	var exps []experiments.Experiment
+	if *exp == "all" {
+		exps = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := experiments.Get(name)
+			if !ok {
+				log.Fatalf("unknown experiment %q (run -list for names)", name)
+			}
+			exps = append(exps, e)
 		}
-		fmt.Printf("    (%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	if want("table3") {
-		run("Table 3: hammering containment", func() error {
-			res, err := experiments.Table3Containment(sec)
+	cfg := experiments.Config{
+		Perf:     perf,
+		Security: sec,
+		Pool:     experiments.NewPool(common.Workers()),
+	}
+
+	failed := 0
+	onDone := func(r *experiments.Result, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "==> %s (%.1fs)\n", r.Name, elapsed.Seconds())
+		if *asJSON {
+			out, err := experiments.RenderJSON(r)
 			if err != nil {
-				return err
+				log.Fatal(err)
 			}
-			fmt.Print(res.Render())
-			if res.Contained() {
-				fmt.Println("containment: PASS (no flip escaped any subarray group)")
-			} else {
-				fmt.Println("containment: FAIL")
+			os.Stdout.Write(out)
+		} else {
+			fmt.Print(experiments.RenderText(r))
+			fmt.Println()
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, r.Name+".csv")
+			if err := os.WriteFile(path, []byte(experiments.RenderCSV(r)), 0o644); err != nil {
+				log.Fatalf("writing %s: %v", path, err)
 			}
-			return nil
-		})
+			fmt.Fprintf(os.Stderr, "    wrote %s\n", path)
+		}
+		if !r.Passed() {
+			failed++
+		}
 	}
-	if want("ept") {
-		run("EPT bit-flip prevention (§7.1)", func() error {
-			res, err := experiments.EPTProtection(sec)
-			if err != nil {
-				return err
-			}
-			fmt.Print(res.Render())
-			return nil
-		})
+	start := time.Now()
+	if _, err := experiments.RunAll(ctx, exps, cfg, onDone); err != nil {
+		log.Fatal(err)
 	}
-	if want("fig4") {
-		run("Figure 4: execution time", func() error {
-			fig, err := experiments.Fig4ExecutionTime(perf)
-			if err != nil {
-				return err
-			}
-			fmt.Print(fig.Render())
-			fmt.Printf("within ±0.5%%: %v\n", fig.WithinHalfPercent())
-			writeCSV("fig4", fig)
-			return nil
-		})
-	}
-	if want("fig5") {
-		run("Figure 5: throughput", func() error {
-			fig, err := experiments.Fig5Throughput(perf)
-			if err != nil {
-				return err
-			}
-			fmt.Print(fig.Render())
-			fmt.Printf("within ±0.5%%: %v\n", fig.WithinHalfPercent())
-			writeCSV("fig5", fig)
-			return nil
-		})
-	}
-	if want("fig67") {
-		run("Figures 6+7: subarray size sensitivity", func() error {
-			res, err := experiments.Fig6And7SizeSensitivity(perf)
-			if err != nil {
-				return err
-			}
-			names := []string{"fig6-siloz512", "fig6-siloz2048", "fig7-siloz512", "fig7-siloz2048"}
-			for i, f := range []experiments.Figure{res.Time512, res.Time2048, res.Tput512, res.Tput2048} {
-				fmt.Print(f.Render())
-				fmt.Println()
-				writeCSV(names[i], f)
-			}
-			return nil
-		})
-	}
-	if want("blp") {
-		run("Bank-level parallelism ablation (§4.1)", func() error {
-			res, err := experiments.BankLevelParallelism(geometry.Default(), 200_000)
-			if err != nil {
-				return err
-			}
-			fmt.Print(res.Render())
-			return nil
-		})
-	}
-	if want("overhead") {
-		run("DRAM reservation comparison (§3, §5.4)", func() error {
-			fmt.Print(experiments.RenderOverheads(experiments.OverheadComparison(geometry.Default())))
-			return nil
-		})
-	}
-	if want("softrefresh") {
-		run("Software refresh deadlines (§8.3)", func() error {
-			task, tick := experiments.SoftRefreshComparison()
-			fmt.Printf("task-scheduled: %s\n", task)
-			fmt.Printf("tick-interrupt: %s\n", tick)
-			fmt.Println("conclusion: neither meets 1 ms deadlines reliably; Siloz uses guard rows instead")
-			return nil
-		})
-	}
-	if want("remaps") {
-		run("Remap handling sweep (§6)", func() error {
-			rows, err := experiments.RemapHandling()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderRemaps(rows))
-			return nil
-		})
-	}
-	if want("gbpages") {
-		run("1 GiB page analysis (§4.2)", func() error {
-			res, err := experiments.GiBPages(geometry.Default())
-			if err != nil {
-				return err
-			}
-			fmt.Print(res.Render())
-			return nil
-		})
-	}
-	if want("ecc") {
-		run("ECC under Rowhammer (§2.5, §3)", func() error {
-			res, err := experiments.ECCStudy()
-			if err != nil {
-				return err
-			}
-			fmt.Print(res.Render())
-			return nil
-		})
-	}
-	if want("fragmentation") {
-		run("Memory fragmentation and SNC (§8.1)", func() error {
-			rows, err := experiments.FragmentationStudy()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFragmentation(rows))
-			return nil
-		})
-	}
-	if want("ddr5") {
-		run("DDR4 vs DDR5 group formation (§8.2)", func() error {
-			rows, err := experiments.DDR5Comparison()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderDDR5(rows))
-			return nil
-		})
-	}
-	if want("drama") {
-		run("DRAM timing side channel (§8.4)", func() error {
-			rows, err := experiments.DRAMAStudy()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderDRAMA(rows))
-			return nil
-		})
-	}
-	if want("zebram") {
-		run("Guard-row schemes vs subarray groups (§3)", func() error {
-			rows, err := experiments.ZebRAMComparison()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderZebRAM(rows))
-			return nil
-		})
-	}
-	if want("actrates") {
-		run("Peak per-row activation rates (§1)", func() error {
-			cfg := perf
-			if cfg.Ops < 250_000 {
-				cfg.Ops = 250_000 // need full refresh windows of traffic
-			}
-			rows, err := experiments.ActivationRates(cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderActRates(rows))
-			return nil
-		})
+	fmt.Fprintf(os.Stderr, "done: %d experiments in %.1fs (parallel=%d)\n",
+		len(exps), time.Since(start).Seconds(), cfg.Pool.Width())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d experiment(s) have failing checks\n", failed)
 	}
 }

@@ -3,12 +3,19 @@
 // reports both the attacker's view (corruptions it can read back) and the
 // omniscient ground truth (where every bit flip physically landed).
 //
+// With -reps N the whole campaign repeats N times on independent
+// hypervisors, each seeded from -seed and the repetition index; the
+// repetitions fan out onto a -parallel wide worker pool and report in
+// index order, identical at any pool width.
+//
 // Usage:
 //
-//	siloz-blacksmith [-mode siloz|baseline] [-dimm A..F] [-patterns N] [-seed N]
+//	siloz-blacksmith [-mode siloz|baseline] [-dimm A..F] [-patterns N]
+//	                 [-quick] [-seed N] [-ops N] [-reps N] [-parallel N] [-json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,16 +23,20 @@ import (
 	"os"
 
 	"repro/internal/attack"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/ept"
+	"repro/internal/experiments"
 	"repro/internal/geometry"
 )
 
-// jsonReport is the machine-readable campaign summary (-json).
+// jsonReport is the machine-readable campaign summary (-json), one per rep.
 type jsonReport struct {
 	Mode              string `json:"mode"`
 	DIMM              string `json:"dimm"`
+	Rep               int    `json:"rep"`
+	Seed              int64  `json:"seed"`
 	PatternsTried     int    `json:"patterns_tried"`
 	EffectivePatterns int    `json:"effective_patterns"`
 	Corruptions       int    `json:"corruptions"`
@@ -36,6 +47,64 @@ type jsonReport struct {
 	Contained         bool   `json:"contained"`
 }
 
+// campaign boots a fresh hypervisor, fuzzes from the attacker VM, and
+// classifies every flip. Each repetition is fully independent, which is
+// what makes fanning reps across the pool safe.
+func campaign(mode core.Mode, prof dram.Profile, vmGiB, patterns, windows, maxActs int, seed int64) (jsonReport, error) {
+	rep := jsonReport{Mode: mode.String(), DIMM: prof.Name, Seed: seed}
+	h, err := core.Boot(core.Config{
+		Profiles:      []dram.Profile{prof},
+		EPTProtection: ept.GuardRows,
+	}, mode)
+	if err != nil {
+		return rep, err
+	}
+	proc := core.Process{CGroup: "kvm", KVMPrivileged: true}
+	attacker, err := h.CreateVM(proc, core.VMSpec{
+		Name: "attacker", Socket: 0, MemoryBytes: uint64(vmGiB) * geometry.GiB,
+	})
+	if err != nil {
+		return rep, err
+	}
+	victim, err := h.CreateVM(proc, core.VMSpec{
+		Name: "victim", Socket: 0, MemoryBytes: uint64(vmGiB) * geometry.GiB,
+	})
+	if err != nil {
+		return rep, err
+	}
+	fz := attack.NewFuzzer(attack.FuzzerConfig{
+		Patterns:          patterns,
+		WindowsPerPattern: windows,
+		MaxActsPerWindow:  maxActs,
+		FillPattern:       0xAA,
+		Seed:              seed,
+	})
+	fr, err := fz.Run(&attack.VMTarget{VM: attacker})
+	if err != nil {
+		return rep, err
+	}
+	rep.PatternsTried = fr.PatternsTried
+	rep.EffectivePatterns = fr.EffectivePatterns
+	rep.Corruptions = len(fr.Corruptions)
+	rep.BestPattern = fr.BestPattern
+	for _, f := range h.Memory().Flips() {
+		pa, err := h.Memory().FlipPhys(f)
+		if err != nil {
+			return rep, err
+		}
+		switch {
+		case attacker.OwnsHPA(pa) || attacker.InDomain(pa):
+			rep.FlipsInAttacker++
+		case victim.OwnsHPA(pa) || victim.InDomain(pa):
+			rep.FlipsInVictim++
+		default:
+			rep.FlipsElsewhere++
+		}
+	}
+	rep.Contained = rep.FlipsInVictim+rep.FlipsElsewhere == 0
+	return rep, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("siloz-blacksmith: ")
@@ -44,8 +113,8 @@ func main() {
 	patterns := flag.Int("patterns", 40, "fuzzing patterns to try")
 	windows := flag.Int("windows", 2, "refresh windows hammered per pattern")
 	vmGiB := flag.Int("vm-gib", 6, "attacker VM memory in GiB")
-	seed := flag.Int64("seed", 1, "fuzzer seed")
-	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report per rep")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	mode := core.ModeSiloz
@@ -67,78 +136,56 @@ func main() {
 		log.Fatalf("unknown DIMM %q (want A-F)", *dimm)
 	}
 
-	h, err := core.Boot(core.Config{
-		Profiles:      []dram.Profile{prof},
-		EPTProtection: ept.GuardRows,
-	}, mode)
-	if err != nil {
-		log.Fatal(err)
+	if common.Quick {
+		*patterns = 10
+		*windows = 1
 	}
-	proc := core.Process{CGroup: "kvm", KVMPrivileged: true}
-	attacker, err := h.CreateVM(proc, core.VMSpec{
-		Name: "attacker", Socket: 0, MemoryBytes: uint64(*vmGiB) * geometry.GiB,
-	})
-	if err != nil {
-		log.Fatal(err)
+	// -ops overrides the hammer budget per refresh window.
+	maxActs := prof.MaxActsPerWindow * 9 / 10
+	if common.Ops > 0 {
+		maxActs = common.Ops
 	}
-	victim, err := h.CreateVM(proc, core.VMSpec{
-		Name: "victim", Socket: 0, MemoryBytes: uint64(*vmGiB) * geometry.GiB,
-	})
-	if err != nil {
-		log.Fatal(err)
+	reps := 1
+	if common.Reps > 0 {
+		reps = common.Reps
 	}
 
 	if !*asJSON {
-		fmt.Printf("hypervisor: %s, DIMM profile %s, attacker VM %d GiB, victim VM %d GiB\n",
-			h.Mode(), prof.Name, *vmGiB, *vmGiB)
-	}
-	fz := attack.NewFuzzer(attack.FuzzerConfig{
-		Patterns:          *patterns,
-		WindowsPerPattern: *windows,
-		MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
-		FillPattern:       0xAA,
-		Seed:              *seed,
-	})
-	rep, err := fz.Run(&attack.VMTarget{VM: attacker})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !*asJSON {
-		fmt.Printf("attacker view: %d/%d patterns effective, %d corruptions observed (first: %s)\n",
-			rep.EffectivePatterns, rep.PatternsTried, len(rep.Corruptions), rep.BestPattern)
+		fmt.Printf("hypervisor: %s, DIMM profile %s, attacker VM %d GiB, victim VM %d GiB, %d rep(s)\n",
+			mode, prof.Name, *vmGiB, *vmGiB, reps)
 	}
 
-	inside, victimHits, elsewhere := 0, 0, 0
-	for _, f := range h.Memory().Flips() {
-		pa, err := h.Memory().FlipPhys(f)
+	reports := make([]jsonReport, reps)
+	pool := experiments.NewPool(common.Workers())
+	err := pool.Map(context.Background(), reps, func(i int) error {
+		rep, err := campaign(mode, prof, *vmGiB, *patterns, *windows, maxActs,
+			experiments.RepSeed(common.Seed, i))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		switch {
-		case attacker.OwnsHPA(pa) || attacker.InDomain(pa):
-			inside++
-		case victim.OwnsHPA(pa) || victim.InDomain(pa):
-			victimHits++
-		default:
-			elsewhere++
-		}
+		rep.Rep = i
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	contained := victimHits+elsewhere == 0
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonReport{
-			Mode: h.Mode().String(), DIMM: prof.Name,
-			PatternsTried: rep.PatternsTried, EffectivePatterns: rep.EffectivePatterns,
-			Corruptions: len(rep.Corruptions), BestPattern: rep.BestPattern,
-			FlipsInAttacker: inside, FlipsInVictim: victimHits,
-			FlipsElsewhere: elsewhere, Contained: contained,
-		}); err != nil {
-			log.Fatal(err)
+
+	contained := true
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, rep := range reports {
+		if *asJSON {
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Printf("rep %d attacker view: %d/%d patterns effective, %d corruptions observed (first: %s)\n",
+				rep.Rep, rep.EffectivePatterns, rep.PatternsTried, rep.Corruptions, rep.BestPattern)
+			fmt.Printf("rep %d ground truth:  %d flips in attacker domain, %d in victim, %d elsewhere (host)\n",
+				rep.Rep, rep.FlipsInAttacker, rep.FlipsInVictim, rep.FlipsElsewhere)
 		}
-	} else {
-		fmt.Printf("ground truth:  %d flips in attacker domain, %d in victim, %d elsewhere (host)\n",
-			inside, victimHits, elsewhere)
+		contained = contained && rep.Contained
 	}
 	if !contained {
 		if !*asJSON {

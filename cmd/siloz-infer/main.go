@@ -4,27 +4,55 @@
 // its multiples — the methodology Siloz's deployment relies on when DRAM
 // vendors do not share subarray sizes.
 //
+// The common flags are spelled as in every siloz command: -quick probes the
+// minimum two boundaries per candidate, -ops overrides activations per
+// aggressor, and
+// -reps re-runs the inference on -parallel-pooled independent DIMMs (the
+// probe itself is deterministic, so -seed is accepted but has no effect).
+//
 // Usage:
 //
-//	siloz-infer [-true-size N] [-dimm A..F]
+//	siloz-infer [-true-size N] [-dimm A..F] [-quick] [-ops N] [-reps N] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/addr"
 	"repro/internal/attack"
+	"repro/internal/cliflags"
 	"repro/internal/dram"
+	"repro/internal/experiments"
 	"repro/internal/geometry"
 )
+
+// infer builds a fresh simulated DIMM and runs one inference pass.
+func infer(g geometry.Geometry, prof dram.Profile, cfg attack.InferenceConfig) (int, error) {
+	mapper, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		return 0, err
+	}
+	mem, err := dram.NewMemory(g, mapper, []dram.Profile{prof}, nil)
+	if err != nil {
+		return 0, err
+	}
+	target := &attack.PhysTarget{
+		Mem:    mem,
+		Ranges: []attack.PhysRange{{Start: 0, End: uint64(g.SocketBytes())}},
+	}
+	return attack.InferSubarraySize(target, cfg)
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("siloz-infer: ")
 	trueSize := flag.Int("true-size", 1024, "actual rows per subarray of the simulated DIMM")
 	dimm := flag.String("dimm", "A", "DIMM profile (A-F)")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	var prof dram.Profile
@@ -49,32 +77,47 @@ func main() {
 	if err := g.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	mapper, err := addr.NewSkylakeMapper(g)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mem, err := dram.NewMemory(g, mapper, []dram.Profile{prof}, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	target := &attack.PhysTarget{
-		Mem:    mem,
-		Ranges: []attack.PhysRange{{Start: 0, End: uint64(g.SocketBytes())}},
-	}
 	cfg := attack.DefaultInferenceConfig()
 	if prof.TRRTableSize == 0 {
 		cfg.Decoys = 0
 	}
+	if common.Quick {
+		// Two probes is the floor: the inference demands at least two
+		// conclusive boundary samples before accepting a candidate.
+		cfg.ProbesPerCandidate = 2
+	}
+	if common.Ops > 0 {
+		cfg.ActsPerAggressor = common.Ops
+	}
+	reps := 1
+	if common.Reps > 0 {
+		reps = common.Reps
+	}
+
 	fmt.Printf("probing DIMM %s (TRR table %d, threshold %.0f, transforms %+v)...\n",
 		prof.Name, prof.TRRTableSize, prof.HammerThreshold, prof.Transforms)
-	got, err := attack.InferSubarraySize(target, cfg)
+	sizes := make([]int, reps)
+	pool := experiments.NewPool(common.Workers())
+	err := pool.Map(context.Background(), reps, func(i int) error {
+		got, err := infer(g, prof, cfg)
+		if err != nil {
+			return err
+		}
+		sizes[i] = got
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("inferred subarray size: %d rows (true: %d)\n", got, *trueSize)
-	if got == *trueSize {
+	allCorrect := true
+	for i, got := range sizes {
+		fmt.Printf("rep %d inferred subarray size: %d rows (true: %d)\n", i, got, *trueSize)
+		allCorrect = allCorrect && got == *trueSize
+	}
+	if allCorrect {
 		fmt.Println("RESULT: correct — failed attacks observed at every multiple of the true size (§4.1)")
 	} else {
 		fmt.Println("RESULT: MISMATCH")
+		os.Exit(1)
 	}
 }

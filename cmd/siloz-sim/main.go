@@ -2,21 +2,30 @@
 // place tenant VMs, run a workload in one while another mounts a Rowhammer
 // attack, and report both performance and containment.
 //
+// The victim workload repeats -reps times (each repetition on a fresh
+// memory controller, seeded from -seed and the repetition index) and the
+// repetitions fan out onto a -parallel wide worker pool; per-rep results
+// print in index order, identical at any pool width.
+//
 // Usage:
 //
-//	siloz-sim [-mode siloz|baseline] [-tenants N] [-workload NAME] [-ops N]
+//	siloz-sim [-mode siloz|baseline] [-tenants N] [-workload NAME]
+//	          [-quick] [-seed N] [-ops N] [-reps N] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/attack"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/ept"
+	"repro/internal/experiments"
 	"repro/internal/geometry"
 	"repro/internal/memctrl"
 	"repro/internal/workload"
@@ -43,9 +52,8 @@ func main() {
 	tenants := flag.Int("tenants", 3, "number of tenant VMs (tenant 0 is the attacker)")
 	vmGiB := flag.Int("vm-gib", 3, "memory per tenant in GiB")
 	wname := flag.String("workload", "redis-a", "workload run by the victim tenant")
-	ops := flag.Int("ops", 50_000, "workload operations")
 	patterns := flag.Int("patterns", 25, "attacker fuzzing patterns")
-	seed := flag.Int64("seed", 1, "seed")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	mode := core.ModeSiloz
@@ -55,6 +63,18 @@ func main() {
 	w, ok := pickWorkload(*wname)
 	if !ok {
 		log.Fatalf("unknown workload %q", *wname)
+	}
+	ops := 50_000
+	if common.Quick {
+		ops = 15_000
+		*patterns = 10
+	}
+	if common.Ops > 0 {
+		ops = common.Ops
+	}
+	reps := 1
+	if common.Reps > 0 {
+		reps = common.Reps
 	}
 
 	prof := dram.ProfileD()
@@ -83,25 +103,42 @@ func main() {
 	fmt.Printf("booted %s with %d tenants x %d GiB on %s\n",
 		h.Mode(), *tenants, *vmGiB, h.Layout().Geometry())
 
-	// Victim runs the workload.
+	// Victim runs the workload; repetitions fan out onto the pool and are
+	// reported by index, so output is scheduling-independent.
 	victim := vms[len(vms)-1]
-	ctrl, err := memctrl.New(memctrl.Config{
-		Mapper: h.Memory().Mapper(), Timing: memctrl.DDR4_2933(),
-		MLPWindow: 10, JitterSeed: *seed,
+	type repResult struct {
+		res     memctrl.Result
+		hitRate float64
+	}
+	results := make([]repResult, reps)
+	pool := experiments.NewPool(common.Workers())
+	err = pool.Map(context.Background(), reps, func(rep int) error {
+		seed := experiments.RepSeed(common.Seed, rep)
+		ctrl, err := memctrl.New(memctrl.Config{
+			Mapper: h.Memory().Mapper(), Timing: memctrl.DDR4_2933(),
+			MLPWindow: 10, JitterSeed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		cache, err := memctrl.NewCache(32*geometry.MiB, 16)
+		if err != nil {
+			return err
+		}
+		res, err := workload.RunOnVM(victim, ctrl, cache, w, ops, seed)
+		if err != nil {
+			return err
+		}
+		results[rep] = repResult{res: res, hitRate: cache.HitRate()}
+		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache, err := memctrl.NewCache(32*geometry.MiB, 16)
-	if err != nil {
-		log.Fatal(err)
+	for rep, r := range results {
+		fmt.Printf("victim %s ran %s [rep %d]: %s (LLC hit %.1f%%)\n",
+			victim.Name(), w.Name(), rep, r.res, 100*r.hitRate)
 	}
-	res, err := workload.RunOnVM(victim, ctrl, cache, w, *ops, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("victim %s ran %s: %s (LLC hit %.1f%%)\n",
-		victim.Name(), w.Name(), res, 100*cache.HitRate())
 
 	// Attacker fuzzes.
 	fz := attack.NewFuzzer(attack.FuzzerConfig{
@@ -109,7 +146,7 @@ func main() {
 		WindowsPerPattern: 2,
 		MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
 		FillPattern:       0xAA,
-		Seed:              *seed,
+		Seed:              common.Seed,
 	})
 	rep, err := fz.Run(&attack.VMTarget{VM: vms[0]})
 	if err != nil {

@@ -1,0 +1,53 @@
+// Package cliflags defines the flag vocabulary shared by every siloz
+// command. All binaries spell the common knobs the same way with the same
+// defaults:
+//
+//	-seed N      base RNG seed (per-rep streams derive from it)
+//	-quick       scaled-down parameters for a fast pass
+//	-ops N       operations per run (0 = command default)
+//	-reps N      repetitions per configuration (0 = command default)
+//	-parallel N  worker pool width (0 = GOMAXPROCS)
+//
+// Commands register the set with Register and read the parsed values from
+// the returned Common. The package deliberately depends on nothing but the
+// standard library so every cmd/ binary can use it.
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+)
+
+// Common holds the parsed values of the shared flags.
+type Common struct {
+	// Seed is the base RNG seed every derived stream starts from.
+	Seed int64
+	// Quick selects scaled-down experiment parameters.
+	Quick bool
+	// Ops overrides operations per run; 0 keeps the command's default.
+	Ops int
+	// Reps overrides repetitions per configuration; 0 keeps the default.
+	Reps int
+	// Parallel bounds the worker pool; 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// Register installs the shared flags on fs with their canonical spellings
+// and defaults, returning the struct the parsed values land in.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", 1, "base RNG seed; per-rep streams derive from it")
+	fs.BoolVar(&c.Quick, "quick", false, "scaled-down parameters for a fast pass")
+	fs.IntVar(&c.Ops, "ops", 0, "operations per run (0 = command default)")
+	fs.IntVar(&c.Reps, "reps", 0, "repetitions per configuration (0 = command default)")
+	fs.IntVar(&c.Parallel, "parallel", 0, "worker pool width (0 = GOMAXPROCS)")
+	return c
+}
+
+// Workers resolves -parallel to a concrete pool width.
+func (c *Common) Workers() int {
+	if c.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallel
+}

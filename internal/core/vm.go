@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/alloc"
 	"repro/internal/ept"
@@ -56,6 +57,7 @@ type VM struct {
 	ram      []uint64 // HPA of each 2 MiB RAM page, GPA order
 	mediated []uint64 // HPA of each 4 KiB mediated page, GPA order
 	regions  []regionInfo
+	tlbMu    sync.Mutex // guards tlb: reps of one benchmark VM translate concurrently
 	tlb      map[uint64]uint64
 	ramNode  map[uint64]int // 2M HPA -> node ID (accounting)
 	exits    uint64         // VM exits taken for mediated accesses
@@ -345,7 +347,10 @@ func (vm *VM) Translate(gpa uint64) (uint64, error) {
 		return 0, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
 	}
 	pageBase := gpa &^ uint64(geometry.PageSize2M-1)
-	if hpa, ok := vm.tlb[pageBase]; ok {
+	vm.tlbMu.Lock()
+	hpa, ok := vm.tlb[pageBase]
+	vm.tlbMu.Unlock()
+	if ok {
 		return hpa + (gpa - pageBase), nil
 	}
 	hpa, err := vm.tables.Translate(gpa)
@@ -353,7 +358,9 @@ func (vm *VM) Translate(gpa uint64) (uint64, error) {
 		return 0, err
 	}
 	if vm.isRAMGPA(gpa) {
+		vm.tlbMu.Lock()
 		vm.tlb[pageBase] = hpa &^ uint64(geometry.PageSize2M-1)
+		vm.tlbMu.Unlock()
 	}
 	return hpa, nil
 }
@@ -367,7 +374,11 @@ func (vm *VM) TranslateUncached(gpa uint64) (uint64, error) {
 }
 
 // InvalidateTLB drops all cached translations.
-func (vm *VM) InvalidateTLB() { vm.tlb = make(map[uint64]uint64) }
+func (vm *VM) InvalidateTLB() {
+	vm.tlbMu.Lock()
+	vm.tlb = make(map[uint64]uint64)
+	vm.tlbMu.Unlock()
+}
 
 // translateWrite resolves a GPA for a store. A write through a read-only
 // mapping (guest ROM) raises an EPT violation: the access exits into the

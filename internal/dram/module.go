@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
@@ -83,6 +84,7 @@ type Module struct {
 	dimm    int
 
 	banks  map[[2]int]*bankState // keyed by (rank, bank)
+	rowsMu sync.Mutex            // guards rows: EPT walks from parallel reps share it
 	rows   map[[3]int][]byte     // (rank, bank, mediaRow) -> row bytes
 	window int
 	flips  []Flip
@@ -392,11 +394,13 @@ func (m *Module) ResetFlips() { m.flips = nil }
 // on first touch.
 func (m *Module) row(b geometry.BankID, mediaRow int) []byte {
 	key := [3]int{b.Rank, b.Bank, mediaRow}
+	m.rowsMu.Lock()
 	r := m.rows[key]
 	if r == nil {
 		r = make([]byte, m.g.RowBytes)
 		m.rows[key] = r
 	}
+	m.rowsMu.Unlock()
 	return r
 }
 

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/addr"
 	"repro/internal/core"
@@ -22,15 +22,8 @@ type BLPResult struct {
 	SpeedupPct float64
 }
 
-// Render formats the result.
-func (r BLPResult) Render() string {
-	return fmt.Sprintf(
-		"Bank-level parallelism ablation (§4.1)\ninterleaved (subarray group): %.2f ms\nsingle-bank isolation:        %.2f ms\nBLP benefit:                  +%.1f%% (paper cites >18%%)\n",
-		r.InterleavedNs/1e6, r.SerialNs/1e6, r.SpeedupPct)
-}
-
 // BankLevelParallelism streams over both mappings.
-func BankLevelParallelism(g geometry.Geometry, ops int) (BLPResult, error) {
+func BankLevelParallelism(ctx context.Context, g geometry.Geometry, ops int) (BLPResult, error) {
 	var out BLPResult
 	run := func(mapper addr.Mapper) (float64, error) {
 		ctrl, err := memctrl.New(memctrl.Config{
@@ -40,6 +33,11 @@ func BankLevelParallelism(g geometry.Geometry, ops int) (BLPResult, error) {
 			return 0, err
 		}
 		for i := 0; i < ops; i++ {
+			if i%8192 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			if _, err := ctrl.Do(memctrl.Access{PA: uint64(i) * geometry.CacheLineSize}); err != nil {
 				return 0, err
 			}
@@ -62,6 +60,30 @@ func BankLevelParallelism(g geometry.Geometry, ops int) (BLPResult, error) {
 	}
 	out.SpeedupPct = 100 * (out.SerialNs/out.InterleavedNs - 1)
 	return out, nil
+}
+
+// blpExp is the "blp" experiment: the §4.1 bank-level parallelism ablation.
+type blpExp struct{}
+
+func (blpExp) Name() string { return "blp" }
+
+func (blpExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var res BLPResult
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		res, err = BankLevelParallelism(ctx, cfg.Perf.Geometry, 200_000)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Name: "blp", Title: "Bank-level parallelism ablation (§4.1)"}
+	r.scalar("interleaved_ms", res.InterleavedNs/1e6)
+	r.scalar("single_bank_ms", res.SerialNs/1e6)
+	r.scalar("blp_benefit_pct", res.SpeedupPct)
+	r.check("blp_above_18pct", res.SpeedupPct > 18,
+		fmt.Sprintf("interleaving is %.1f%% faster; paper cites >18%%", res.SpeedupPct))
+	return r, nil
 }
 
 // OverheadRow is one row of the §3/§5.4 DRAM-reservation comparison.
@@ -87,14 +109,28 @@ func OverheadComparison(g geometry.Geometry) []OverheadRow {
 	}
 }
 
-// RenderOverheads formats the comparison.
-func RenderOverheads(rows []OverheadRow) string {
-	var b strings.Builder
-	b.WriteString("DRAM reserved for protection (§3, §5.4)\n")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-36s %8.3f%%  (%s)\n", r.Scheme, r.ReservedPct, r.Scope)
+// overheadExp is the "overhead" experiment: DRAM reserved for protection.
+type overheadExp struct{}
+
+func (overheadExp) Name() string { return "overhead" }
+
+func (overheadExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return b.String()
+	r := &Result{
+		Name:    "overhead",
+		Title:   "DRAM reserved for protection (§3, §5.4)",
+		Columns: []string{"reserved", "scope"},
+		Units:   []string{"%", ""},
+	}
+	for _, row := range OverheadComparison(cfg.Perf.Geometry) {
+		r.Rows = append(r.Rows, Row{Label: row.Scheme, Cells: []any{row.ReservedPct, row.Scope}})
+		if row.Scheme == "Siloz EPT block (b=32)" {
+			r.scalar("siloz_ept_reserved_pct", row.ReservedPct)
+		}
+	}
+	return r, nil
 }
 
 // SoftRefreshComparison reruns the §8.3 engineering experiment that led
@@ -103,6 +139,37 @@ func SoftRefreshComparison() (task, tick ept.SoftRefreshReport) {
 	task = ept.SimulateSoftRefresh(ept.DefaultSoftRefreshConfig(ept.TaskScheduled))
 	tick = ept.SimulateSoftRefresh(ept.DefaultSoftRefreshConfig(ept.TickInterrupt))
 	return task, tick
+}
+
+// softRefreshExp is the "softrefresh" experiment: §8.3 refresh deadlines.
+type softRefreshExp struct{}
+
+func (softRefreshExp) Name() string { return "softrefresh" }
+
+func (softRefreshExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var task, tick ept.SoftRefreshReport
+	err := cfg.Pool.Run(ctx, func() error {
+		task, tick = SoftRefreshComparison()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Name:    "softrefresh",
+		Title:   "Software refresh deadlines (§8.3)",
+		Columns: []string{"summary"},
+	}
+	r.Rows = append(r.Rows,
+		Row{Label: "task-scheduled", Cells: []any{task.String()}},
+		Row{Label: "tick-interrupt", Cells: []any{tick.String()}},
+	)
+	r.scalar("task_miss_rate", task.MissRate())
+	r.scalar("tick_miss_rate", tick.MissRate())
+	r.check("deadlines_missed", task.MissedDeadlines > 0 && tick.MissedDeadlines > 0,
+		"neither model meets 1 ms deadlines reliably")
+	r.Notes = append(r.Notes, "conclusion: software refresh cannot meet 1 ms deadlines; Siloz uses guard rows instead")
+	return r, nil
 }
 
 // RemapRow summarizes §6 handling for one subarray size.
@@ -120,9 +187,12 @@ type RemapRow struct {
 // RemapHandling sweeps subarray sizes over a geometry whose bank size
 // accommodates them, reporting the §6 reservations. Power-of-two commodity
 // sizes need nothing; others form artificial groups with guard rows.
-func RemapHandling() ([]RemapRow, error) {
+func RemapHandling(ctx context.Context) ([]RemapRow, error) {
 	var out []RemapRow
 	for _, rows := range []int{512, 640, 768, 1024, 1280, 2048} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := geometry.Geometry{
 			Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
 			BanksPerRank: 8, RowBytes: 8 * geometry.KiB,
@@ -153,15 +223,39 @@ func RemapHandling() ([]RemapRow, error) {
 	return out, nil
 }
 
-// RenderRemaps formats the sweep.
-func RenderRemaps(rows []RemapRow) string {
-	var b strings.Builder
-	b.WriteString("Media-to-internal remap handling (§6)\n")
-	fmt.Fprintf(&b, "%10s %12s %12s %12s\n", "subarray", "artificial", "managed", "reserved")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%10d %12v %12d %11.2f%%\n", r.SubarrayRows, r.Artificial, r.ManagedRows, r.ReservedPct)
+// remapsExp is the "remaps" experiment: §6 media-to-internal remap handling.
+type remapsExp struct{}
+
+func (remapsExp) Name() string { return "remaps" }
+
+func (remapsExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var rows []RemapRow
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		rows, err = RemapHandling(ctx)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return b.String()
+	r := &Result{
+		Name:    "remaps",
+		Title:   "Media-to-internal remap handling (§6)",
+		Columns: []string{"artificial", "managed rows", "reserved"},
+		Units:   []string{"", "", "%"},
+	}
+	maxReserved := 0.0
+	for _, row := range rows {
+		r.Rows = append(r.Rows, Row{
+			Label: fmt.Sprintf("%d-row subarrays", row.SubarrayRows),
+			Cells: []any{row.Artificial, row.ManagedRows, row.ReservedPct},
+		})
+		if row.ReservedPct > maxReserved {
+			maxReserved = row.ReservedPct
+		}
+	}
+	r.scalar("max_reserved_pct", maxReserved)
+	return r, nil
 }
 
 func nextPow2(n int) int {
@@ -186,14 +280,8 @@ type GiBPageResult struct {
 	SingleSetFraction float64
 }
 
-// Render formats the analysis.
-func (r GiBPageResult) Render() string {
-	return fmt.Sprintf("1 GiB page analysis (§4.2): %.1f%% of 1 GiB ranges map to a single 3 GiB group set (paper: at least 1/3)\n",
-		100*r.SingleSetFraction)
-}
-
 // GiBPages scans every 1 GiB physical range of the geometry.
-func GiBPages(g geometry.Geometry) (GiBPageResult, error) {
+func GiBPages(ctx context.Context, g geometry.Geometry) (GiBPageResult, error) {
 	var out GiBPageResult
 	m, err := addr.NewSkylakeMapper(g)
 	if err != nil {
@@ -203,6 +291,9 @@ func GiBPages(g geometry.Geometry) (GiBPageResult, error) {
 	nPages := g.TotalBytes() / geometry.PageSize1G
 	single := 0
 	for p := int64(0); p < nPages; p++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		base := uint64(p * geometry.PageSize1G)
 		lo, hi := int64(1)<<62, int64(-1)
 		for off := int64(0); off < geometry.PageSize1G; off += m.ChunkBytes() {
@@ -230,4 +321,26 @@ func GiBPages(g geometry.Geometry) (GiBPageResult, error) {
 	}
 	out.SingleSetFraction = float64(single) / float64(nPages)
 	return out, nil
+}
+
+// gbPagesExp is the "gbpages" experiment: the §4.2 1 GiB page analysis.
+type gbPagesExp struct{}
+
+func (gbPagesExp) Name() string { return "gbpages" }
+
+func (gbPagesExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var res GiBPageResult
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		res, err = GiBPages(ctx, cfg.Perf.Geometry)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Name: "gbpages", Title: "1 GiB page analysis (§4.2)"}
+	r.scalar("single_set_fraction", res.SingleSetFraction)
+	r.check("at_least_one_third", res.SingleSetFraction >= 1.0/3,
+		fmt.Sprintf("%.1f%% of 1 GiB ranges map to a single 3 GiB group set; paper: at least 1/3", 100*res.SingleSetFraction))
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,29 +25,58 @@ type ActRateRow struct {
 	Exceeds []string
 }
 
-// RenderActRates formats the study against the DIMM thresholds.
-func RenderActRates(rows []ActRateRow) string {
-	var b strings.Builder
-	b.WriteString("Peak per-row activations per 64 ms window (§1, §2.5)\n")
+// actRatesExp is the "actrates" experiment: peak per-row activation rates.
+type actRatesExp struct{}
+
+func (actRatesExp) Name() string { return "actrates" }
+
+func (actRatesExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	// The hammer stream needs enough ops to reach real thresholds within
+	// one refresh window; bump small CLI/quick op counts.
+	pcfg := cfg.Perf
+	if pcfg.Ops < 250_000 {
+		pcfg.Ops = 250_000
+	}
+	var rows []ActRateRow
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		rows, err = ActivationRates(ctx, pcfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Name:    "actrates",
+		Title:   "Peak per-row activations per 64 ms window (§1, §2.5)",
+		Columns: []string{"peak ACTs", "exceeds DIMMs"},
+	}
+	var hammerPeak float64
+	for _, row := range rows {
+		ex := strings.Join(row.Exceeds, ",")
+		if ex == "" {
+			ex = "-"
+		}
+		r.Rows = append(r.Rows, Row{Label: row.Workload, Cells: []any{row.PeakACTs, ex}})
+		if row.Workload == "hammer-pair" {
+			hammerPeak = float64(row.PeakACTs)
+			r.scalar("hammer_peak_acts", hammerPeak)
+			r.check("hammer_exceeds_all_dimms",
+				len(row.Exceeds) == len(dram.EvaluationProfiles()),
+				fmt.Sprintf("hammer-pair peaks at %d ACTs/window", row.PeakACTs))
+		}
+	}
 	var th []string
 	for _, p := range dram.EvaluationProfiles() {
 		th = append(th, fmt.Sprintf("%s=%0.f", p.Name, p.HammerThreshold))
 	}
-	fmt.Fprintf(&b, "thresholds: %s\n", strings.Join(th, " "))
-	fmt.Fprintf(&b, "%-22s %12s %s\n", "workload", "peak ACTs", "exceeds DIMMs")
-	for _, r := range rows {
-		ex := strings.Join(r.Exceeds, ",")
-		if ex == "" {
-			ex = "-"
-		}
-		fmt.Fprintf(&b, "%-22s %12d %s\n", r.Workload, r.PeakACTs, ex)
-	}
-	return b.String()
+	r.Notes = append(r.Notes, "thresholds: "+strings.Join(th, " "))
+	return r, nil
 }
 
 // ActivationRates measures the peak per-row activation rate of commodity
 // workloads and of a dedicated hammering stream, on the evaluation server.
-func ActivationRates(cfg PerfConfig) ([]ActRateRow, error) {
+func ActivationRates(ctx context.Context, cfg PerfConfig) ([]ActRateRow, error) {
 	h, vm, err := bootWithVM(cfg, core.ModeSiloz, 0)
 	if err != nil {
 		return nil, err
@@ -85,6 +115,9 @@ func ActivationRates(cfg PerfConfig) ([]ActRateRow, error) {
 		workload.Terasort{},
 	}
 	for _, w := range commodity {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := run(w, cfg.Ops)
 		if err != nil {
 			return nil, err

@@ -1,8 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"context"
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
@@ -25,17 +24,45 @@ type DRAMARow struct {
 // Leaks reports whether the attacker can distinguish victim activity.
 func (r DRAMARow) Leaks() bool { return r.SignalPct > 2 }
 
-// RenderDRAMA formats the study.
-func RenderDRAMA(rows []DRAMARow) string {
-	var b strings.Builder
-	b.WriteString("DRAM timing side channel (DRAMA, §8.4)\n")
-	fmt.Fprintf(&b, "%-26s %10s %10s %10s %8s\n", "mapping", "idle", "busy", "signal", "leaks")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-26s %8.1fns %8.1fns %+9.1f%% %8v\n",
-			r.Mapping, r.IdleNs, r.BusyNs, r.SignalPct, r.Leaks())
+// dramaExp is the "drama" experiment: the §8.4 timing side channel.
+type dramaExp struct{}
+
+func (dramaExp) Name() string { return "drama" }
+
+func (dramaExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var rows []DRAMARow
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		rows, err = DRAMAStudy()
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	b.WriteString("Siloz's subarray groups stop Rowhammer but share banks, so the timing\nchannel persists; bank-partitioned addressing (§8.4 future work) closes it.\n")
-	return b.String()
+	r := &Result{
+		Name:    "drama",
+		Title:   "DRAM timing side channel (DRAMA, §8.4)",
+		Columns: []string{"idle", "busy", "signal", "leaks"},
+		Units:   []string{"ns", "ns", "%", ""},
+	}
+	for _, row := range rows {
+		r.Rows = append(r.Rows, Row{Label: row.Mapping,
+			Cells: []any{row.IdleNs, row.BusyNs, row.SignalPct, row.Leaks()}})
+		switch row.Mapping {
+		case "interleaved (Siloz/baseline)":
+			r.scalar("shared_signal_pct", row.SignalPct)
+			r.check("shared_banks_leak", row.Leaks(),
+				"bank sharing preserves the DRAMA channel under Siloz")
+		case "bank-partitioned (future)":
+			r.scalar("partitioned_signal_pct", row.SignalPct)
+			r.check("partitioned_banks_silent", !row.Leaks(),
+				"bank-partitioned addressing closes the channel")
+		}
+	}
+	r.Notes = append(r.Notes,
+		"Siloz's subarray groups stop Rowhammer but share banks, so the timing channel persists;",
+		"bank-partitioned addressing (§8.4 future work) closes it.")
+	return r, nil
 }
 
 // dramaProbe measures the attacker's mean probe latency. The attacker

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+)
+
+// Experiment is one table, figure or study of the paper's evaluation. Run
+// computes the result; it performs no I/O and renders nothing — rendering
+// is the job of RenderText / RenderJSON / RenderCSV, so the same run can
+// feed the terminal, machine-readable trajectory files, and future tooling.
+//
+// Run must be deterministic in cfg (all randomness derives from the seeds
+// in cfg), must honor ctx cancellation promptly, and must perform parallel
+// work only through cfg.Pool so the scheduler's -parallel bound holds.
+type Experiment interface {
+	// Name is the registry key (e.g. "fig4"), also used as -exp value.
+	Name() string
+	// Run executes the experiment and returns its structured result.
+	Run(ctx context.Context, cfg Config) (*Result, error)
+}
+
+// Config carries everything an experiment may need. Each experiment reads
+// the part relevant to it and ignores the rest.
+type Config struct {
+	// Perf parameterizes the performance experiments (Figs. 4-7, actrates).
+	Perf PerfConfig
+	// Security parameterizes the §7.1 experiments (table3, ept).
+	Security SecurityConfig
+	// Pool bounds parallel work. A nil Pool runs everything inline on the
+	// calling goroutine (bit-for-bit identical results either way; results
+	// are always collected by index, never by arrival order).
+	Pool *Pool
+}
+
+// Result is the structured outcome of one experiment: tabular rows, figure
+// series, headline scalars, pass/fail checks, and free-form notes. It is
+// the single currency between experiments and renderers, and it marshals
+// deterministically to JSON.
+type Result struct {
+	// Name is the experiment's registry key.
+	Name string `json:"name"`
+	// Title is the human heading (e.g. "Table 3: ...").
+	Title string `json:"title"`
+	// Columns are the table column headers; Units, when set, is parallel
+	// to Columns ("" = unitless).
+	Columns []string `json:"columns,omitempty"`
+	Units   []string `json:"units,omitempty"`
+	// Rows are the table rows, in canonical order.
+	Rows []Row `json:"rows,omitempty"`
+	// Series are figure bar groups (baseline-normalized overheads etc.).
+	Series []Series `json:"series,omitempty"`
+	// Scalars are headline quantities (geomean overhead, total flips...),
+	// the values benchmark trajectories track.
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+	// Checks are the experiment's pass/fail assertions against the paper.
+	Checks []Check `json:"checks,omitempty"`
+	// Notes are free-form conclusion lines.
+	Notes []string `json:"notes,omitempty"`
+	// Metadata records configuration context (mode, profile names...).
+	// It must not contain wall-clock times or anything else that varies
+	// between identically-configured runs.
+	Metadata map[string]string `json:"metadata,omitempty"`
+}
+
+// Row is one table row: a label plus cells parallel to Result.Columns.
+// Cells hold string, bool, int or float64 values.
+type Row struct {
+	Label string `json:"label"`
+	Cells []any  `json:"cells,omitempty"`
+}
+
+// Series is one named group of figure points (e.g. one figure's bars).
+type Series struct {
+	Name string `json:"name"`
+	// Unit annotates point values ("%", "ns", "GiB", ...).
+	Unit   string  `json:"unit,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// Point is one bar: a labeled value with an optional 95% CI half-width.
+type Point struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+	CI    float64 `json:"ci,omitempty"`
+}
+
+// Check is one named pass/fail assertion against the paper's claims.
+type Check struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Scalar returns the named scalar, or an error naming the result if it is
+// absent (guards against silent typos in trajectory tooling).
+func (r *Result) Scalar(name string) (float64, error) {
+	v, ok := r.Scalars[name]
+	if !ok {
+		return 0, fmt.Errorf("experiments: result %q has no scalar %q", r.Name, name)
+	}
+	return v, nil
+}
+
+// check appends a pass/fail assertion.
+func (r *Result) check(name string, pass bool, detail string) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: detail})
+}
+
+// scalar records a headline quantity.
+func (r *Result) scalar(name string, v float64) {
+	if r.Scalars == nil {
+		r.Scalars = make(map[string]float64)
+	}
+	r.Scalars[name] = v
+}

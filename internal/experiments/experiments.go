@@ -1,13 +1,20 @@
 // Package experiments reruns the paper's evaluation (§7): every table and
-// figure has a function here that builds the system, drives the workload or
-// attack, and renders rows/series in the paper's shape. The cmd/siloz-bench
-// binary and the repository's benchmark suite are thin wrappers over this
-// package.
+// figure is an Experiment — Name() plus Run(ctx, cfg) (*Result, error) —
+// registered in the package registry. The cmd/siloz-bench binary and the
+// repository's benchmark suite dispatch from the registry and render the
+// structured Results with RenderText / RenderJSON / RenderCSV; experiment
+// bodies compute, they never print.
+//
+// RunAll schedules experiments onto a bounded worker Pool, fanning out
+// both across experiments and across each experiment's repetitions.
+// Per-rep RNG streams derive from the base seed and the rep index alone
+// (rand.NewSource(seed + rep*salt)), and every parallel fan-out collects
+// results by index, so a parallel run is bit-for-bit identical to a
+// serial one.
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -30,7 +37,9 @@ type PerfConfig struct {
 	Reps int
 	// MLPWindow is the simulated core's memory-level parallelism.
 	MLPWindow int
-	// Seed bases all per-rep seeds.
+	// Seed bases all per-rep seeds; rep i draws from
+	// rand.NewSource(Seed + i*repSeedSalt) (see repSeed), so reps are
+	// independent streams no matter which pool worker runs them.
 	Seed int64
 	// JitterSalt decorrelates timing noise between system configurations
 	// (independent reruns on different kernels, as in the paper).
@@ -91,40 +100,52 @@ func bootWithVM(cfg PerfConfig, mode core.Mode, subarrayRows int) (*core.Hypervi
 // has 27.5 MiB of L3; we round to 32 MiB).
 const llcBytes = 32 * geometry.MiB
 
+// workloadSeed is rep's access-stream seed: the workload's RNG is
+// rand.New(rand.NewSource(workloadSeed(cfg, rep))).
+func workloadSeed(cfg PerfConfig, rep int) int64 { return repSeed(cfg.Seed, rep) }
+
+// jitterSeed seeds rep's memory-controller timing noise; the jitter salt
+// decorrelates system configurations, nameSalt decorrelates workloads.
+func jitterSeed(cfg PerfConfig, name string, rep int) int64 {
+	return cfg.Seed + cfg.JitterSalt*92821 + int64(rep)*1009 + nameSalt(name) + 1
+}
+
 // measure runs a workload Reps times on a fresh controller each time,
-// returning a sample of the chosen metric. Workloads run behind a
-// last-level cache model unless they declare themselves cache-bypassing
-// (Intel MLC).
-func measure(cfg PerfConfig, vm *core.VM, w workload.Workload, metric func(memctrl.Result) float64) (stats.Sample, error) {
-	s := stats.Sample{Name: w.Name()}
+// returning a sample of the chosen metric. Reps fan out onto the pool;
+// each writes its own index of the sample, so the sample's value order is
+// scheduling-independent. Workloads run behind a last-level cache model
+// unless they declare themselves cache-bypassing (Intel MLC).
+func measure(ctx context.Context, pool *Pool, cfg PerfConfig, vm *core.VM, w workload.Workload, metric func(memctrl.Result) float64) (stats.Sample, error) {
+	s := stats.Sample{Name: w.Name(), Values: make([]float64, cfg.Reps)}
 	bypass := false
 	if b, ok := w.(interface{ BypassesCache() bool }); ok {
 		bypass = b.BypassesCache()
 	}
-	for rep := 0; rep < cfg.Reps; rep++ {
+	err := pool.Map(ctx, cfg.Reps, func(rep int) error {
 		ctrl, err := memctrl.New(memctrl.Config{
 			Mapper:     vm.Hypervisor().Memory().Mapper(),
 			Timing:     memctrl.DDR4_2933(),
 			MLPWindow:  cfg.MLPWindow,
 			HomeSocket: vm.Spec().Socket,
-			JitterSeed: cfg.Seed + cfg.JitterSalt*92821 + int64(rep)*1009 + nameSalt(w.Name()) + 1,
+			JitterSeed: jitterSeed(cfg, w.Name(), rep),
 		})
 		if err != nil {
-			return s, err
+			return err
 		}
 		var cache *memctrl.Cache
 		if !bypass {
 			if cache, err = memctrl.NewCache(llcBytes, 16); err != nil {
-				return s, err
+				return err
 			}
 		}
-		res, err := workload.RunOnVM(vm, ctrl, cache, w, cfg.Ops, cfg.Seed+int64(rep))
+		res, err := workload.RunOnVM(vm, ctrl, cache, w, cfg.Ops, workloadSeed(cfg, rep))
 		if err != nil {
-			return s, err
+			return err
 		}
-		s.Values = append(s.Values, metric(res))
-	}
-	return s, nil
+		s.Values[rep] = metric(res)
+		return nil
+	})
+	return s, err
 }
 
 // nameSalt decorrelates timing noise across workloads.
@@ -143,7 +164,7 @@ func execTime(r memctrl.Result) float64 { return r.TotalNs }
 // overhead, so we invert to keep "positive = worse".
 func throughput(r memctrl.Result) float64 { return 1 / r.ThroughputGBs() }
 
-// Figure is one rendered bar chart: baseline-normalized overheads.
+// Figure is one computed bar chart: baseline-normalized overheads.
 type Figure struct {
 	// Title names the figure (e.g. "Figure 4").
 	Title string
@@ -162,31 +183,18 @@ func geomeanPct(bars []stats.Normalized) float64 {
 	return 100 * (stats.GeoMean(ratios) - 1)
 }
 
-// Render formats the figure as aligned text rows.
-func (f Figure) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", f.Title)
-	fmt.Fprintf(&b, "%-22s %12s\n", "workload", "overhead")
-	for _, bar := range f.Bars {
-		fmt.Fprintf(&b, "%-22s %+8.2f%% ±%.2f%%\n", bar.Name, bar.OverheadPct, bar.CIPct)
-	}
-	fmt.Fprintf(&b, "%-22s %+8.2f%%\n", "geomean", f.GeomeanPct)
-	return b.String()
-}
-
 // WithinHalfPercent reports whether the figure reproduces the paper's
 // headline claim: geometric-mean overhead within ±0.5%.
 func (f Figure) WithinHalfPercent() bool {
 	return f.GeomeanPct < 0.5 && f.GeomeanPct > -0.5
 }
 
-// CSV renders the figure as comma-separated rows for external plotting.
-func (f Figure) CSV() string {
-	var b strings.Builder
-	b.WriteString("workload,overhead_pct,ci95_pct\n")
+// series converts the figure's bars into a renderable Series.
+func (f Figure) series(name string) Series {
+	s := Series{Name: name, Unit: "%"}
 	for _, bar := range f.Bars {
-		fmt.Fprintf(&b, "%s,%.4f,%.4f\n", bar.Name, bar.OverheadPct, bar.CIPct)
+		s.Points = append(s.Points, Point{Label: bar.Name, Value: bar.OverheadPct, CI: bar.CIPct})
 	}
-	fmt.Fprintf(&b, "geomean,%.4f,\n", f.GeomeanPct)
-	return b.String()
+	s.Points = append(s.Points, Point{Label: "geomean", Value: f.GeomeanPct})
+	return s
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func quickSecurity() SecurityConfig {
 }
 
 func TestTable3ContainmentQuick(t *testing.T) {
-	res, err := Table3Containment(quickSecurity())
+	res, err := Table3Containment(context.Background(), nil, quickSecurity())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,8 +39,12 @@ func TestTable3ContainmentQuick(t *testing.T) {
 	if !res.Contained() {
 		t.Error("containment violated")
 	}
-	out := res.Render()
-	if !strings.Contains(out, "NO") || !strings.Contains(out, "Table 3") {
+	r, err := (table3Exp{}).Run(context.Background(), Config{Security: quickSecurity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderText(r)
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "check contained: PASS") {
 		t.Errorf("render malformed:\n%s", out)
 	}
 }
@@ -59,7 +64,14 @@ func TestEPTProtectionQuick(t *testing.T) {
 	if !res.TranslationsIntact {
 		t.Error("EPT translations corrupted despite guard rows")
 	}
-	if !strings.Contains(res.Render(), "protected") {
+	r, err := (eptExp{}).Run(context.Background(), Config{Security: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("ept checks failed: %+v", r.Checks)
+	}
+	if !strings.Contains(RenderText(r), "protected") {
 		t.Error("render malformed")
 	}
 }
@@ -73,7 +85,7 @@ func quickPerf() PerfConfig {
 }
 
 func TestFig4Quick(t *testing.T) {
-	fig, err := Fig4ExecutionTime(quickPerf())
+	fig, err := Fig4ExecutionTime(context.Background(), nil, quickPerf())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,13 +101,13 @@ func TestFig4Quick(t *testing.T) {
 			t.Errorf("bar %s overhead %.2f%% implausibly large", b.Name, b.OverheadPct)
 		}
 	}
-	if !strings.Contains(fig.Render(), "geomean") {
+	if !strings.Contains(RenderText(figureResult("fig4", fig)), "geomean") {
 		t.Error("render malformed")
 	}
 }
 
 func TestFig5Quick(t *testing.T) {
-	fig, err := Fig5Throughput(quickPerf())
+	fig, err := Fig5Throughput(context.Background(), nil, quickPerf())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +122,7 @@ func TestFig5Quick(t *testing.T) {
 
 func TestSizeSensitivityQuick(t *testing.T) {
 	cfg := quickPerf()
-	res, err := Fig6And7SizeSensitivity(cfg)
+	res, err := Fig6And7SizeSensitivity(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,15 +137,12 @@ func TestSizeSensitivityQuick(t *testing.T) {
 }
 
 func TestBankLevelParallelism(t *testing.T) {
-	res, err := BankLevelParallelism(geometry.Default(), 40000)
+	res, err := BankLevelParallelism(context.Background(), geometry.Default(), 40000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SpeedupPct < 18 {
 		t.Errorf("BLP benefit %.1f%%, paper cites >18%%", res.SpeedupPct)
-	}
-	if !strings.Contains(res.Render(), "18") {
-		t.Error("render malformed")
 	}
 }
 
@@ -158,7 +167,11 @@ func TestOverheadComparison(t *testing.T) {
 	if zebram80 != 80 {
 		t.Errorf("ZebRAM modern = %v, want 80", zebram80)
 	}
-	if !strings.Contains(RenderOverheads(rows), "ZebRAM") {
+	r, err := (overheadExp{}).Run(context.Background(), Config{Perf: QuickPerfConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderText(r), "ZebRAM") {
 		t.Error("render malformed")
 	}
 }
@@ -174,7 +187,7 @@ func TestSoftRefreshComparison(t *testing.T) {
 }
 
 func TestRemapHandling(t *testing.T) {
-	rows, err := RemapHandling()
+	rows, err := RemapHandling(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,13 +211,17 @@ func TestRemapHandling(t *testing.T) {
 			t.Errorf("size %d reserves %.2f%%, far beyond the paper's band", np2, r.ReservedPct)
 		}
 	}
-	if !strings.Contains(RenderRemaps(rows), "artificial") {
+	rr, err := (remapsExp{}).Run(context.Background(), Config{Perf: QuickPerfConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderText(rr), "artificial") {
 		t.Error("render malformed")
 	}
 }
 
 func TestGiBPages(t *testing.T) {
-	res, err := GiBPages(geometry.Default())
+	res, err := GiBPages(context.Background(), geometry.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,14 +231,11 @@ func TestGiBPages(t *testing.T) {
 	if res.SingleSetFraction > 0.99 {
 		t.Error("mapping jump should split some 1 GiB pages")
 	}
-	if !strings.Contains(res.Render(), "1 GiB") {
-		t.Error("render malformed")
-	}
 }
 
 func TestTable3FlipsAcrossRanksAndBanks(t *testing.T) {
 	// §7.1: flips occur across ranks and banks of each DIMM.
-	res, err := Table3Containment(quickSecurity())
+	res, err := Table3Containment(context.Background(), nil, quickSecurity())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/geometry"
-	"repro/internal/stats"
 )
 
 func TestECCStudy(t *testing.T) {
@@ -25,7 +25,14 @@ func TestECCStudy(t *testing.T) {
 	if res.CorrectionEventsA == res.CorrectionEventsB {
 		t.Error("leak flag inconsistent with counts")
 	}
-	if !strings.Contains(res.Render(), "side channel") {
+	r, err := (eccExp{}).Run(context.Background(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("ecc checks failed: %+v", r.Checks)
+	}
+	if !strings.Contains(RenderText(r), "correction_side_channel") {
 		t.Error("render malformed")
 	}
 }
@@ -55,7 +62,11 @@ func TestFragmentationStudy(t *testing.T) {
 	if byConfig["SNC-1, 2048-row subarrays"].WastePct <= byConfig["SNC-1, 512-row subarrays"].WastePct {
 		t.Error("waste should grow with group size")
 	}
-	if !strings.Contains(RenderFragmentation(rows), "SNC-2") {
+	r, err := (fragmentationExp{}).Run(context.Background(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderText(r), "SNC-2") {
 		t.Error("render malformed")
 	}
 }
@@ -81,7 +92,14 @@ func TestDDR5Comparison(t *testing.T) {
 			t.Errorf("size %d: DDR5 should form exact groups with no guards, got %+v", r.SubarrayRows, r)
 		}
 	}
-	if !strings.Contains(RenderDDR5(rows), "DDR5") {
+	r, err := (ddr5Exp{}).Run(context.Background(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("ddr5 checks failed: %+v", r.Checks)
+	}
+	if !strings.Contains(RenderText(r), "DDR5") {
 		t.Error("render malformed")
 	}
 }
@@ -127,9 +145,6 @@ func TestDRAMAStudy(t *testing.T) {
 	if part.Leaks() {
 		t.Errorf("bank-partitioned mapping leaks (%.1f%%)", part.SignalPct)
 	}
-	if !strings.Contains(RenderDRAMA(rows), "DRAMA") {
-		t.Error("render malformed")
-	}
 }
 
 func TestActivationRates(t *testing.T) {
@@ -139,7 +154,7 @@ func TestActivationRates(t *testing.T) {
 	// coherence-induced and cache-evading traffic [98] measures).
 	cfg := QuickPerfConfig()
 	cfg.Ops = 250_000
-	rows, err := ActivationRates(cfg)
+	rows, err := ActivationRates(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,23 +170,6 @@ func TestActivationRates(t *testing.T) {
 	}
 	if got := byName["mlc-stream"]; len(got.Exceeds) != 0 {
 		t.Errorf("sequential stream should not exceed thresholds: %+v", got)
-	}
-	if !strings.Contains(RenderActRates(rows), "thresholds") {
-		t.Error("render malformed")
-	}
-}
-
-func TestFigureCSV(t *testing.T) {
-	fig := Figure{
-		Title:      "t",
-		GeomeanPct: 0.12,
-	}
-	fig.Bars = append(fig.Bars, stats.Normalized{Name: "redis-a", OverheadPct: 0.5, CIPct: 0.3})
-	csv := fig.CSV()
-	for _, want := range []string{"workload,overhead_pct,ci95_pct", "redis-a,0.5000,0.3000", "geomean,0.1200"} {
-		if !strings.Contains(csv, want) {
-			t.Errorf("CSV missing %q:\n%s", want, csv)
-		}
 	}
 }
 
@@ -205,7 +203,14 @@ func TestZebRAMComparison(t *testing.T) {
 	if siloz.OverheadPct > 1 {
 		t.Error("Siloz overhead should be ~0")
 	}
-	if !strings.Contains(RenderZebRAM(rows), "ZebRAM") {
+	r, err := (zebramExp{}).Run(context.Background(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Errorf("zebram checks failed: %+v", r.Checks)
+	}
+	if !strings.Contains(RenderText(r), "ZebRAM") {
 		t.Error("render malformed")
 	}
 }

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/geometry"
 	"repro/internal/subarray"
@@ -55,15 +55,35 @@ func FragmentationStudy() ([]FragmentationRow, error) {
 	return out, nil
 }
 
-// RenderFragmentation formats the study.
-func RenderFragmentation(rows []FragmentationRow) string {
-	var b strings.Builder
-	b.WriteString("Memory fragmentation under whole-group provisioning (§8.1)\n")
-	fmt.Fprintf(&b, "%-28s %10s %10s\n", "configuration", "group", "waste")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-28s %7.2f GiB %9.1f%%\n", r.Config, r.GroupGiB, r.WastePct)
+// fragmentationExp is the "fragmentation" experiment: §8.1 provisioning waste.
+type fragmentationExp struct{}
+
+func (fragmentationExp) Name() string { return "fragmentation" }
+
+func (fragmentationExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return b.String()
+	rows, err := FragmentationStudy()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Name:    "fragmentation",
+		Title:   "Memory fragmentation under whole-group provisioning (§8.1)",
+		Columns: []string{"group", "waste"},
+		Units:   []string{"GiB", "%"},
+	}
+	worst := 0.0
+	for _, row := range rows {
+		r.Rows = append(r.Rows, Row{Label: row.Config, Cells: []any{row.GroupGiB, row.WastePct}})
+		if row.WastePct > worst {
+			worst = row.WastePct
+		}
+	}
+	r.scalar("worst_waste_pct", worst)
+	r.Notes = append(r.Notes, "sub-NUMA clustering halves the group size and the waste")
+	return r, nil
 }
 
 // DDR5Row compares DDR4 and DDR5 handling of one subarray size (§8.2):
@@ -116,21 +136,43 @@ func DDR5Comparison() ([]DDR5Row, error) {
 	return out, nil
 }
 
-// RenderDDR5 formats the comparison.
-func RenderDDR5(rows []DDR5Row) string {
-	var b strings.Builder
-	b.WriteString("DDR4 vs DDR5 subarray group formation (§8.2)\n")
-	fmt.Fprintf(&b, "%10s %18s %18s\n", "subarray", "DDR4 reserved", "DDR5 reserved")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%10d %13.2f%% (%v) %13.2f%% (%v)\n",
-			r.SubarrayRows, r.DDR4Reserved, artLabel(r.DDR4Artifical), r.DDR5Reserved, artLabel(r.DDR5Artifical))
-	}
-	return b.String()
-}
+// ddr5Exp is the "ddr5" experiment: §8.2 DDR4-vs-DDR5 group formation.
+type ddr5Exp struct{}
 
-func artLabel(a bool) string {
-	if a {
-		return "artificial"
+func (ddr5Exp) Name() string { return "ddr5" }
+
+func (ddr5Exp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var rows []DDR5Row
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		rows, err = DDR5Comparison()
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return "exact"
+	r := &Result{
+		Name:    "ddr5",
+		Title:   "DDR4 vs DDR5 subarray group formation (§8.2)",
+		Columns: []string{"DDR4 reserved", "DDR4 artificial", "DDR5 reserved", "DDR5 artificial"},
+		Units:   []string{"%", "", "%", ""},
+	}
+	ddr5Clean := true
+	ddr4Max := 0.0
+	for _, row := range rows {
+		r.Rows = append(r.Rows, Row{
+			Label: fmt.Sprintf("%d-row subarrays", row.SubarrayRows),
+			Cells: []any{row.DDR4Reserved, row.DDR4Artifical, row.DDR5Reserved, row.DDR5Artifical},
+		})
+		if row.DDR5Reserved != 0 || row.DDR5Artifical {
+			ddr5Clean = false
+		}
+		if row.DDR4Reserved > ddr4Max {
+			ddr4Max = row.DDR4Reserved
+		}
+	}
+	r.scalar("ddr4_max_reserved_pct", ddr4Max)
+	r.check("ddr5_needs_no_guards", ddr5Clean,
+		"DDR5 undoes internal remaps per device, so no artificial groups or guard rows")
+	return r, nil
 }

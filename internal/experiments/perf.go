@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -33,8 +34,11 @@ func fig5Workloads() []workload.Workload {
 }
 
 // comparePerf measures every workload under two hypervisor variants and
-// normalizes variant metrics to the reference.
-func comparePerf(cfg PerfConfig, title string,
+// normalizes variant metrics to the reference. Workloads are visited in
+// order; within each, reps fan out onto the pool (suite reps fan out as
+// whole units, each running its members serially), so bar order — and
+// every bar's value — is independent of scheduling.
+func comparePerf(ctx context.Context, pool *Pool, cfg PerfConfig, title string,
 	refMode, varMode core.Mode, refRows, varRows int,
 	singles []workload.Workload, suites []suite,
 	metric func(memctrl.Result) float64) (Figure, error) {
@@ -61,42 +65,51 @@ func comparePerf(cfg PerfConfig, title string,
 		fig.Bars = append(fig.Bars, n)
 	}
 	for _, w := range singles {
-		ref, err := measure(refCfg, refVM, w, metric)
+		if err := ctx.Err(); err != nil {
+			return fig, err
+		}
+		ref, err := measure(ctx, pool, refCfg, refVM, w, metric)
 		if err != nil {
 			return fig, err
 		}
-		vr, err := measure(varCfg, varVM, w, metric)
+		vr, err := measure(ctx, pool, varCfg, varVM, w, metric)
 		if err != nil {
 			return fig, err
 		}
 		addBar(w.Name(), ref, vr)
 	}
 	for _, s := range suites {
-		// Geomean the members into one synthetic sample per rep.
-		refAgg := stats.Sample{Name: s.name}
-		varAgg := stats.Sample{Name: s.name}
-		for rep := 0; rep < cfg.Reps; rep++ {
+		// Geomean the members into one synthetic value per rep. Each rep
+		// is one pool task: it runs every member once, serially, under
+		// rep-derived seeds, and writes slot rep of both samples.
+		refParts := make([]stats.Sample, cfg.Reps)
+		varParts := make([]stats.Sample, cfg.Reps)
+		err := pool.Map(ctx, cfg.Reps, func(rep int) error {
 			repRef, repVar := refCfg, varCfg
 			repRef.Reps, repVar.Reps = 1, 1
-			repRef.Seed = cfg.Seed + int64(rep)*31
+			repRef.Seed = repSeed(cfg.Seed, rep)
 			repVar.Seed = repRef.Seed
 			var refVals, varVals []float64
 			for _, w := range s.members {
-				ref, err := measure(repRef, refVM, w, metric)
+				ref, err := measure(ctx, nil, repRef, refVM, w, metric)
 				if err != nil {
-					return fig, err
+					return err
 				}
-				vr, err := measure(repVar, varVM, w, metric)
+				vr, err := measure(ctx, nil, repVar, varVM, w, metric)
 				if err != nil {
-					return fig, err
+					return err
 				}
 				refVals = append(refVals, ref.Values[0])
 				varVals = append(varVals, vr.Values[0])
 			}
-			refAgg.Values = append(refAgg.Values, stats.GeoMean(refVals))
-			varAgg.Values = append(varAgg.Values, stats.GeoMean(varVals))
+			refParts[rep] = stats.Sample{Values: []float64{stats.GeoMean(refVals)}}
+			varParts[rep] = stats.Sample{Values: []float64{stats.GeoMean(varVals)}}
+			return nil
+		})
+		if err != nil {
+			return fig, err
 		}
-		addBar(s.name, refAgg, varAgg)
+		addBar(s.name, stats.Concat(s.name, refParts...), stats.Concat(s.name, varParts...))
 	}
 	fig.GeomeanPct = geomeanPct(fig.Bars)
 	return fig, nil
@@ -104,16 +117,16 @@ func comparePerf(cfg PerfConfig, title string,
 
 // Fig4ExecutionTime reproduces Figure 4: baseline-normalized execution time
 // for Siloz across redis+YCSB, terasort, SPEC and PARSEC.
-func Fig4ExecutionTime(cfg PerfConfig) (Figure, error) {
+func Fig4ExecutionTime(ctx context.Context, pool *Pool, cfg PerfConfig) (Figure, error) {
 	singles, suites := fig4Workloads()
-	return comparePerf(cfg, "Figure 4: baseline-normalized execution time overhead (Siloz)",
+	return comparePerf(ctx, pool, cfg, "Figure 4: baseline-normalized execution time overhead (Siloz)",
 		core.ModeBaseline, core.ModeSiloz, 0, 0, singles, suites, execTime)
 }
 
 // Fig5Throughput reproduces Figure 5: baseline-normalized throughput
 // overhead for Siloz across memcached, mySQL and Intel MLC modes.
-func Fig5Throughput(cfg PerfConfig) (Figure, error) {
-	return comparePerf(cfg, "Figure 5: baseline-normalized throughput overhead (Siloz)",
+func Fig5Throughput(ctx context.Context, pool *Pool, cfg PerfConfig) (Figure, error) {
+	return comparePerf(ctx, pool, cfg, "Figure 5: baseline-normalized throughput overhead (Siloz)",
 		core.ModeBaseline, core.ModeSiloz, 0, 0, fig5Workloads(), nil, throughput)
 }
 
@@ -125,26 +138,89 @@ type SizeSensitivity struct {
 }
 
 // Fig6And7SizeSensitivity runs the §7.4 sweep.
-func Fig6And7SizeSensitivity(cfg PerfConfig) (SizeSensitivity, error) {
+func Fig6And7SizeSensitivity(ctx context.Context, pool *Pool, cfg PerfConfig) (SizeSensitivity, error) {
 	var out SizeSensitivity
 	singles, suites := fig4Workloads()
 	var err error
-	out.Time512, err = comparePerf(cfg, "Figure 6 (Siloz-512 vs Siloz-1024): execution time",
+	out.Time512, err = comparePerf(ctx, pool, cfg, "Figure 6 (Siloz-512 vs Siloz-1024): execution time",
 		core.ModeSiloz, core.ModeSiloz, 1024, 512, singles, suites, execTime)
 	if err != nil {
 		return out, err
 	}
-	out.Time2048, err = comparePerf(cfg, "Figure 6 (Siloz-2048 vs Siloz-1024): execution time",
+	out.Time2048, err = comparePerf(ctx, pool, cfg, "Figure 6 (Siloz-2048 vs Siloz-1024): execution time",
 		core.ModeSiloz, core.ModeSiloz, 1024, 2048, singles, suites, execTime)
 	if err != nil {
 		return out, err
 	}
-	out.Tput512, err = comparePerf(cfg, "Figure 7 (Siloz-512 vs Siloz-1024): throughput",
+	out.Tput512, err = comparePerf(ctx, pool, cfg, "Figure 7 (Siloz-512 vs Siloz-1024): throughput",
 		core.ModeSiloz, core.ModeSiloz, 1024, 512, fig5Workloads(), nil, throughput)
 	if err != nil {
 		return out, err
 	}
-	out.Tput2048, err = comparePerf(cfg, "Figure 7 (Siloz-2048 vs Siloz-1024): throughput",
+	out.Tput2048, err = comparePerf(ctx, pool, cfg, "Figure 7 (Siloz-2048 vs Siloz-1024): throughput",
 		core.ModeSiloz, core.ModeSiloz, 1024, 2048, fig5Workloads(), nil, throughput)
 	return out, err
+}
+
+// figureResult wraps a single computed figure as a structured Result.
+func figureResult(name string, fig Figure) *Result {
+	r := &Result{Name: name, Title: fig.Title, Series: []Series{fig.series("overhead")}}
+	r.scalar("geomean_overhead_pct", fig.GeomeanPct)
+	r.check("within_half_percent", fig.WithinHalfPercent(),
+		fmt.Sprintf("geomean %+.2f%%, paper claims within ±0.5%%", fig.GeomeanPct))
+	return r
+}
+
+// fig4Exp is the "fig4" experiment: Figure 4, execution time.
+type fig4Exp struct{}
+
+func (fig4Exp) Name() string { return "fig4" }
+
+func (fig4Exp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	fig, err := Fig4ExecutionTime(ctx, cfg.Pool, cfg.Perf)
+	if err != nil {
+		return nil, err
+	}
+	return figureResult("fig4", fig), nil
+}
+
+// fig5Exp is the "fig5" experiment: Figure 5, throughput.
+type fig5Exp struct{}
+
+func (fig5Exp) Name() string { return "fig5" }
+
+func (fig5Exp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	fig, err := Fig5Throughput(ctx, cfg.Pool, cfg.Perf)
+	if err != nil {
+		return nil, err
+	}
+	return figureResult("fig5", fig), nil
+}
+
+// fig67Exp is the "fig67" experiment: the §7.4 subarray-size sweep.
+type fig67Exp struct{}
+
+func (fig67Exp) Name() string { return "fig67" }
+
+func (fig67Exp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	res, err := Fig6And7SizeSensitivity(ctx, cfg.Pool, cfg.Perf)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Name: "fig67", Title: "Figures 6+7: subarray size sensitivity (§7.4)"}
+	for _, f := range []struct {
+		key string
+		fig Figure
+	}{
+		{"fig6-siloz512", res.Time512},
+		{"fig6-siloz2048", res.Time2048},
+		{"fig7-siloz512", res.Tput512},
+		{"fig7-siloz2048", res.Tput2048},
+	} {
+		r.Series = append(r.Series, f.fig.series(f.key))
+		r.scalar(f.key+"_geomean_pct", f.fig.GeomeanPct)
+		r.check(f.key+"_within_half_percent", f.fig.WithinHalfPercent(),
+			fmt.Sprintf("geomean %+.2f%%", f.fig.GeomeanPct))
+	}
+	return r, nil
 }

@@ -1,0 +1,50 @@
+package experiments
+
+// The package-level registry lists every experiment in the canonical order
+// of the paper's evaluation — the order `siloz-bench -exp all` runs and
+// renders them. cmd/siloz-bench dispatches from this table; adding an
+// experiment means implementing Experiment and appending one line here.
+var registry = []Experiment{
+	table3Exp{},
+	eptExp{},
+	fig4Exp{},
+	fig5Exp{},
+	fig67Exp{},
+	blpExp{},
+	overheadExp{},
+	softRefreshExp{},
+	remapsExp{},
+	gbPagesExp{},
+	eccExp{},
+	fragmentationExp{},
+	ddr5Exp{},
+	dramaExp{},
+	actRatesExp{},
+	zebramExp{},
+}
+
+// All returns every registered experiment in canonical order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered experiment names in canonical order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// Get looks an experiment up by name.
+func Get(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderRun executes the named experiments through RunAll on a pool of the
+// given width and returns the concatenated text and JSON renderings, in
+// delivery order.
+func renderRun(t *testing.T, names []string, cfg Config, width int) (string, []byte) {
+	t.Helper()
+	var exps []Experiment
+	for _, n := range names {
+		e, ok := Get(n)
+		if !ok {
+			t.Fatalf("experiment %q not registered", n)
+		}
+		exps = append(exps, e)
+	}
+	cfg.Pool = NewPool(width)
+	var text strings.Builder
+	var js bytes.Buffer
+	_, err := RunAll(context.Background(), exps, cfg, func(r *Result, _ time.Duration) {
+		text.WriteString(RenderText(r))
+		out, err := RenderJSON(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js.Write(out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text.String(), js.Bytes()
+}
+
+// TestParallelDeterminism is the API's core guarantee: a width-1 pool and a
+// width-8 pool produce byte-identical output, for both renderers, across a
+// mix of rep-fanned (fig5), DIMM-fanned (table3) and monolithic (overhead,
+// zebram) experiments.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := Config{Perf: QuickPerfConfig(), Security: quickSecurity()}
+	cfg.Perf.Ops = 4000
+	cfg.Perf.Reps = 2
+	names := []string{"table3", "fig5", "overhead", "zebram"}
+
+	text1, js1 := renderRun(t, names, cfg, 1)
+	text8, js8 := renderRun(t, names, cfg, 8)
+	if text1 != text8 {
+		t.Errorf("text output differs between -parallel 1 and -parallel 8:\n--- width 1 ---\n%s\n--- width 8 ---\n%s", text1, text8)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Errorf("JSON output differs between -parallel 1 and -parallel 8")
+	}
+	// And a nil pool (pure inline execution) matches too.
+	var exps []Experiment
+	for _, n := range names {
+		e, _ := Get(n)
+		exps = append(exps, e)
+	}
+	var inline strings.Builder
+	for _, e := range exps {
+		r, err := e.Run(context.Background(), Config{Perf: cfg.Perf, Security: cfg.Security})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inline.WriteString(RenderText(r))
+	}
+	if inline.String() != text1 {
+		t.Error("inline (nil pool) output differs from pooled output")
+	}
+}
+
+// TestRunAllStreamsInOrder verifies onDone delivery follows input order, not
+// completion order, regardless of experiment cost imbalance.
+func TestRunAllStreamsInOrder(t *testing.T) {
+	names := []string{"overhead", "softrefresh", "fragmentation", "ddr5"}
+	var exps []Experiment
+	for _, n := range names {
+		e, ok := Get(n)
+		if !ok {
+			t.Fatalf("experiment %q not registered", n)
+		}
+		exps = append(exps, e)
+	}
+	var got []string
+	results, err := RunAll(context.Background(), exps, Config{Perf: QuickPerfConfig(), Pool: NewPool(4)},
+		func(r *Result, _ time.Duration) { got = append(got, r.Name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(names) {
+		t.Fatalf("results = %d, want %d", len(results), len(names))
+	}
+	for i, n := range names {
+		if got[i] != n {
+			t.Fatalf("delivery order %v, want %v", got, names)
+		}
+		if results[i].Name != n {
+			t.Fatalf("results[%d] = %s, want %s", i, results[i].Name, n)
+		}
+	}
+}
+
+// TestRunAllFirstErrorWins verifies the first in-order failure is reported,
+// wrapped with the experiment name, and cancels the remaining work.
+func TestRunAllFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		fakeExp{name: "ok"},
+		fakeExp{name: "bad", err: boom},
+		fakeExp{name: "after"},
+	}
+	var delivered []string
+	_, err := RunAll(context.Background(), exps, Config{Pool: NewPool(2)},
+		func(r *Result, _ time.Duration) { delivered = append(delivered, r.Name) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "bad:") {
+		t.Errorf("error %q not prefixed with the failing experiment", err)
+	}
+	// Only experiments before the failure may have been delivered.
+	for _, n := range delivered {
+		if n != "ok" {
+			t.Errorf("delivered %q after the failure point", n)
+		}
+	}
+}
+
+// fakeExp is a trivial experiment for scheduler-level tests.
+type fakeExp struct {
+	name string
+	err  error
+}
+
+func (f fakeExp) Name() string { return f.name }
+
+func (f fakeExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return &Result{Name: f.name, Title: f.name}, nil
+}
+
+// TestCancellationPropagates verifies a long experiment returns promptly —
+// with a context error — once the caller cancels.
+func TestCancellationPropagates(t *testing.T) {
+	cfg := Config{Perf: DefaultPerfConfig(), Security: DefaultSecurityConfig(), Pool: NewPool(2)}
+	cfg.Perf.Ops = 500_000 // far more work than the deadline allows
+	cfg.Perf.Reps = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	e, ok := Get("fig4")
+	if !ok {
+		t.Fatal("fig4 not registered")
+	}
+	start := time.Now()
+	_, err := e.Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("Run completed despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("Run took %v to notice cancellation", d)
+	}
+}
+
+// TestPoolMapErrors verifies Map reports the lowest-index error and that a
+// canceled context stops launching tasks.
+func TestPoolMapErrors(t *testing.T) {
+	p := NewPool(4)
+	err := p.Map(context.Background(), 8, func(i int) error {
+		if i == 6 || i == 3 {
+			return fmt.Errorf("task %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3" {
+		t.Fatalf("err = %v, want lowest-index task 3", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	if err := p.Map(ctx, 4, func(i int) error { ran++; return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d tasks ran under a pre-canceled context", ran)
+	}
+}
+
+// TestRepSeedScheme pins the per-rep seed derivation: rep i draws from
+// base + i*7919, and the exported form matches.
+func TestRepSeedScheme(t *testing.T) {
+	if got := repSeed(1, 0); got != 1 {
+		t.Errorf("repSeed(1,0) = %d", got)
+	}
+	if got := repSeed(1, 3); got != 1+3*7919 {
+		t.Errorf("repSeed(1,3) = %d", got)
+	}
+	if RepSeed(42, 5) != repSeed(42, 5) {
+		t.Error("RepSeed diverges from repSeed")
+	}
+}
+
+// TestRegistry pins the registry's contents and lookup behavior.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate experiment name %q", n)
+		}
+		seen[n] = true
+		e, ok := Get(n)
+		if !ok || e.Name() != n {
+			t.Fatalf("Get(%q) inconsistent", n)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get of unknown name succeeded")
+	}
+	for _, want := range []string{"table3", "ept", "fig4", "fig5", "fig67", "blp",
+		"overhead", "softrefresh", "remaps", "gbpages", "ecc", "fragmentation",
+		"ddr5", "drama", "actrates", "zebram"} {
+		if !seen[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+// TestRenderers pins the render formats on a synthetic result.
+func TestRenderers(t *testing.T) {
+	r := &Result{
+		Name:    "fake",
+		Title:   "Fake experiment",
+		Columns: []string{"count", "ok"},
+		Units:   []string{"ops", ""},
+		Rows: []Row{
+			{Label: "alpha", Cells: []any{42, true}},
+			{Label: "beta", Cells: []any{7, false}},
+		},
+		Series: []Series{{Name: "overhead", Unit: "%", Points: []Point{
+			{Label: "redis-a", Value: 0.5, CI: 0.3},
+			{Label: "geomean", Value: 0.12},
+		}}},
+	}
+	r.scalar("answer", 42)
+	r.check("sane", true, "all good")
+
+	text := RenderText(r)
+	for _, want := range []string{"Fake experiment", "count (ops)", "alpha", "yes",
+		"overhead", "geomean", "answer", "check sane: PASS (all good)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+
+	js1, err := RenderJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := RenderJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Error("JSON rendering not deterministic")
+	}
+	for _, want := range []string{`"name": "fake"`, `"scalars"`, `"answer": 42`} {
+		if !strings.Contains(string(js1), want) {
+			t.Errorf("JSON missing %q:\n%s", want, js1)
+		}
+	}
+
+	csv := RenderCSV(r)
+	for _, want := range []string{"series,label,value,ci95", "overhead,redis-a,0.5000,0.3000", "overhead,geomean,0.1200"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+	// Table-only results fall back to row CSV.
+	r.Series = nil
+	csv = RenderCSV(r)
+	for _, want := range []string{"label,count,ok", "alpha,42,yes"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("table CSV missing %q:\n%s", want, csv)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -59,108 +59,121 @@ func (t Table3Result) Contained() bool {
 	return true
 }
 
-// Render formats the table in the paper's shape.
-func (t Table3Result) Render() string {
-	var b strings.Builder
-	b.WriteString("Table 3: observed bit flips vs. the hammering domain's subarray group\n")
-	fmt.Fprintf(&b, "%-28s", "DIMM")
-	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%8s", r.DIMM)
-	}
-	b.WriteString("\n")
-	fmt.Fprintf(&b, "%-28s", "Inside subarray group")
-	for _, r := range t.Rows {
-		yes := "yes"
-		if r.FlipsInside == 0 {
-			yes = "none"
-		}
-		fmt.Fprintf(&b, "%8s", yes)
-	}
-	b.WriteString("\n")
-	fmt.Fprintf(&b, "%-28s", "Outside subarray group")
-	for _, r := range t.Rows {
-		no := "NO"
-		if r.FlipsOutside > 0 {
-			no = "YES!"
-		}
-		fmt.Fprintf(&b, "%8s", no)
-	}
-	b.WriteString("\n")
-	return b.String()
-}
-
 // Table3Containment runs the §7.1 hammering-containment experiment: on each
 // of the six DIMM profiles, a Blacksmith campaign is pinned to one Siloz
 // subarray group; every resulting flip is classified as inside or outside
-// the group.
-func Table3Containment(cfg SecurityConfig) (Table3Result, error) {
-	var out Table3Result
-	for dimmIdx, prof := range dram.EvaluationProfiles() {
-		h, err := core.Boot(core.Config{
-			Geometry:      cfg.Geometry,
-			Profiles:      []dram.Profile{prof},
-			EPTProtection: ept.GuardRows,
-		}, core.ModeSiloz)
+// the group. DIMMs fan out onto the pool — each boots its own hypervisor
+// and seeds its fuzzer from its DIMM index, so the per-DIMM rows are
+// scheduling-independent.
+func Table3Containment(ctx context.Context, pool *Pool, cfg SecurityConfig) (Table3Result, error) {
+	profiles := dram.EvaluationProfiles()
+	rows := make([]DIMMContainment, len(profiles))
+	err := pool.Map(ctx, len(profiles), func(dimmIdx int) error {
+		row, err := table3DIMM(cfg, dimmIdx, profiles[dimmIdx])
 		if err != nil {
-			return out, err
+			return err
 		}
-		mem := h.Memory()
-		// Pin the fuzzer to one guest subarray group, targeting a bank
-		// on the DIMM under test.
-		grp := h.Layout().Group(0, 1+dimmIdx%(h.Layout().GroupsPerSocket()-1))
-		var ranges []attack.PhysRange
-		for _, r := range grp.Ranges {
-			ranges = append(ranges, attack.PhysRange{Start: r.Start, End: r.End})
-		}
-		// Attack banks on both ranks of the DIMM under test (§7.1
-		// observes flips "across ranks and banks in the DIMMs").
-		g := cfg.Geometry
-		dimm := dimmIdx % g.DIMMsPerSocket
-		bankIdxs := []int{
-			dimm * g.BanksPerDIMM(),                  // rank 0, bank 0
-			dimm*g.BanksPerDIMM() + g.BanksPerRank,   // rank 1, bank 0
-			dimm*g.BanksPerDIMM() + g.BanksPerRank/2, // rank 0, mid bank
-		}
-		row := DIMMContainment{DIMM: prof.Name}
-		for bi, bankIdx := range bankIdxs {
-			target := &attack.PhysTarget{
-				Mem:       mem,
-				Ranges:    ranges,
-				BankIndex: bankIdx,
-			}
-			fz := attack.NewFuzzer(attack.FuzzerConfig{
-				Patterns:          cfg.Patterns,
-				WindowsPerPattern: cfg.Windows,
-				MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
-				FillPattern:       0xAA,
-				Seed:              cfg.Seed + int64(dimmIdx)*17 + int64(bi),
-			})
-			rep, err := fz.Run(target)
-			if err != nil {
-				return out, err
-			}
-			row.AttackerObserved += len(rep.Corruptions)
-		}
-		ranksHit := map[int]bool{}
-		banksHit := map[geometry.BankID]bool{}
-		for _, f := range mem.Flips() {
-			pa, err := mem.FlipPhys(f)
-			if err != nil {
-				return out, err
-			}
-			if grp.Contains(pa) {
-				row.FlipsInside++
-				ranksHit[f.Bank.Rank] = true
-				banksHit[f.Bank] = true
-			} else {
-				row.FlipsOutside++
-			}
-		}
-		row.RanksWithFlips = len(ranksHit)
-		row.BanksWithFlips = len(banksHit)
-		out.Rows = append(out.Rows, row)
+		rows[dimmIdx] = row
+		return nil
+	})
+	return Table3Result{Rows: rows}, err
+}
+
+// table3DIMM runs the containment campaign against one DIMM profile.
+func table3DIMM(cfg SecurityConfig, dimmIdx int, prof dram.Profile) (DIMMContainment, error) {
+	row := DIMMContainment{DIMM: prof.Name}
+	h, err := core.Boot(core.Config{
+		Geometry:      cfg.Geometry,
+		Profiles:      []dram.Profile{prof},
+		EPTProtection: ept.GuardRows,
+	}, core.ModeSiloz)
+	if err != nil {
+		return row, err
 	}
-	return out, nil
+	mem := h.Memory()
+	// Pin the fuzzer to one guest subarray group, targeting a bank
+	// on the DIMM under test.
+	grp := h.Layout().Group(0, 1+dimmIdx%(h.Layout().GroupsPerSocket()-1))
+	var ranges []attack.PhysRange
+	for _, r := range grp.Ranges {
+		ranges = append(ranges, attack.PhysRange{Start: r.Start, End: r.End})
+	}
+	// Attack banks on both ranks of the DIMM under test (§7.1
+	// observes flips "across ranks and banks in the DIMMs").
+	g := cfg.Geometry
+	dimm := dimmIdx % g.DIMMsPerSocket
+	bankIdxs := []int{
+		dimm * g.BanksPerDIMM(),                  // rank 0, bank 0
+		dimm*g.BanksPerDIMM() + g.BanksPerRank,   // rank 1, bank 0
+		dimm*g.BanksPerDIMM() + g.BanksPerRank/2, // rank 0, mid bank
+	}
+	for bi, bankIdx := range bankIdxs {
+		target := &attack.PhysTarget{
+			Mem:       mem,
+			Ranges:    ranges,
+			BankIndex: bankIdx,
+		}
+		fz := attack.NewFuzzer(attack.FuzzerConfig{
+			Patterns:          cfg.Patterns,
+			WindowsPerPattern: cfg.Windows,
+			MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
+			FillPattern:       0xAA,
+			Seed:              cfg.Seed + int64(dimmIdx)*17 + int64(bi),
+		})
+		rep, err := fz.Run(target)
+		if err != nil {
+			return row, err
+		}
+		row.AttackerObserved += len(rep.Corruptions)
+	}
+	ranksHit := map[int]bool{}
+	banksHit := map[geometry.BankID]bool{}
+	for _, f := range mem.Flips() {
+		pa, err := mem.FlipPhys(f)
+		if err != nil {
+			return row, err
+		}
+		if grp.Contains(pa) {
+			row.FlipsInside++
+			ranksHit[f.Bank.Rank] = true
+			banksHit[f.Bank] = true
+		} else {
+			row.FlipsOutside++
+		}
+	}
+	row.RanksWithFlips = len(ranksHit)
+	row.BanksWithFlips = len(banksHit)
+	return row, nil
+}
+
+// table3Exp is the "table3" experiment: per-DIMM bit-flip containment.
+type table3Exp struct{}
+
+func (table3Exp) Name() string { return "table3" }
+
+func (table3Exp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	res, err := Table3Containment(ctx, cfg.Pool, cfg.Security)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Name:    "table3",
+		Title:   "Table 3: observed bit flips vs. the hammering domain's subarray group (§7.1)",
+		Columns: []string{"inside group", "outside group", "attacker observed", "ranks w/ flips", "banks w/ flips"},
+	}
+	var inside, outside int
+	for _, row := range res.Rows {
+		r.Rows = append(r.Rows, Row{Label: row.DIMM, Cells: []any{
+			row.FlipsInside, row.FlipsOutside, row.AttackerObserved,
+			row.RanksWithFlips, row.BanksWithFlips,
+		}})
+		inside += row.FlipsInside
+		outside += row.FlipsOutside
+	}
+	r.scalar("flips_inside", float64(inside))
+	r.scalar("flips_outside", float64(outside))
+	r.check("contained", res.Contained(), "no flip escaped any subarray group")
+	return r, nil
 }
 
 // EPTProtectionResult reproduces the §7.1 EPT experiment: hammering groups
@@ -173,13 +186,6 @@ type EPTProtectionResult struct {
 	UnprotectedFlips int
 	// TranslationsIntact reports whether the VM's EPT mappings survived.
 	TranslationsIntact bool
-}
-
-// Render formats the result.
-func (r EPTProtectionResult) Render() string {
-	return fmt.Sprintf(
-		"EPT bit-flip prevention (§7.1)\nprotected 32-row blocks: %d flips\nunprotected rows:        %d flips\ntranslations intact:     %v\n",
-		r.ProtectedFlips, r.UnprotectedFlips, r.TranslationsIntact)
 }
 
 // EPTProtection runs the experiment on the default evaluation server.
@@ -263,4 +269,30 @@ func EPTProtection(cfg SecurityConfig) (EPTProtectionResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// eptExp is the "ept" experiment: EPT bit-flip prevention.
+type eptExp struct{}
+
+func (eptExp) Name() string { return "ept" }
+
+func (eptExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var res EPTProtectionResult
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		res, err = EPTProtection(cfg.Security)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Name: "ept", Title: "EPT bit-flip prevention (§7.1)"}
+	r.scalar("protected_flips", float64(res.ProtectedFlips))
+	r.scalar("unprotected_flips", float64(res.UnprotectedFlips))
+	r.check("protected_rows_flip_free", res.ProtectedFlips == 0,
+		fmt.Sprintf("%d flips in protected 32-row blocks", res.ProtectedFlips))
+	r.check("translations_intact", res.TranslationsIntact, "EPT mappings survived hammering")
+	r.check("control_rows_flipped", res.UnprotectedFlips > 0,
+		fmt.Sprintf("%d flips in unprotected control rows (experiment non-vacuous)", res.UnprotectedFlips))
+	return r, nil
 }

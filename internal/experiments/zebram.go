@@ -1,8 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"context"
 
 	"repro/internal/addr"
 	"repro/internal/dram"
@@ -28,15 +27,44 @@ type ZebRAMRow struct {
 	Safe bool
 }
 
-// RenderZebRAM formats the comparison.
-func RenderZebRAM(rows []ZebRAMRow) string {
-	var b strings.Builder
-	b.WriteString("Guard-row schemes vs subarray groups under a blast-radius-2 DIMM (§3)\n")
-	fmt.Fprintf(&b, "%-34s %10s %14s %6s\n", "scheme", "overhead", "cross flips", "safe")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-34s %9.1f%% %14d %6v\n", r.Scheme, r.OverheadPct, r.CrossDomainFlips, r.Safe)
+// zebramExp is the "zebram" experiment: guard rows vs subarray groups.
+type zebramExp struct{}
+
+func (zebramExp) Name() string { return "zebram" }
+
+func (zebramExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	var rows []ZebRAMRow
+	err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		rows, err = ZebRAMComparison()
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return b.String()
+	r := &Result{
+		Name:    "zebram",
+		Title:   "Guard-row schemes vs subarray groups under a blast-radius-2 DIMM (§3)",
+		Columns: []string{"overhead", "cross flips", "safe"},
+		Units:   []string{"%", "", ""},
+	}
+	oneGuardLeaks, silozSafe := false, false
+	for _, row := range rows {
+		r.Rows = append(r.Rows, Row{Label: row.Scheme,
+			Cells: []any{row.OverheadPct, row.CrossDomainFlips, row.Safe}})
+		switch row.Scheme {
+		case "ZebRAM, 1 guard/row (50%)":
+			oneGuardLeaks = !row.Safe
+		case "Siloz subarray groups (~0%)":
+			silozSafe = row.Safe
+			r.scalar("siloz_cross_flips", float64(row.CrossDomainFlips))
+			r.scalar("siloz_overhead_pct", row.OverheadPct)
+		}
+	}
+	r.check("one_guard_leaks_half_double", oneGuardLeaks,
+		"1 guard/row still leaks under blast radius 2 (Half-Double)")
+	r.check("siloz_contains", silozSafe, "subarray groups contain all flips at ~0% cost")
+	return r, nil
 }
 
 // zebramProbe lays two domains' rows into one bank under a guard-row
@@ -69,9 +97,10 @@ func zebramProbe(stride int) (int, error) {
 		}
 		usable++
 	}
-	// Domain A hammers every row it owns, hard.
-	for r, who := range owner {
-		if who != 'A' {
+	// Domain A hammers every row it owns, hard. Rows are visited in
+	// ascending order (never map order) so the flip set is reproducible.
+	for r := 0; r < g.RowsPerSubarray; r += stride {
+		if owner[r] != 'A' {
 			continue
 		}
 		if err := mod.ActivateRow(bank, r, int(prof.HammerThreshold)*5, 0); err != nil {

@@ -99,6 +99,19 @@ func (s Sample) Mean() float64 { return Mean(s.Values) }
 // CI returns the 95% confidence half-width.
 func (s Sample) CI() float64 { return CI95(s.Values) }
 
+// Concat merges per-rep partial samples, collected by rep index, into one
+// sample whose value order follows the parts' order — not the order the
+// reps finished in. It is the merge step of the parallel experiment
+// scheduler: each rep task fills parts[rep], and Concat(name, parts...)
+// reassembles the exact sample a serial run would have produced.
+func Concat(name string, parts ...Sample) Sample {
+	out := Sample{Name: name}
+	for _, p := range parts {
+		out.Values = append(out.Values, p.Values...)
+	}
+	return out
+}
+
 // Normalized expresses a measurement relative to a baseline as a percent
 // overhead: positive means slower/worse than baseline (Figs. 4-7).
 type Normalized struct {

@@ -124,3 +124,25 @@ func TestNormalizedString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestConcat(t *testing.T) {
+	parts := []Sample{
+		{Values: []float64{1}},
+		{Values: []float64{2, 3}},
+		{},
+		{Values: []float64{4}},
+	}
+	got := Concat("merged", parts...)
+	if got.Name != "merged" {
+		t.Errorf("Name = %q", got.Name)
+	}
+	want := []float64{1, 2, 3, 4}
+	if len(got.Values) != len(want) {
+		t.Fatalf("Values = %v, want %v", got.Values, want)
+	}
+	for i := range want {
+		if got.Values[i] != want[i] {
+			t.Fatalf("Values = %v, want %v (order must follow parts, not arrival)", got.Values, want)
+		}
+	}
+}
