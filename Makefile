@@ -9,8 +9,12 @@ all: check
 build:
 	$(GO) build ./...
 
+# Static checks: go vet plus a gofmt cleanliness gate (gofmt -l prints
+# misformatted files; any output fails the target).
 vet:
 	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -45,6 +49,7 @@ examples:
 	$(GO) run ./examples/eptguard
 	$(GO) run ./examples/addressing
 	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/migration
 
 tools:
 	$(GO) run ./cmd/siloz-topology

@@ -60,11 +60,17 @@ func main() {
 		perf.Reps = common.Reps
 	}
 	sec := experiments.DefaultSecurityConfig()
-	// The security campaign keeps its own default seed unless -seed is
-	// given explicitly, so default outputs match earlier releases.
+	mig := experiments.DefaultMigrationConfig()
+	if common.Quick {
+		mig = experiments.QuickMigrationConfig()
+	}
+	// The security and migration campaigns keep their own default seeds
+	// unless -seed is given explicitly, so default outputs match earlier
+	// releases.
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
 			sec.Seed = common.Seed
+			mig.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -94,9 +100,10 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Perf:     perf,
-		Security: sec,
-		Pool:     experiments.NewPool(common.Workers()),
+		Perf:      perf,
+		Security:  sec,
+		Migration: mig,
+		Pool:      experiments.NewPool(common.Workers()),
 	}
 
 	failed := 0

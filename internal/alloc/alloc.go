@@ -8,6 +8,7 @@ package alloc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/geometry"
 	"repro/internal/subarray"
@@ -128,8 +129,12 @@ func (f *freeList) removeAt(i int) {
 
 func (f *freeList) len() int { return len(f.blocks) }
 
-// Allocator is a buddy allocator over a set of physical ranges.
+// Allocator is a buddy allocator over a set of physical ranges. All methods
+// are safe for concurrent use: node allocators are shared — host nodes serve
+// every VM's mediated pages and the EPT node serves every table hierarchy on
+// its socket — so parallel VM lifecycle operations contend on them.
 type Allocator struct {
+	mu      sync.Mutex
 	free    [MaxOrder + 1]*freeList
 	total   uint64 // managed bytes (after offlining)
 	used    uint64
@@ -139,7 +144,11 @@ type Allocator struct {
 // Version returns a counter incremented by every allocation and free; node
 // statistics readers use it to skip nodes whose state cannot have changed
 // (§5.3).
-func (a *Allocator) Version() uint64 { return a.version }
+func (a *Allocator) Version() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.version
+}
 
 // New builds an allocator over ranges, excluding any overlap with offline
 // (offlined pages are never allocatable, §5.4). Ranges must be base-page
@@ -180,6 +189,8 @@ func (a *Allocator) Alloc(order int) (uint64, error) {
 	if order < 0 || order > MaxOrder {
 		return 0, fmt.Errorf("alloc: invalid order %d", order)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	o := -1
 	var best uint64
 	for cand := order; cand <= MaxOrder; cand++ {
@@ -212,6 +223,8 @@ func (a *Allocator) Free(pa uint64, order int) error {
 	if pa%OrderBytes(order) != 0 {
 		return fmt.Errorf("alloc: pa %#x not aligned to order %d", pa, order)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.used -= OrderBytes(order)
 	a.version++
 	for order < MaxOrder {
@@ -232,16 +245,26 @@ func (a *Allocator) Free(pa uint64, order int) error {
 func (a *Allocator) TotalBytes() uint64 { return a.total }
 
 // FreeBytes returns the currently-unallocated capacity.
-func (a *Allocator) FreeBytes() uint64 { return a.total - a.used }
+func (a *Allocator) FreeBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.used
+}
 
 // UsedBytes returns the currently-allocated capacity.
-func (a *Allocator) UsedBytes() uint64 { return a.used }
+func (a *Allocator) UsedBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
 
 // FreePagesAtOrder returns how many pages of the given order the allocator
 // can currently produce — free capacity that exists as blocks of at least
 // that order. Boot-time offlining punches sub-huge-page holes into node
 // memory, so huge-page capacity can be well below FreeBytes.
 func (a *Allocator) FreePagesAtOrder(order int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	total := 0
 	for o := order; o <= MaxOrder; o++ {
 		total += a.free[o].len() << (o - order)
@@ -249,14 +272,44 @@ func (a *Allocator) FreePagesAtOrder(order int) int {
 	return total
 }
 
-// FreeBlocks returns the number of free blocks at each order, a debugging
-// and fragmentation-analysis aid.
+// FreeBlocks returns the number of free blocks at each order — the free-
+// block histogram fragmentation analysis reads (mirroring
+// /proc/buddyinfo).
 func (a *Allocator) FreeBlocks() [MaxOrder + 1]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out [MaxOrder + 1]int
 	for o := range a.free {
 		out[o] = a.free[o].len()
 	}
 	return out
+}
+
+// FreeBytesByOrder returns the free capacity held at each block order. The
+// distribution is the fragmentation signature: the same FreeBytes spread
+// across low orders cannot back huge pages.
+func (a *Allocator) FreeBytesByOrder() [MaxOrder + 1]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out [MaxOrder + 1]uint64
+	for o := range a.free {
+		out[o] = uint64(a.free[o].len()) * OrderBytes(o)
+	}
+	return out
+}
+
+// LargestFreeOrder returns the order of the largest currently-free block,
+// or -1 when the allocator is exhausted. It is the cheapest admission
+// probe: a request of order k is satisfiable iff LargestFreeOrder() >= k.
+func (a *Allocator) LargestFreeOrder() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for o := MaxOrder; o >= 0; o-- {
+		if a.free[o].len() > 0 {
+			return o
+		}
+	}
+	return -1
 }
 
 // AllocPages allocates n contiguous-or-not pages of the given order,

@@ -315,3 +315,61 @@ func TestAllocationsAscend(t *testing.T) {
 		prev = pa
 	}
 }
+
+func TestFragmentationIntrospection(t *testing.T) {
+	// 16 MiB arena: largest free block is one order-12 (16 MiB) block.
+	a, err := New([]subarray.Range{mkRange(0, 16<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LargestFreeOrder(); got != 12 {
+		t.Fatalf("LargestFreeOrder on fresh 16 MiB arena = %d, want 12", got)
+	}
+	hist := a.FreeBytesByOrder()
+	if hist[12] != 16<<20 {
+		t.Fatalf("FreeBytesByOrder[12] = %d, want 16 MiB", hist[12])
+	}
+
+	// Splitting a base page out of the arena leaves one free block at
+	// every order below the top: the classic buddy split signature.
+	pa, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LargestFreeOrder(); got != 11 {
+		t.Fatalf("LargestFreeOrder after split = %d, want 11", got)
+	}
+	blocks := a.FreeBlocks()
+	for o := 0; o <= 11; o++ {
+		if blocks[o] != 1 {
+			t.Errorf("FreeBlocks[%d] = %d, want 1", o, blocks[o])
+		}
+	}
+	var free uint64
+	for _, b := range a.FreeBytesByOrder() {
+		free += b
+	}
+	if free != a.FreeBytes() {
+		t.Errorf("histogram sums to %d, FreeBytes is %d", free, a.FreeBytes())
+	}
+
+	if err := a.Free(pa, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LargestFreeOrder(); got != 12 {
+		t.Fatalf("LargestFreeOrder after coalesce = %d, want 12", got)
+	}
+}
+
+func TestLargestFreeOrderExhausted(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 4096)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LargestFreeOrder(); got != -1 {
+		t.Fatalf("LargestFreeOrder on exhausted allocator = %d, want -1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/addr"
@@ -29,9 +30,15 @@ type Hypervisor struct {
 	offlined   []subarray.Range
 	stats      *statCache
 	log        io.Writer
+	logMu      sync.Mutex
 	bootTime   time.Time
 	coreOwner  map[int]string // logical core -> pinned VM
 
+	// mu serializes VM lifecycle (create/destroy/pin) and guards the vms
+	// and coreOwner maps. Per-VM data paths (WriteGuest/ReadGuest) and the
+	// migration engine's copy rounds do not take it, so guest traffic and
+	// live migration proceed concurrently with lifecycle operations.
+	mu  sync.Mutex
 	vms map[string]*VM
 }
 
@@ -354,12 +361,16 @@ func (h *Hypervisor) FreeHostPages(socket, order int, pages []uint64) error {
 
 // VM returns a created VM by name.
 func (h *Hypervisor) VM(name string) (*VM, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	vm, ok := h.vms[name]
 	return vm, ok
 }
 
 // VMs returns all VMs sorted by name.
 func (h *Hypervisor) VMs() []*VM {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	names := make([]string, 0, len(h.vms))
 	for n := range h.vms {
 		names = append(names, n)

@@ -11,11 +11,14 @@ import (
 // relevant actions (offlining, throttling), so an operator can audit what
 // the isolation machinery did.
 
-// logf writes one timestamped event.
+// logf writes one timestamped event. Serialized: lifecycle operations and a
+// running migration may log concurrently.
 func (h *Hypervisor) logf(format string, args ...any) {
 	if h.log == nil {
 		return
 	}
+	h.logMu.Lock()
+	defer h.logMu.Unlock()
 	fmt.Fprintf(h.log, "[%12.6f] siloz: %s\n",
 		time.Since(h.bootTime).Seconds(), fmt.Sprintf(format, args...))
 }

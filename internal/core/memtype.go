@@ -145,11 +145,12 @@ func (h *Hypervisor) allocGuestRegionPages(vm *VM, n int) (int, []uint64, error)
 	return 0, nil, alloc.ErrNoMemory
 }
 
-// freeRegions releases all region pages.
+// freeRegions scrubs and releases all region pages.
 func (vm *VM) freeRegions() {
 	for _, info := range vm.regions {
 		if a, err := vm.hv.Allocator(info.nodeID); err == nil {
 			for _, pa := range info.pages {
+				_ = vm.hv.mem.ScrubPhys(pa, geometry.PageSize4K)
 				_ = a.Free(pa, 0)
 			}
 		}

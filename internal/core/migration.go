@@ -1,0 +1,532 @@
+package core
+
+// Live pre-copy migration of a running VM's guest pages between logical
+// NUMA nodes (subarray groups). Siloz's exclusive-reservation model wastes
+// capacity to fragmentation: a VM needs whole unowned subarray groups on its
+// home socket, so a socket can refuse a VM while the machine as a whole has
+// plenty of free groups (§8.1). The migration engine recovers that capacity
+// by moving a victim VM's pages to free groups elsewhere — without stopping
+// the guest for more than the final stop-and-copy window, and without ever
+// letting two tenants' domains overlap:
+//
+//   1. Adopt the destination nodes into the VM's control group (Expand).
+//      Exclusive ownership now covers source and destination, so the
+//      widened domain still overlaps no other tenant.
+//   2. Arm EPT write-protection dirty logging and copy all pages while the
+//      guest keeps running; re-copy dirtied pages each round until the
+//      dirty set converges (or a round/shrink budget expires).
+//   3. Pause the guest, copy the residual dirty set, remap every EPT leaf
+//      to its destination frame, flush the TLB — the measured downtime.
+//   4. Still paused: scrub and free the source pages, then shrink the
+//      control group off the source nodes. When the guest resumes it can
+//      only touch destination frames, and the vacated groups are free for
+//      the next reservation.
+//
+// EPT table pages never move: they live in the socket's guard-protected EPT
+// row-group block (§5.4) regardless of where guest data goes. Mediated
+// pages are host-reserved and likewise unaffected.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// MigrateOptions tunes the pre-copy engine. The zero value gives defaults.
+type MigrateOptions struct {
+	// MaxRounds caps pre-copy rounds before forcing stop-and-copy.
+	MaxRounds int
+	// StopPages: when a round ends with at most this many dirty pages, the
+	// engine proceeds to stop-and-copy.
+	StopPages int
+	// MinShrinkRatio: if a round leaves at least this fraction of the
+	// previous round's dirty set dirty again, pre-copy is not converging
+	// and the engine stops early.
+	MinShrinkRatio float64
+	// GuestStep, if set, runs after each round's copy and before the dirty
+	// log is drained — deterministic tests and experiments drive guest
+	// writes here instead of racing real goroutines against the engine.
+	GuestStep func(round int) error
+	// OnRound, if set, observes each completed round.
+	OnRound func(MigrateRound)
+}
+
+func (o *MigrateOptions) normalize() {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 16
+	}
+	if o.StopPages <= 0 {
+		o.StopPages = 8
+	}
+	if o.MinShrinkRatio <= 0 {
+		o.MinShrinkRatio = 0.9
+	}
+}
+
+// MigrateRound records one pre-copy round.
+type MigrateRound struct {
+	Round       int
+	PagesCopied int    // pages processed this round
+	BytesCopied uint64 // bytes actually moved (zero pages transfer nothing)
+	DirtyAfter  int    // pages the guest dirtied while the round ran
+}
+
+// MigrateReport summarizes a completed migration.
+type MigrateReport struct {
+	VM          string
+	SourceNodes []int
+	DestNodes   []int
+	PagesTotal  int // guest RAM pages (2 MiB)
+
+	Rounds      []MigrateRound
+	PagesCopied int    // total page copies across all rounds + stop-and-copy
+	BytesCopied uint64 // total bytes moved
+
+	DowntimePages int           // pages copied with the guest paused
+	DowntimeBytes uint64        // bytes moved with the guest paused
+	Downtime      time.Duration // wall-clock pause (simulator time, not modeled DRAM time)
+	Converged     bool          // dirty set shrank below StopPages
+}
+
+// migRegion pairs a region with its freshly-allocated destination pages.
+type migRegion struct {
+	idx   int // index into vm.regions
+	pages []uint64
+	node  int
+}
+
+// MigrateVM live-migrates a VM's unmediated pages (RAM and guest-placed
+// regions) onto the given destination nodes using iterative pre-copy. On
+// error or context cancellation before the final stop-and-copy the VM is
+// rolled back intact on its source nodes. The VM must not be destroyed
+// concurrently with its migration.
+func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []int, opt MigrateOptions) (*MigrateReport, error) {
+	opt.normalize()
+	h.mu.Lock()
+	vm, ok := h.vms[name]
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no VM %q", name)
+	}
+	destIDs, err := h.validateMigrationDests(vm, destNodeIDs)
+	if err != nil {
+		return nil, err
+	}
+
+	srcRAM := append([]uint64(nil), vm.ram...)
+	srcRamNode := make(map[uint64]int, len(vm.ramNode))
+	for pa, id := range vm.ramNode {
+		srcRamNode[pa] = id
+	}
+	ramPages := len(srcRAM)
+	var srcNodeIDs []int
+	if h.mode == ModeSiloz {
+		for _, n := range vm.nodes {
+			srcNodeIDs = append(srcNodeIDs, n.ID)
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, id := range srcRamNode {
+			if !seen[id] {
+				seen[id] = true
+				srcNodeIDs = append(srcNodeIDs, id)
+			}
+		}
+		sort.Ints(srcNodeIDs)
+	}
+
+	// Step 1: widen the domain over the destination nodes. The registry
+	// enforces that they are unowned, so exclusivity is never violated.
+	if h.mode == ModeSiloz {
+		if err := h.reg.Expand(vm.cgroup.Name, destIDs); err != nil {
+			return nil, err
+		}
+		vm.nodes = vm.cgroup.Nodes()
+	}
+	dstRAM, dstNode, dstRegions, err := h.allocMigrationPages(vm, destIDs)
+	if err != nil {
+		h.rollbackMigration(vm, destIDs, nil, nil, nil, false)
+		return nil, fmt.Errorf("core: migrating VM %q: %w", name, err)
+	}
+	rollback := func(tracking bool) {
+		h.rollbackMigration(vm, destIDs, dstRAM, dstNode, dstRegions, tracking)
+	}
+
+	// Step 2: pre-copy with dirty logging.
+	if err := vm.StartDirtyTracking(); err != nil {
+		rollback(false)
+		return nil, err
+	}
+	written := make([]bool, ramPages) // dst frames the engine has written
+	buf := make([]byte, geometry.PageSize2M)
+	copyPage := func(p int) (uint64, error) {
+		if err := h.mem.ReadPhys(srcRAM[p], buf); err != nil {
+			return 0, err
+		}
+		// A page that is still all-zero was never materialized at the
+		// source; its fresh destination frame is already zero, so nothing
+		// needs to move. Once the engine has written a frame it always
+		// rewrites it (the guest may have re-zeroed a page).
+		if !written[p] && allZero(buf) {
+			return 0, nil
+		}
+		if err := h.mem.WritePhys(dstRAM[p], buf); err != nil {
+			return 0, err
+		}
+		written[p] = true
+		return uint64(len(buf)), nil
+	}
+
+	rep := &MigrateReport{
+		VM: name, SourceNodes: srcNodeIDs, DestNodes: destIDs, PagesTotal: ramPages,
+	}
+	pending := make([]int, ramPages)
+	for i := range pending {
+		pending[i] = i
+	}
+	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			rollback(true)
+			return nil, fmt.Errorf("core: migration of VM %q aborted: %w", name, err)
+		}
+		var bytes uint64
+		for _, p := range pending {
+			n, err := copyPage(p)
+			if err != nil {
+				rollback(true)
+				return nil, err
+			}
+			bytes += n
+		}
+		if opt.GuestStep != nil {
+			if err := opt.GuestStep(round); err != nil {
+				rollback(true)
+				return nil, fmt.Errorf("core: migration guest step: %w", err)
+			}
+		}
+		dirtyGPAs, err := vm.TakeDirty()
+		if err != nil {
+			rollback(true)
+			return nil, err
+		}
+		rr := MigrateRound{Round: round, PagesCopied: len(pending), BytesCopied: bytes, DirtyAfter: len(dirtyGPAs)}
+		rep.Rounds = append(rep.Rounds, rr)
+		rep.PagesCopied += len(pending)
+		rep.BytesCopied += bytes
+		if opt.OnRound != nil {
+			opt.OnRound(rr)
+		}
+		next := make([]int, len(dirtyGPAs))
+		for i, gpa := range dirtyGPAs {
+			next[i] = int(gpa / geometry.PageSize2M)
+		}
+		if len(next) <= opt.StopPages {
+			rep.Converged = true
+			pending = next
+			break
+		}
+		if round+1 >= opt.MaxRounds {
+			pending = next // round budget exhausted
+			break
+		}
+		if float64(len(next)) >= opt.MinShrinkRatio*float64(len(pending)) {
+			pending = next // dirty set not shrinking; more rounds are wasted work
+			break
+		}
+		pending = next
+	}
+
+	// Step 3: stop-and-copy. The pause is the commitment point: a
+	// cancellation arriving later than this check is ignored, because the
+	// remap below must run to completion either way.
+	if err := ctx.Err(); err != nil {
+		rollback(true)
+		return nil, fmt.Errorf("core: migration of VM %q aborted: %w", name, err)
+	}
+	// The guest is paused: stores block on the vCPU gate, so the residual
+	// dirty set is final.
+	vm.Pause()
+	start := time.Now()
+	residual, err := vm.TakeDirty()
+	if err != nil {
+		vm.Resume()
+		rollback(true)
+		return nil, err
+	}
+	finalSet := map[int]bool{}
+	for _, p := range pending {
+		finalSet[p] = true
+	}
+	for _, gpa := range residual {
+		finalSet[int(gpa/geometry.PageSize2M)] = true
+	}
+	finalPages := make([]int, 0, len(finalSet))
+	for p := range finalSet {
+		finalPages = append(finalPages, p)
+	}
+	sort.Ints(finalPages)
+	var dtBytes uint64
+	for _, p := range finalPages {
+		n, err := copyPage(p)
+		if err != nil {
+			vm.Resume()
+			rollback(true)
+			return nil, err
+		}
+		dtBytes += n
+	}
+	// Guest-placed region pages (4 KiB): the guest is paused, one shot.
+	rbuf := buf[:geometry.PageSize4K]
+	for _, mr := range dstRegions {
+		for i, src := range vm.regions[mr.idx].pages {
+			if err := h.mem.ReadPhys(src, rbuf); err == nil && !allZero(rbuf) {
+				if werr := h.mem.WritePhys(mr.pages[i], rbuf); werr != nil {
+					vm.Resume()
+					rollback(true)
+					return nil, werr
+				}
+			} else if err != nil {
+				vm.Resume()
+				rollback(true)
+				return nil, err
+			}
+		}
+	}
+
+	// Commit: remap every leaf to its destination frame. Remapping RAM
+	// leaves writable also disarms the per-leaf write protection.
+	for p := 0; p < ramPages; p++ {
+		if err := vm.tables.Map2MProt(uint64(p)*geometry.PageSize2M, dstRAM[p], true); err != nil {
+			for q := 0; q < p; q++ { // restore already-moved leaves
+				_ = vm.tables.Map2MProt(uint64(q)*geometry.PageSize2M, srcRAM[q], true)
+			}
+			vm.Resume()
+			rollback(true)
+			return nil, err
+		}
+	}
+	type oldRegion struct {
+		pages []uint64
+		node  int
+	}
+	var oldRegions []oldRegion
+	for _, mr := range dstRegions {
+		info := &vm.regions[mr.idx]
+		writable := info.Type != RegionROM
+		for i, hpa := range mr.pages {
+			if err := vm.tables.Map4KProt(info.gpa+uint64(i)*geometry.PageSize4K, hpa, writable); err != nil {
+				vm.Resume()
+				rollback(true)
+				return nil, err
+			}
+		}
+		oldRegions = append(oldRegions, oldRegion{pages: info.pages, node: info.nodeID})
+		info.pages = mr.pages
+		info.nodeID = mr.node
+	}
+	vm.ram = dstRAM
+	newRamNode := make(map[uint64]int, ramPages)
+	for p, hpa := range dstRAM {
+		newRamNode[hpa] = dstNode[p]
+	}
+	vm.ramNode = newRamNode
+	vm.InvalidateTLB()
+	vm.dirtyMu.Lock()
+	vm.tracking = false
+	vm.dirty = nil
+	if vm.touched == nil {
+		vm.touched = make(map[int]struct{})
+	}
+	for p, w := range written {
+		if w {
+			// The engine's copies are data-bearing writes to the new
+			// frames: fold them into the scrub ledger.
+			vm.touched[p] = struct{}{}
+		}
+	}
+	vm.dirtyMu.Unlock()
+	rep.PagesCopied += len(finalPages)
+	rep.BytesCopied += dtBytes
+	rep.DowntimePages = len(finalPages)
+	rep.DowntimeBytes = dtBytes
+	rep.Downtime = time.Since(start)
+
+	// Step 4: still paused, vacate the source — scrub data-bearing source
+	// frames, free them, and shrink the domain. Only after the vacated
+	// groups have left the VM's control group does the guest resume, so at
+	// no instant can a tenant access memory outside its domain.
+	for p, hpa := range srcRAM {
+		if written[p] {
+			_ = h.mem.ScrubPhys(hpa, geometry.PageSize2M)
+		}
+		if a, aerr := h.Allocator(srcRamNode[hpa]); aerr == nil {
+			_ = a.Free(hpa, alloc.Order2M)
+		}
+	}
+	for _, or := range oldRegions {
+		if a, aerr := h.Allocator(or.node); aerr == nil {
+			for _, pa := range or.pages {
+				_ = h.mem.ScrubPhys(pa, geometry.PageSize4K)
+				_ = a.Free(pa, 0)
+			}
+		}
+	}
+	if h.mode == ModeSiloz {
+		if err := h.reg.Shrink(vm.cgroup.Name, srcNodeIDs); err != nil {
+			vm.Resume()
+			return rep, fmt.Errorf("core: releasing source nodes of VM %q: %w", name, err)
+		}
+		vm.nodes = vm.cgroup.Nodes()
+	}
+	vm.Resume()
+	h.logf("migrated VM %q: nodes %v -> %v, %d rounds, %d/%d pages copied, downtime %d pages",
+		name, srcNodeIDs, destIDs, len(rep.Rounds), rep.PagesCopied, ramPages, rep.DowntimePages)
+	return rep, nil
+}
+
+// validateMigrationDests checks and dedupes the destination node list.
+func (h *Hypervisor) validateMigrationDests(vm *VM, destNodeIDs []int) ([]int, error) {
+	if len(destNodeIDs) == 0 {
+		return nil, fmt.Errorf("core: migration of VM %q needs at least one destination node", vm.spec.Name)
+	}
+	seen := map[int]bool{}
+	out := make([]int, 0, len(destNodeIDs))
+	for _, id := range destNodeIDs {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		n, err := h.topo.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		if h.mode == ModeSiloz {
+			if n.Kind != numa.GuestReserved {
+				return nil, fmt.Errorf("core: destination node %d is %s-reserved; guest pages need guest-reserved nodes", id, n.Kind)
+			}
+			if vm.cgroup != nil && vm.cgroup.Allows(id) {
+				return nil, fmt.Errorf("core: destination node %d already belongs to VM %q", id, vm.spec.Name)
+			}
+		} else if n.Kind != numa.HostReserved {
+			return nil, fmt.Errorf("core: baseline destination node %d must be host-reserved", id)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// allocMigrationPages allocates destination frames for guest RAM (2 MiB,
+// spilling across destination nodes in the given order) and for guest-placed
+// regions (4 KiB, Siloz only — under the baseline region pages are
+// host-reserved and stay put). On failure everything allocated so far is
+// freed and an error returned.
+func (h *Hypervisor) allocMigrationPages(vm *VM, destIDs []int) (dstRAM []uint64, dstNode []int, dstRegions []migRegion, err error) {
+	cleanup := func() {
+		h.releaseMigrationPages(dstRAM, dstNode, dstRegions, false)
+	}
+	ramPages := len(vm.ram)
+	dstRAM = make([]uint64, 0, ramPages)
+	dstNode = make([]int, 0, ramPages)
+	di := 0
+	for p := 0; p < ramPages; p++ {
+		var hpa uint64
+		for {
+			if di >= len(destIDs) {
+				cleanup()
+				return nil, nil, nil, fmt.Errorf("destination nodes full at page %d/%d: %w", p, ramPages, alloc.ErrNoMemory)
+			}
+			a, aerr := h.Allocator(destIDs[di])
+			if aerr != nil {
+				cleanup()
+				return nil, nil, nil, aerr
+			}
+			hpa, err = a.Alloc(alloc.Order2M)
+			if err == nil {
+				break
+			}
+			di++ // node exhausted; move to the next destination node
+		}
+		dstRAM = append(dstRAM, hpa)
+		dstNode = append(dstNode, destIDs[di])
+	}
+	if h.mode != ModeSiloz {
+		return dstRAM, dstNode, nil, nil
+	}
+	for idx, info := range vm.regions {
+		if !info.Type.Unmediated() {
+			continue
+		}
+		var pages []uint64
+		var node int
+		for _, id := range destIDs {
+			a, aerr := h.Allocator(id)
+			if aerr != nil {
+				cleanup()
+				return nil, nil, nil, aerr
+			}
+			pages, err = a.AllocPages(0, len(info.pages))
+			if err == nil {
+				node = id
+				break
+			}
+		}
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("region %q: %w", info.Name, err)
+		}
+		dstRegions = append(dstRegions, migRegion{idx: idx, pages: pages, node: node})
+	}
+	return dstRAM, dstNode, dstRegions, nil
+}
+
+// releaseMigrationPages frees destination frames, optionally scrubbing them
+// first (they may hold pre-copied tenant data on the abort path).
+func (h *Hypervisor) releaseMigrationPages(dstRAM []uint64, dstNode []int, dstRegions []migRegion, scrub bool) {
+	for p, hpa := range dstRAM {
+		if scrub {
+			_ = h.mem.ScrubPhys(hpa, geometry.PageSize2M)
+		}
+		if a, err := h.Allocator(dstNode[p]); err == nil {
+			_ = a.Free(hpa, alloc.Order2M)
+		}
+	}
+	for _, mr := range dstRegions {
+		if a, err := h.Allocator(mr.node); err == nil {
+			for _, pa := range mr.pages {
+				if scrub {
+					_ = h.mem.ScrubPhys(pa, geometry.PageSize4K)
+				}
+				_ = a.Free(pa, 0)
+			}
+		}
+	}
+}
+
+// rollbackMigration aborts cleanly before commit: the guest keeps running on
+// its source frames with full write permission, destination frames are
+// scrubbed and freed, and the domain shrinks back off the destination nodes.
+func (h *Hypervisor) rollbackMigration(vm *VM, destIDs []int, dstRAM []uint64, dstNode []int, dstRegions []migRegion, tracking bool) {
+	if tracking {
+		_ = vm.StopDirtyTracking()
+	}
+	h.releaseMigrationPages(dstRAM, dstNode, dstRegions, true)
+	if h.mode == ModeSiloz && vm.cgroup != nil {
+		_ = h.reg.Shrink(vm.cgroup.Name, destIDs)
+		vm.nodes = vm.cgroup.Nodes()
+	}
+}
+
+// allZero reports whether a buffer is entirely zero bytes.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,8 @@ import (
 // returning the chosen cores. Pinning is exclusive; destroying the VM
 // releases its cores.
 func (h *Hypervisor) PinVCPUs(vm *VM) ([]int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if vm.pinned != nil {
 		return vm.pinned, nil
 	}
@@ -51,7 +53,7 @@ func (vm *VM) PinnedCores() []int {
 	return out
 }
 
-// releaseCores frees a VM's core pinning.
+// releaseCores frees a VM's core pinning. Caller holds h.mu.
 func (vm *VM) releaseCores() {
 	if vm.pinned == nil {
 		return
@@ -64,6 +66,8 @@ func (vm *VM) releaseCores() {
 
 // CoreOwner reports which VM (if any) a logical core is pinned to.
 func (h *Hypervisor) CoreOwner(core int) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	name, ok := h.coreOwner[core]
 	return name, ok
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/alloc"
@@ -63,6 +64,15 @@ type VM struct {
 	exits    uint64         // VM exits taken for mediated accesses
 	pinned   []int          // exclusively-pinned logical cores
 
+	// pauseMu is the vCPU gate: guest accesses hold it shared, Pause takes
+	// it exclusively (the stop-and-copy window of a live migration).
+	pauseMu sync.RWMutex
+	// dirtyMu guards the dirty-page log and the touched-page ledger.
+	tracking bool             // write-protection dirty logging armed
+	dirty    map[uint64]bool  // dirty 2 MiB RAM page GPAs this round
+	touched  map[int]struct{} // RAM page indexes ever written (scrub ledger)
+	dirtyMu  sync.Mutex
+
 	// Confused-deputy rate limiting (§5.1): mediated accesses this
 	// refresh window, and the window they were counted in.
 	mediatedAccesses int
@@ -89,6 +99,8 @@ func (h *Hypervisor) CreateVM(proc Process, spec VMSpec) (*VM, error) {
 	if !proc.KVMPrivileged {
 		return nil, fmt.Errorf("core: process lacks KVM privilege for guest-reserved allocation")
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if _, dup := h.vms[spec.Name]; dup {
 		return nil, fmt.Errorf("core: VM %q already exists", spec.Name)
 	}
@@ -264,18 +276,26 @@ func (h *Hypervisor) allocMediated(vm *VM) error {
 // free pools; the node reservation persists until the control group is
 // destroyed separately (§5.3), which this helper also does for convenience.
 func (h *Hypervisor) DestroyVM(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	vm, ok := h.vms[name]
 	if !ok {
 		return fmt.Errorf("core: no VM %q", name)
 	}
 	vm.teardown()
 	delete(h.vms, name)
-	h.logf("destroyed VM %q (memory returned to node free pools)", name)
+	h.logf("destroyed VM %q (memory scrubbed and returned to node free pools)", name)
 	return nil
 }
 
+// teardown releases everything the VM holds. Guest RAM and region pages are
+// scrubbed (zeroed) before they return to the free pools, so a page recycled
+// to the next tenant can never leak the previous tenant's bytes. RAM scrubbing
+// consults the touched-page ledger: never-written pages hold no data and are
+// skipped, keeping teardown of large sparse guests cheap. Caller holds h.mu.
 func (vm *VM) teardown() {
 	h := vm.hv
+	vm.scrubRAM()
 	for _, hpa := range vm.ram {
 		if a, err := h.Allocator(vm.ramNode[hpa]); err == nil {
 			_ = a.Free(hpa, alloc.Order2M)
@@ -283,6 +303,9 @@ func (vm *VM) teardown() {
 	}
 	vm.ram = nil
 	if len(vm.mediated) > 0 {
+		for _, hpa := range vm.mediated {
+			_ = h.mem.ScrubPhys(hpa, geometry.PageSize4K)
+		}
 		_ = h.FreeHostPages(vm.spec.Socket, 0, vm.mediated)
 		vm.mediated = nil
 	}
@@ -293,6 +316,22 @@ func (vm *VM) teardown() {
 	}
 	vm.releaseCores()
 	vm.releaseNodes()
+}
+
+// scrubRAM zeroes every RAM page the guest (or the migration engine, on its
+// behalf) ever wrote.
+func (vm *VM) scrubRAM() {
+	vm.dirtyMu.Lock()
+	idxs := make([]int, 0, len(vm.touched))
+	for p := range vm.touched {
+		idxs = append(idxs, p)
+	}
+	vm.dirtyMu.Unlock()
+	for _, p := range idxs {
+		if p >= 0 && p < len(vm.ram) {
+			_ = vm.hv.mem.ScrubPhys(vm.ram[p], geometry.PageSize2M)
+		}
+	}
 }
 
 func (vm *VM) releaseNodes() {
@@ -389,7 +428,7 @@ func (vm *VM) translateWrite(gpa uint64) (uint64, error) {
 		return 0, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
 	}
 	if vm.isRAMGPA(gpa) {
-		return vm.Translate(gpa) // RAM is always writable; TLB applies
+		return vm.translateWriteRAM(gpa)
 	}
 	hpa, err := vm.tables.TranslateAccess(gpa, true)
 	if errors.Is(err, ept.ErrPermission) {
@@ -399,12 +438,136 @@ func (vm *VM) translateWrite(gpa uint64) (uint64, error) {
 	return hpa, err
 }
 
+// translateWriteRAM resolves a RAM store, maintaining the touched-page
+// ledger and — while dirty logging is armed — the write-protection fault
+// path: the store faults, the fault handler logs the page dirty, reopens
+// the leaf and retries, exactly KVM's dirty-logging flow during live
+// migration pre-copy.
+func (vm *VM) translateWriteRAM(gpa uint64) (uint64, error) {
+	pageBase := gpa &^ uint64(geometry.PageSize2M-1)
+	vm.dirtyMu.Lock()
+	if vm.touched == nil {
+		vm.touched = make(map[int]struct{})
+	}
+	vm.touched[int(pageBase/geometry.PageSize2M)] = struct{}{}
+	if !vm.tracking {
+		vm.dirtyMu.Unlock()
+		return vm.Translate(gpa) // RAM is always writable; TLB applies
+	}
+	defer vm.dirtyMu.Unlock()
+	hpa, err := vm.tables.TranslateAccess(gpa, true)
+	if errors.Is(err, ept.ErrPermission) {
+		// EPT write-protection violation: VM exit, log dirty, reopen.
+		vm.exits++
+		vm.dirty[pageBase] = true
+		if perr := vm.tables.Protect(pageBase, true); perr != nil {
+			return 0, perr
+		}
+		hpa, err = vm.tables.TranslateAccess(gpa, true)
+	}
+	return hpa, err
+}
+
 // Exits returns the number of VM exits taken for mediated accesses — the
 // hook the host can rate-limit (§5.1).
 func (vm *VM) Exits() uint64 { return vm.exits }
 
-// WriteGuest stores data at a guest physical address.
+// Pause stops the guest's vCPUs: guest loads and stores block until Resume.
+// It is the stop-and-copy gate of live migration.
+func (vm *VM) Pause() { vm.pauseMu.Lock() }
+
+// Resume restarts a paused guest.
+func (vm *VM) Resume() { vm.pauseMu.Unlock() }
+
+// StartDirtyTracking arms write-protection dirty logging over guest RAM
+// (KVM's KVM_MEM_LOG_DIRTY_PAGES): every 2 MiB leaf is write-protected, so
+// the guest's first store to each page takes an EPT-violation exit that logs
+// the page dirty and reopens the leaf. The guest is paused for the duration
+// of the arming, so no store can straddle it — any write either completed
+// before tracking began (and is captured by the migration's full first-round
+// copy) or faults into the dirty log.
+func (vm *VM) StartDirtyTracking() error {
+	vm.pauseMu.Lock()
+	defer vm.pauseMu.Unlock()
+	vm.dirtyMu.Lock()
+	defer vm.dirtyMu.Unlock()
+	if vm.tables == nil {
+		return fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
+	}
+	if vm.tracking {
+		return fmt.Errorf("core: VM %q is already dirty-tracking (migration in progress?)", vm.spec.Name)
+	}
+	for p := range vm.ram {
+		if err := vm.tables.Protect(uint64(p)*geometry.PageSize2M, false); err != nil {
+			for q := 0; q < p; q++ {
+				_ = vm.tables.Protect(uint64(q)*geometry.PageSize2M, true)
+			}
+			return err
+		}
+	}
+	vm.dirty = make(map[uint64]bool)
+	vm.tracking = true
+	return nil
+}
+
+// TakeDirty drains the dirty-page log, re-arming write protection on the
+// drained pages so subsequent stores are logged again, and returns the dirty
+// 2 MiB page GPAs in ascending order — one pre-copy round's work list.
+func (vm *VM) TakeDirty() ([]uint64, error) {
+	vm.dirtyMu.Lock()
+	defer vm.dirtyMu.Unlock()
+	if !vm.tracking {
+		return nil, fmt.Errorf("core: VM %q is not dirty-tracking", vm.spec.Name)
+	}
+	gpas := make([]uint64, 0, len(vm.dirty))
+	for gpa := range vm.dirty {
+		gpas = append(gpas, gpa)
+	}
+	sort.Slice(gpas, func(i, j int) bool { return gpas[i] < gpas[j] })
+	for _, gpa := range gpas {
+		if err := vm.tables.Protect(gpa, false); err != nil {
+			return nil, err
+		}
+	}
+	vm.dirty = make(map[uint64]bool)
+	return gpas, nil
+}
+
+// StopDirtyTracking disarms dirty logging, restoring write permission on
+// every RAM leaf — the migration-abort path. (The commit path instead remaps
+// every leaf to its destination page, which reopens them implicitly.)
+func (vm *VM) StopDirtyTracking() error {
+	vm.pauseMu.Lock()
+	defer vm.pauseMu.Unlock()
+	vm.dirtyMu.Lock()
+	defer vm.dirtyMu.Unlock()
+	if !vm.tracking {
+		return nil
+	}
+	if vm.tables != nil {
+		for p := range vm.ram {
+			if err := vm.tables.Protect(uint64(p)*geometry.PageSize2M, true); err != nil {
+				return err
+			}
+		}
+	}
+	vm.tracking = false
+	vm.dirty = nil
+	return nil
+}
+
+// DirtyTracking reports whether dirty logging is armed.
+func (vm *VM) DirtyTracking() bool {
+	vm.dirtyMu.Lock()
+	defer vm.dirtyMu.Unlock()
+	return vm.tracking
+}
+
+// WriteGuest stores data at a guest physical address. The access holds the
+// vCPU gate shared: a paused VM (stop-and-copy) blocks here until Resume.
 func (vm *VM) WriteGuest(gpa uint64, data []byte) error {
+	vm.pauseMu.RLock()
+	defer vm.pauseMu.RUnlock()
 	return vm.guestIter(gpa, len(data), vm.translateWrite, func(hpa uint64, off, n int) error {
 		return vm.hv.mem.WritePhys(hpa, data[off:off+n])
 	})
@@ -412,6 +575,8 @@ func (vm *VM) WriteGuest(gpa uint64, data []byte) error {
 
 // ReadGuest loads len(buf) bytes from a guest physical address.
 func (vm *VM) ReadGuest(gpa uint64, buf []byte) error {
+	vm.pauseMu.RLock()
+	defer vm.pauseMu.RUnlock()
 	return vm.guestIter(gpa, len(buf), vm.Translate, func(hpa uint64, off, n int) error {
 		return vm.hv.mem.ReadPhys(hpa, buf[off:off+n])
 	})

@@ -99,6 +99,16 @@ func (m *Memory) iter(pa uint64, n int, fn func(mod *Module, ma geometry.MediaAd
 	return nil
 }
 
+// ScrubPhys zeroes n bytes at a host physical address. Untouched rows stay
+// unmaterialized, so scrubbing terabytes of never-written guest RAM costs
+// almost nothing — the sparse analogue of the kernel's free-page
+// sanitization.
+func (m *Memory) ScrubPhys(pa uint64, n int) error {
+	return m.iter(pa, n, func(mod *Module, ma geometry.MediaAddr, off, n int) error {
+		return mod.ScrubRow(ma.Bank, ma.Row, ma.Col, n)
+	})
+}
+
 // ActivatePhys issues count activations of the row backing a physical
 // address, each holding the row open openNs nanoseconds. It is the
 // primitive hammering and the memory-controller model build on.

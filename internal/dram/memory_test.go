@@ -215,3 +215,36 @@ func TestMemoryMatchesShadowBufferProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestScrubPhysZeroesWithoutMaterializing(t *testing.T) {
+	mem := testMemory(t)
+	secret := []byte("tenant secret bytes")
+	if err := mem.WritePhys(0x10000, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ScrubPhys(0x10000, len(secret)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(secret))
+	if err := mem.ReadPhys(0x10000, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after scrub, want 0", i, b)
+		}
+	}
+	// Scrubbing (and then reading) a never-written range is a no-op that
+	// must not allocate row storage or fail.
+	if err := mem.ScrubPhys(0x200000, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ReadPhys(0x200000, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("untouched byte %d = %#x, want 0", i, b)
+		}
+	}
+}

@@ -285,7 +285,9 @@ func (m *Module) commitFlips(bs *bankState, side addr.Side, virt int, aggMediaRo
 		return
 	}
 	mediaRow := m.mediaRowOf(bs, virt, side)
-	row := m.row(bs.id, mediaRow)
+	m.rowsMu.Lock()
+	defer m.rowsMu.Unlock()
+	row := m.rowLocked(bs.id, mediaRow)
 	halfBase := 0
 	if side == addr.SideB {
 		halfBase = m.g.RowBytes / 2
@@ -390,21 +392,22 @@ func (m *Module) Flips() []Flip {
 // ResetFlips clears the flip log (storage corruption remains).
 func (m *Module) ResetFlips() { m.flips = nil }
 
-// row returns the backing storage of a media row, allocating zeroed bytes
-// on first touch.
-func (m *Module) row(b geometry.BankID, mediaRow int) []byte {
+// rowLocked returns the backing storage of a media row, allocating zeroed
+// bytes on first touch. Caller holds rowsMu.
+func (m *Module) rowLocked(b geometry.BankID, mediaRow int) []byte {
 	key := [3]int{b.Rank, b.Bank, mediaRow}
-	m.rowsMu.Lock()
 	r := m.rows[key]
 	if r == nil {
 		r = make([]byte, m.g.RowBytes)
 		m.rows[key] = r
 	}
-	m.rowsMu.Unlock()
 	return r
 }
 
-// WriteRow stores data into a row starting at column col.
+// WriteRow stores data into a row starting at column col. The copy itself
+// runs under the row lock, so a concurrent reader of the same row (a live
+// migration round copying a page the guest is still writing) observes
+// whole cache lines, never torn ones.
 func (m *Module) WriteRow(b geometry.BankID, mediaRow, col int, data []byte) error {
 	if !m.owns(b) || mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
 		return fmt.Errorf("dram: write target %v row %d invalid", b, mediaRow)
@@ -412,11 +415,14 @@ func (m *Module) WriteRow(b geometry.BankID, mediaRow, col int, data []byte) err
 	if col < 0 || col+len(data) > m.g.RowBytes {
 		return fmt.Errorf("dram: write [%d,%d) outside row", col, col+len(data))
 	}
-	copy(m.row(b, mediaRow)[col:], data)
+	m.rowsMu.Lock()
+	copy(m.rowLocked(b, mediaRow)[col:], data)
+	m.rowsMu.Unlock()
 	return nil
 }
 
-// ReadRow copies a row's bytes starting at column col into buf.
+// ReadRow copies a row's bytes starting at column col into buf. Reading an
+// untouched row yields zeros without materializing backing storage.
 func (m *Module) ReadRow(b geometry.BankID, mediaRow, col int, buf []byte) error {
 	if !m.owns(b) || mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
 		return fmt.Errorf("dram: read target %v row %d invalid", b, mediaRow)
@@ -424,6 +430,42 @@ func (m *Module) ReadRow(b geometry.BankID, mediaRow, col int, buf []byte) error
 	if col < 0 || col+len(buf) > m.g.RowBytes {
 		return fmt.Errorf("dram: read [%d,%d) outside row", col, col+len(buf))
 	}
-	copy(buf, m.row(b, mediaRow)[col:])
+	key := [3]int{b.Rank, b.Bank, mediaRow}
+	m.rowsMu.Lock()
+	if r := m.rows[key]; r != nil {
+		copy(buf, r[col:])
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	m.rowsMu.Unlock()
+	return nil
+}
+
+// ScrubRow zeroes a row segment without materializing untouched storage: a
+// row that was never written already reads as zeros, and a fully-scrubbed
+// row's backing is released. It is the hypervisor's page-sanitization
+// primitive — memory returned to a free pool must not leak the previous
+// tenant's bytes.
+func (m *Module) ScrubRow(b geometry.BankID, mediaRow, col, n int) error {
+	if !m.owns(b) || mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
+		return fmt.Errorf("dram: scrub target %v row %d invalid", b, mediaRow)
+	}
+	if col < 0 || n < 0 || col+n > m.g.RowBytes {
+		return fmt.Errorf("dram: scrub [%d,%d) outside row", col, col+n)
+	}
+	key := [3]int{b.Rank, b.Bank, mediaRow}
+	m.rowsMu.Lock()
+	if r := m.rows[key]; r != nil {
+		if col == 0 && n == m.g.RowBytes {
+			delete(m.rows, key)
+		} else {
+			for i := col; i < col+n; i++ {
+				r[i] = 0
+			}
+		}
+	}
+	m.rowsMu.Unlock()
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/dram"
 	"repro/internal/geometry"
@@ -81,13 +82,21 @@ type PageAllocator interface {
 }
 
 // Tables is one VM's extended page table hierarchy.
+//
+// Entry loads and stores are serialized by an internal lock, so guest-side
+// walks may run concurrently with hypervisor-side entry updates (the
+// write-protection flips of dirty-page tracking during live migration).
+// Structural mutation — Map*, Unmap, Destroy — is the hypervisor's and is
+// not safe to race with itself.
 type Tables struct {
 	mem   *dram.Memory
 	pages PageAllocator
 	mode  IntegrityMode
 	root  uint64
-	all   []uint64          // every table page, for accounting and attack targeting
-	macs  map[uint64]uint64 // entry pa -> MAC (SecureEPT only)
+	all   []uint64 // every table page, for accounting and attack targeting
+
+	entryMu sync.Mutex        // serializes entry loads/stores and macs
+	macs    map[uint64]uint64 // entry pa -> MAC (SecureEPT only)
 }
 
 // New allocates an empty hierarchy (root only).
@@ -128,6 +137,8 @@ func (t *Tables) Destroy() {
 }
 
 func (t *Tables) zeroPage(pa uint64) error {
+	t.entryMu.Lock()
+	defer t.entryMu.Unlock()
 	if err := t.mem.WritePhys(pa, make([]byte, tableBytes)); err != nil {
 		return err
 	}
@@ -149,6 +160,8 @@ func mac(entryPA, value uint64) uint64 {
 
 // readEntry loads one entry, verifying its MAC in SecureEPT mode.
 func (t *Tables) readEntry(entryPA uint64) (uint64, error) {
+	t.entryMu.Lock()
+	defer t.entryMu.Unlock()
 	var buf [entrySize]byte
 	if err := t.mem.ReadPhys(entryPA, buf[:]); err != nil {
 		return 0, err
@@ -164,6 +177,8 @@ func (t *Tables) readEntry(entryPA uint64) (uint64, error) {
 
 // writeEntry stores one entry as a legitimate hypervisor update.
 func (t *Tables) writeEntry(entryPA, v uint64) error {
+	t.entryMu.Lock()
+	defer t.entryMu.Unlock()
 	var buf [entrySize]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	if err := t.mem.WritePhys(entryPA, buf[:]); err != nil {
@@ -267,6 +282,38 @@ func (t *Tables) Unmap(gpa uint64) error {
 		}
 		if v&entryLeaf != 0 || level == numLevels-1 {
 			return t.writeEntry(entryPA, 0)
+		}
+		table = v & frameMask
+	}
+	panic("unreachable")
+}
+
+// Protect rewrites the leaf entry mapping gpa (2 MiB or 4 KiB) with the
+// given write permission, leaving the frame intact. Clearing the write bit
+// is how KVM's dirty logging arms a page during live migration (§2.1): the
+// next guest store raises an EPT violation, the hypervisor logs the page
+// dirty and re-enables the bit. Protecting an unmapped GPA returns
+// ErrNotMapped.
+func (t *Tables) Protect(gpa uint64, writable bool) error {
+	table := t.root
+	for level := 0; level < numLevels; level++ {
+		entryPA := table + indexAt(gpa, level)*entrySize
+		v, err := t.readEntry(entryPA)
+		if err != nil {
+			return err
+		}
+		if v&entryPresent == 0 {
+			return fmt.Errorf("%w: gpa %#x (level %d)", ErrNotMapped, gpa, level)
+		}
+		if v&entryLeaf != 0 || level == numLevels-1 {
+			nv := v &^ uint64(entryWrite)
+			if writable {
+				nv |= entryWrite
+			}
+			if nv == v {
+				return nil
+			}
+			return t.writeEntry(entryPA, nv)
 		}
 		table = v & frameMask
 	}

@@ -1,6 +1,7 @@
 package ept
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -299,5 +300,58 @@ func TestUnmap(t *testing.T) {
 		if err != nil || hpa != 24<<20 {
 			t.Errorf("mode %v: remap translate = %#x, %v", mode, hpa, err)
 		}
+	}
+}
+
+func TestProtectTogglesWritePermission(t *testing.T) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT, GuardRows} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, tables, _ := testEnv(t, mode)
+			gpa := uint64(0)
+			hpa := uint64(4 << 20)
+			if err := tables.Map2M(gpa, hpa); err != nil {
+				t.Fatal(err)
+			}
+
+			// Arm write protection: reads still translate, writes fault.
+			if err := tables.Protect(gpa, false); err != nil {
+				t.Fatal(err)
+			}
+			got, err := tables.TranslateAccess(gpa+123, false)
+			if err != nil || got != hpa+123 {
+				t.Fatalf("read translate after protect = %#x, %v", got, err)
+			}
+			if _, err := tables.TranslateAccess(gpa, true); !errors.Is(err, ErrPermission) {
+				t.Fatalf("write through protected leaf: err = %v, want ErrPermission", err)
+			}
+
+			// Re-enable: the frame must be unchanged.
+			if err := tables.Protect(gpa, true); err != nil {
+				t.Fatal(err)
+			}
+			got, err = tables.TranslateAccess(gpa, true)
+			if err != nil || got != hpa {
+				t.Fatalf("write translate after unprotect = %#x, %v", got, err)
+			}
+
+			// 4 KiB leaves are protectable too.
+			gpa4, hpa4 := uint64(1)<<31, uint64(8<<20)
+			if err := tables.Map4K(gpa4, hpa4); err != nil {
+				t.Fatal(err)
+			}
+			if err := tables.Protect(gpa4, false); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tables.TranslateAccess(gpa4, true); !errors.Is(err, ErrPermission) {
+				t.Fatalf("write through protected 4K leaf: err = %v", err)
+			}
+		})
+	}
+}
+
+func TestProtectUnmappedFails(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	if err := tables.Protect(1<<33, false); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("Protect of unmapped gpa: err = %v, want ErrNotMapped", err)
 	}
 }

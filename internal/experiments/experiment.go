@@ -27,6 +27,9 @@ type Config struct {
 	Perf PerfConfig
 	// Security parameterizes the §7.1 experiments (table3, ept).
 	Security SecurityConfig
+	// Migration parameterizes the live pre-copy migration experiment.
+	// A zero value falls back to DefaultMigrationConfig.
+	Migration MigrationConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

@@ -3,8 +3,15 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
 	"repro/internal/geometry"
+	"repro/internal/migrate"
+	"repro/internal/numa"
 	"repro/internal/subarray"
 
 	"repro/internal/addr"
@@ -55,7 +62,105 @@ func FragmentationStudy() ([]FragmentationRow, error) {
 	return out, nil
 }
 
-// fragmentationExp is the "fragmentation" experiment: §8.1 provisioning waste.
+// DefragRecovery is the live counterpart of the waste table: on a full
+// socket a pending VM is refused (ENOMEM from fragmentation, not from lack
+// of bytes elsewhere), and admission recovers once the migration planner
+// rebalances a victim across sockets.
+type DefragRecovery struct {
+	// BeforeAdmitted / AfterAdmitted record the pending VM's admission
+	// outcome before and after rebalancing.
+	BeforeAdmitted bool
+	AfterAdmitted  bool
+	// Moves is how many live migrations the plan needed.
+	Moves int
+	// OrderBefore / OrderAfter are the largest free buddy order across the
+	// home socket's reservable guest nodes at each instant (-1 = none).
+	OrderBefore int
+	OrderAfter  int
+	// Histogram is the home socket's post-rebalance free-block histogram.
+	Histogram string
+}
+
+// socketFreeState reads the largest reservable buddy order and the free
+// block histogram across a socket's unowned guest nodes, straight from the
+// allocators' introspection (no ad-hoc probing).
+func socketFreeState(h *core.Hypervisor, socket int) (int, string, error) {
+	largest := -1
+	var counts [alloc.MaxOrder + 1]uint64
+	for _, n := range h.Topology().NodesOnSocket(socket, numa.GuestReserved) {
+		if _, owned := h.Registry().OwnerOf(n.ID); owned {
+			continue
+		}
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			return 0, "", err
+		}
+		if o := a.LargestFreeOrder(); o > largest {
+			largest = o
+		}
+		hist := a.FreeBytesByOrder()
+		for o, bytes := range hist {
+			counts[o] += bytes / alloc.OrderBytes(o)
+		}
+	}
+	var parts []string
+	for o := alloc.MaxOrder; o >= 0; o-- {
+		if counts[o] > 0 {
+			parts = append(parts, fmt.Sprintf("%d x order-%d", counts[o], o))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "none")
+	}
+	return largest, strings.Join(parts, ", "), nil
+}
+
+// DefragRecoveryStudy boots the two-socket lab box, fills the home socket's
+// guest nodes, and shows the pending reservation flip from refused to
+// admitted after the planner's moves execute.
+func DefragRecoveryStudy(ctx context.Context) (*DefragRecovery, error) {
+	h, err := core.Boot(core.Config{
+		Geometry:      migrationLabGeometry(),
+		Profiles:      []dram.Profile{migrationLabProfile()},
+		EPTProtection: ept.GuardRows,
+	}, core.ModeSiloz)
+	if err != nil {
+		return nil, err
+	}
+	proc := core.Process{CGroup: "kvm", KVMPrivileged: true}
+	for _, name := range []string{"t0", "t1", "t2"} {
+		if _, err := h.CreateVM(proc, core.VMSpec{Name: name, Socket: 0, MemoryBytes: 64 * geometry.MiB}); err != nil {
+			return nil, err
+		}
+	}
+	pending := core.VMSpec{Name: "pending", Socket: 0, MemoryBytes: 64 * geometry.MiB}
+	out := &DefragRecovery{}
+	if out.OrderBefore, _, err = socketFreeState(h, pending.Socket); err != nil {
+		return nil, err
+	}
+	if _, err := h.CreateVM(proc, pending); err == nil {
+		out.BeforeAdmitted = true // scenario broken; surfaces as a failed check
+	}
+	plan, err := migrate.NewPlanner(h).PlanAdmission(pending)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := migrate.NewEngine(h).Execute(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	out.Moves = len(reps)
+	if out.OrderAfter, out.Histogram, err = socketFreeState(h, pending.Socket); err != nil {
+		return nil, err
+	}
+	if _, err := h.CreateVM(proc, pending); err == nil {
+		out.AfterAdmitted = true
+	}
+	return out, nil
+}
+
+// fragmentationExp is the "fragmentation" experiment: §8.1 provisioning
+// waste, plus the live defrag-recovery scenario the migration engine fixes.
 type fragmentationExp struct{}
 
 func (fragmentationExp) Name() string { return "fragmentation" }
@@ -68,21 +173,39 @@ func (fragmentationExp) Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *DefragRecovery
+	if err := cfg.Pool.Run(ctx, func() error {
+		var err error
+		rec, err = DefragRecoveryStudy(ctx)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	r := &Result{
 		Name:    "fragmentation",
 		Title:   "Memory fragmentation under whole-group provisioning (§8.1)",
-		Columns: []string{"group", "waste"},
-		Units:   []string{"GiB", "%"},
+		Columns: []string{"group", "waste", "admitted", "moves", "largest free order"},
+		Units:   []string{"GiB", "%", "", "", ""},
 	}
 	worst := 0.0
 	for _, row := range rows {
-		r.Rows = append(r.Rows, Row{Label: row.Config, Cells: []any{row.GroupGiB, row.WastePct}})
+		r.Rows = append(r.Rows, Row{Label: row.Config, Cells: []any{row.GroupGiB, row.WastePct, "", "", ""}})
 		if row.WastePct > worst {
 			worst = row.WastePct
 		}
 	}
+	r.Rows = append(r.Rows,
+		Row{Label: "defrag recovery: before rebalance", Cells: []any{"", "", rec.BeforeAdmitted, 0, rec.OrderBefore}},
+		Row{Label: "defrag recovery: after rebalance", Cells: []any{"", "", rec.AfterAdmitted, rec.Moves, rec.OrderAfter}},
+	)
 	r.scalar("worst_waste_pct", worst)
-	r.Notes = append(r.Notes, "sub-NUMA clustering halves the group size and the waste")
+	r.scalar("defrag_moves", float64(rec.Moves))
+	r.check("defrag_recovers_admission",
+		!rec.BeforeAdmitted && rec.AfterAdmitted && rec.Moves >= 1,
+		"a VM refused for fragmentation is admitted after planner-driven rebalancing")
+	r.Notes = append(r.Notes,
+		"sub-NUMA clustering halves the group size and the waste",
+		"post-rebalance free blocks on the home socket: "+rec.Histogram)
 	return r, nil
 }
 

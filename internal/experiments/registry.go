@@ -17,6 +17,7 @@ var registry = []Experiment{
 	gbPagesExp{},
 	eccExp{},
 	fragmentationExp{},
+	migrationExp{},
 	ddr5Exp{},
 	dramaExp{},
 	actRatesExp{},

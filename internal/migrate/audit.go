@@ -1,0 +1,67 @@
+package migrate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// AuditIsolation verifies the hard safety invariants of Siloz's domain model
+// at one instant — the Engine runs it between every pre-copy round, so a
+// migration can never pass through a state where they are violated:
+//
+//   - every VM's guest nodes are guest-reserved and exclusively owned by
+//     that VM's control group;
+//   - every RAM page lies inside its VM's domain;
+//   - no guest node appears in two VMs' domains (no cross-tenant InDomain
+//     overlap);
+//   - EPT table pages never live in a guest-reserved node: they stay in
+//     host memory or the guard-protected EPT row-group block (§5.4);
+//   - mediated pages stay host-reserved, outside every guest domain.
+//
+// Under the baseline there are no domains and the audit trivially passes.
+func AuditIsolation(h *core.Hypervisor) error {
+	if h.Mode() != core.ModeSiloz {
+		return nil
+	}
+	reg := h.Registry()
+	topo := h.Topology()
+	nodeOwner := map[int]string{}
+	for _, vm := range h.VMs() {
+		want := "vm:" + vm.Name()
+		nodes := vm.Nodes()
+		if len(nodes) == 0 {
+			return fmt.Errorf("migrate: VM %q owns no guest nodes", vm.Name())
+		}
+		for _, n := range nodes {
+			if n.Kind != numa.GuestReserved {
+				return fmt.Errorf("migrate: VM %q domain includes %s-reserved node %d", vm.Name(), n.Kind, n.ID)
+			}
+			if owner, ok := reg.OwnerOf(n.ID); !ok || owner != want {
+				return fmt.Errorf("migrate: node %d in VM %q's domain but owned by %q", n.ID, vm.Name(), owner)
+			}
+			if prev, dup := nodeOwner[n.ID]; dup {
+				return fmt.Errorf("migrate: node %d in the domains of both %q and %q", n.ID, prev, vm.Name())
+			}
+			nodeOwner[n.ID] = vm.Name()
+		}
+		for _, hpa := range vm.RAMPages() {
+			if !vm.InDomain(hpa) {
+				return fmt.Errorf("migrate: VM %q RAM page %#x outside its domain", vm.Name(), hpa)
+			}
+		}
+		for _, pa := range vm.Tables().Pages() {
+			if n, ok := topo.NodeOf(pa); ok && n.Kind == numa.GuestReserved {
+				return fmt.Errorf("migrate: VM %q EPT page %#x inside guest-reserved node %d", vm.Name(), pa, n.ID)
+			}
+		}
+		for _, pa := range vm.MediatedPages() {
+			n, ok := topo.NodeOf(pa)
+			if !ok || n.Kind != numa.HostReserved {
+				return fmt.Errorf("migrate: VM %q mediated page %#x not host-reserved", vm.Name(), pa)
+			}
+		}
+	}
+	return nil
+}

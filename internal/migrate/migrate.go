@@ -1,0 +1,204 @@
+// Package migrate is the policy layer above the hypervisor's live pre-copy
+// engine (core.MigrateVM): it decides *which* VM moves *where*, and proves
+// the isolation invariant holds while pages are in flight.
+//
+// Siloz trades memory for isolation: a VM occupies whole subarray groups,
+// exclusively (§5.2-5.3). The cost surfaces as fragmentation — a socket can
+// refuse a VM because all its groups are owned, while groups sit free on the
+// other socket (§8.1's internal-fragmentation waste is unfixable by design;
+// *cross-socket imbalance* is not). The Planner reads per-node occupancy
+// from the registry and the buddy allocators and emits a migration Plan that
+// vacates enough of the target socket for a pending reservation; the Engine
+// executes plans move by move, auditing after every pre-copy round that no
+// two tenants' domains ever overlap and that EPT pages never leave their
+// guard-protected block.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// NodeOccupancy is one guest-reserved node's reservation and free-space
+// state — the planner's raw input, also useful for operator dashboards.
+type NodeOccupancy struct {
+	Node             *numa.Node
+	Owner            string // owning cgroup, "" if reservable
+	FreeBytes        uint64
+	TotalBytes       uint64
+	FreePages2M      int // huge pages available (what a guest reservation needs)
+	LargestFreeOrder int // -1 when the node is exhausted
+}
+
+// Move migrates one VM onto the given destination nodes.
+type Move struct {
+	VM        string
+	DestNodes []int
+}
+
+// Plan is an ordered sequence of moves. An empty plan means the goal is
+// already satisfiable without migration.
+type Plan struct {
+	Moves []Move
+}
+
+// Planner derives migration plans from node occupancy.
+type Planner struct {
+	h *core.Hypervisor
+}
+
+// NewPlanner builds a planner over a booted hypervisor.
+func NewPlanner(h *core.Hypervisor) *Planner { return &Planner{h: h} }
+
+// Occupancy reports every guest-reserved node's owner and free-space state,
+// in node-ID order.
+func (p *Planner) Occupancy() ([]NodeOccupancy, error) {
+	var out []NodeOccupancy
+	for _, n := range p.h.Topology().NodesOfKind(numa.GuestReserved) {
+		a, err := p.h.Allocator(n.ID)
+		if err != nil {
+			return nil, err
+		}
+		owner, _ := p.h.Registry().OwnerOf(n.ID)
+		out = append(out, NodeOccupancy{
+			Node:             n,
+			Owner:            owner,
+			FreeBytes:        a.FreeBytes(),
+			TotalBytes:       a.TotalBytes(),
+			FreePages2M:      a.FreePagesAtOrder(alloc.Order2M),
+			LargestFreeOrder: a.LargestFreeOrder(),
+		})
+	}
+	return out, nil
+}
+
+// specGuestBytes is the capacity a spec demands from guest-reserved nodes:
+// RAM plus every unmediated region (mirrors the admission check).
+func specGuestBytes(spec core.VMSpec) uint64 {
+	b := spec.MemoryBytes
+	for _, r := range spec.Regions {
+		if r.Type.Unmediated() {
+			b += r.Bytes
+		}
+	}
+	return b
+}
+
+// hugePageCap is the bytes a node can contribute to a reservation today.
+func hugePageCap(o NodeOccupancy) uint64 {
+	return uint64(o.FreePages2M) * geometry.PageSize2M
+}
+
+// vacatedHugeCap is the node's huge-page capacity once the VM's pages leave
+// it: current free huge pages plus every VM RAM page it hosts. (Freed 4 KiB
+// region pages coalesce too, but are not counted — conservative.)
+func vacatedHugeCap(vm *core.VM, o NodeOccupancy) uint64 {
+	bytes := hugePageCap(o)
+	for _, hpa := range vm.RAMPages() {
+		if o.Node.Contains(hpa) {
+			bytes += geometry.PageSize2M
+		}
+	}
+	return bytes
+}
+
+// PlanAdmission produces the moves that make room for a pending VMSpec on
+// its home socket: pick the cheapest victims wholly resident there and
+// relocate them onto free guest nodes of other sockets. Returns an empty
+// plan if the spec already fits, an error if no rebalancing can make it fit.
+func (p *Planner) PlanAdmission(spec core.VMSpec) (*Plan, error) {
+	h := p.h
+	if h.Mode() != core.ModeSiloz {
+		return nil, fmt.Errorf("migrate: admission planning applies to Siloz exclusive reservations")
+	}
+	need := specGuestBytes(spec)
+	occ, err := p.Occupancy()
+	if err != nil {
+		return nil, err
+	}
+
+	var freeCap uint64                        // reservable home-socket capacity
+	var pool []NodeOccupancy                  // free nodes on other sockets (dest candidates)
+	homeOwned := map[string][]NodeOccupancy{} // owner -> home-socket nodes
+	for _, o := range occ {
+		switch {
+		case o.Owner == "" && o.Node.Socket == spec.Socket:
+			freeCap += hugePageCap(o)
+		case o.Owner == "":
+			pool = append(pool, o)
+		case o.Node.Socket == spec.Socket:
+			homeOwned[o.Owner] = append(homeOwned[o.Owner], o)
+		}
+	}
+	if freeCap >= need {
+		return &Plan{}, nil
+	}
+
+	type victim struct {
+		vm         *core.VM
+		guestBytes uint64
+		homeNodes  []NodeOccupancy
+	}
+	var victims []victim
+	for owner, nodes := range homeOwned {
+		vm, ok := h.VM(strings.TrimPrefix(owner, "vm:"))
+		if !ok {
+			continue // reservation without a live VM; nothing to migrate
+		}
+		// Only whole-socket residents: moving them vacates everything
+		// they own on the home socket.
+		resident := true
+		for _, n := range vm.Nodes() {
+			if n.Socket != spec.Socket {
+				resident = false
+				break
+			}
+		}
+		if !resident {
+			continue
+		}
+		victims = append(victims, victim{vm: vm, guestBytes: specGuestBytes(vm.Spec()), homeNodes: nodes})
+	}
+	// Cheapest (smallest) victims first; name-ordered for determinism.
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].guestBytes != victims[j].guestBytes {
+			return victims[i].guestBytes < victims[j].guestBytes
+		}
+		return victims[i].vm.Name() < victims[j].vm.Name()
+	})
+
+	plan := &Plan{}
+	poolIdx := 0
+	for _, v := range victims {
+		if freeCap >= need {
+			break
+		}
+		var dests []int
+		var destCap uint64
+		for poolIdx < len(pool) && destCap < v.guestBytes {
+			o := pool[poolIdx]
+			poolIdx++
+			dests = append(dests, o.Node.ID)
+			destCap += hugePageCap(o)
+		}
+		if destCap < v.guestBytes {
+			return nil, fmt.Errorf("migrate: rebalancing infeasible: victim %q needs %d bytes but only %d remain on other sockets",
+				v.vm.Name(), v.guestBytes, destCap)
+		}
+		plan.Moves = append(plan.Moves, Move{VM: v.vm.Name(), DestNodes: dests})
+		for _, o := range v.homeNodes {
+			freeCap += vacatedHugeCap(v.vm, o)
+		}
+	}
+	if freeCap < need {
+		return nil, fmt.Errorf("migrate: rebalancing infeasible: %d bytes needed on socket %d, only %d reachable by migration",
+			need, spec.Socket, freeCap)
+	}
+	return plan, nil
+}

@@ -9,6 +9,7 @@ package numa
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/subarray"
 )
@@ -164,11 +165,14 @@ func (t *Topology) PhysicalNodeOf(id int) (int, error) {
 // owned: the registry refuses to place one node in two cgroups.
 type CGroup struct {
 	Name  string
+	reg   *Registry
 	nodes map[int]*Node
 }
 
 // Nodes returns the cgroup's allowed nodes in ID order.
 func (c *CGroup) Nodes() []*Node {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
 	out := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		out = append(out, n)
@@ -179,12 +183,18 @@ func (c *CGroup) Nodes() []*Node {
 
 // Allows reports whether the cgroup may allocate on the node.
 func (c *CGroup) Allows(id int) bool {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
 	_, ok := c.nodes[id]
 	return ok
 }
 
-// Registry tracks control groups and exclusive node ownership.
+// Registry tracks control groups and exclusive node ownership. All methods
+// are safe for concurrent use: VM lifecycle operations race on it, and the
+// exclusive-ownership check is the isolation invariant, so it must be
+// atomic with the commit.
 type Registry struct {
+	mu      sync.Mutex
 	topo    *Topology
 	cgroups map[string]*CGroup
 	owner   map[int]string // guest node ID -> cgroup name
@@ -199,19 +209,16 @@ func NewRegistry(topo *Topology) *Registry {
 // guest-reserved nodes (§5.3). Host- and EPT-reserved nodes may be shared
 // across cgroups; guest-reserved nodes must be unowned.
 func (r *Registry) Create(name string, nodeIDs []int) (*CGroup, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.cgroups[name]; dup {
 		return nil, fmt.Errorf("numa: cgroup %q already exists", name)
 	}
-	cg := &CGroup{Name: name, nodes: make(map[int]*Node)}
+	cg := &CGroup{Name: name, reg: r, nodes: make(map[int]*Node)}
 	for _, id := range nodeIDs {
-		n, err := r.topo.Node(id)
+		n, err := r.claim(name, id)
 		if err != nil {
 			return nil, err
-		}
-		if n.Kind == GuestReserved {
-			if owner, taken := r.owner[id]; taken {
-				return nil, fmt.Errorf("numa: guest node %d already reserved by cgroup %q", id, owner)
-			}
 		}
 		cg.nodes[id] = n
 	}
@@ -225,9 +232,80 @@ func (r *Registry) Create(name string, nodeIDs []int) (*CGroup, error) {
 	return cg, nil
 }
 
+// claim validates that a node may join the named cgroup. Caller holds r.mu.
+func (r *Registry) claim(name string, id int) (*Node, error) {
+	n, err := r.topo.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind == GuestReserved {
+		if owner, taken := r.owner[id]; taken {
+			return nil, fmt.Errorf("numa: guest node %d already reserved by cgroup %q", id, owner)
+		}
+	}
+	return n, nil
+}
+
+// Expand atomically adds nodes to an existing cgroup — the migration
+// engine's node-adoption step: during a live move the VM's mems_allowed
+// covers both the source and destination subarray groups, and exclusive
+// ownership guarantees the widened domain still overlaps no other tenant.
+func (r *Registry) Expand(name string, nodeIDs []int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cg, ok := r.cgroups[name]
+	if !ok {
+		return fmt.Errorf("numa: no cgroup %q", name)
+	}
+	adds := make(map[int]*Node, len(nodeIDs))
+	for _, id := range nodeIDs {
+		if _, dup := cg.nodes[id]; dup {
+			return fmt.Errorf("numa: node %d already in cgroup %q", id, name)
+		}
+		n, err := r.claim(name, id)
+		if err != nil {
+			return err
+		}
+		adds[id] = n
+	}
+	for id, n := range adds {
+		cg.nodes[id] = n
+		if n.Kind == GuestReserved {
+			r.owner[id] = name
+		}
+	}
+	return nil
+}
+
+// Shrink atomically removes nodes from a cgroup, releasing their exclusive
+// ownership — the migration engine's source-release step after the VM's
+// pages have left the old subarray groups.
+func (r *Registry) Shrink(name string, nodeIDs []int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cg, ok := r.cgroups[name]
+	if !ok {
+		return fmt.Errorf("numa: no cgroup %q", name)
+	}
+	for _, id := range nodeIDs {
+		if _, member := cg.nodes[id]; !member {
+			return fmt.Errorf("numa: node %d not in cgroup %q", id, name)
+		}
+	}
+	for _, id := range nodeIDs {
+		if cg.nodes[id].Kind == GuestReserved {
+			delete(r.owner, id)
+		}
+		delete(cg.nodes, id)
+	}
+	return nil
+}
+
 // Destroy removes a cgroup, releasing its guest-reserved nodes (§5.3: the
 // reservation remains valid until a privileged user destroys the cgroup).
 func (r *Registry) Destroy(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	cg, ok := r.cgroups[name]
 	if !ok {
 		return fmt.Errorf("numa: no cgroup %q", name)
@@ -243,12 +321,16 @@ func (r *Registry) Destroy(name string) error {
 
 // Get returns a cgroup by name.
 func (r *Registry) Get(name string) (*CGroup, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	cg, ok := r.cgroups[name]
 	return cg, ok
 }
 
 // OwnerOf returns the cgroup owning a guest-reserved node, if any.
 func (r *Registry) OwnerOf(nodeID int) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	name, ok := r.owner[nodeID]
 	return name, ok
 }

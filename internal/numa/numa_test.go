@@ -210,3 +210,67 @@ func TestNodeDistances(t *testing.T) {
 		t.Error("unknown node accepted")
 	}
 }
+
+func TestRegistryExpandShrink(t *testing.T) {
+	topo := &Topology{}
+	var ids []int
+	for i := 0; i < 4; i++ {
+		n, err := topo.AddNode(&Node{Kind: GuestReserved, Socket: 0,
+			Ranges: []subarray.Range{{Start: uint64(i) << 30, End: uint64(i+1) << 30}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, n.ID)
+	}
+	r := NewRegistry(topo)
+	cg, err := r.Create("vm:a", ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("vm:b", ids[1:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Adoption: vm:a grows onto nodes 2 and 3 during a migration.
+	if err := r.Expand("vm:a", ids[2:4]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cg.Nodes()); got != 3 {
+		t.Fatalf("after Expand cgroup has %d nodes, want 3", got)
+	}
+	if owner, ok := r.OwnerOf(ids[2]); !ok || owner != "vm:a" {
+		t.Fatalf("node %d owner = %q, %v", ids[2], owner, ok)
+	}
+
+	// Exclusivity holds during the widened-domain window.
+	if err := r.Expand("vm:b", ids[2:3]); err == nil {
+		t.Fatal("Expand onto an owned node must fail")
+	}
+	if err := r.Expand("vm:a", ids[1:2]); err == nil {
+		t.Fatal("Expand onto another tenant's node must fail")
+	}
+	// A failed multi-node expand must commit nothing.
+	if err := r.Expand("vm:b", []int{ids[3], ids[1]}); err == nil {
+		t.Fatal("partial Expand must fail")
+	} else if owner, _ := r.OwnerOf(ids[3]); owner != "vm:a" {
+		t.Fatalf("failed Expand leaked ownership of node %d to %q", ids[3], owner)
+	}
+
+	// Source release after the move.
+	if err := r.Shrink("vm:a", ids[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, owned := r.OwnerOf(ids[0]); owned {
+		t.Fatal("Shrink did not release node ownership")
+	}
+	if cg.Allows(ids[0]) {
+		t.Fatal("Shrink left node in cgroup")
+	}
+	if err := r.Shrink("vm:a", ids[:1]); err == nil {
+		t.Fatal("Shrink of a non-member node must fail")
+	}
+	// The released node is reclaimable by another tenant.
+	if err := r.Expand("vm:b", ids[:1]); err != nil {
+		t.Fatalf("released node not reclaimable: %v", err)
+	}
+}
