@@ -28,9 +28,13 @@ race:
 	$(GO) test -race ./...
 
 # Quick suite under the race detector: the scheduler, determinism and
-# cancellation tests that exercise every parallel path.
+# cancellation tests that exercise every parallel path, plus the
+# balloon/registry lifecycle tests that hammer the reservation paths from
+# concurrent VMs.
 race-quick:
 	$(GO) test -race -run 'TestParallelDeterminism|TestRunAll|TestPoolMap|TestCancellation|TestRepSeed|TestRegistry|TestRenderers' ./internal/experiments
+	$(GO) test -race -run 'TestConcurrentBalloonLifecycle' ./internal/core
+	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 
 # Full benchmark sweep: every table/figure plus per-substrate microbenches.
 bench:

@@ -61,16 +61,19 @@ func main() {
 	}
 	sec := experiments.DefaultSecurityConfig()
 	mig := experiments.DefaultMigrationConfig()
+	bal := experiments.DefaultBalloonConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
+		bal = experiments.QuickBalloonConfig()
 	}
-	// The security and migration campaigns keep their own default seeds
-	// unless -seed is given explicitly, so default outputs match earlier
-	// releases.
+	// The security, migration and ballooning campaigns keep their own
+	// default seeds unless -seed is given explicitly, so default outputs
+	// match earlier releases.
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
 			sec.Seed = common.Seed
 			mig.Seed = common.Seed
+			bal.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -103,6 +106,7 @@ func main() {
 		Perf:      perf,
 		Security:  sec,
 		Migration: mig,
+		Balloon:   bal,
 		Pool:      experiments.NewPool(common.Workers()),
 	}
 

@@ -241,6 +241,18 @@ func (a *Allocator) Free(pa uint64, order int) error {
 	return nil
 }
 
+// FreePages returns a batch of same-order pages to the allocator — the
+// balloon deflation path's bulk release. It stops at the first failure,
+// returning an error naming how many pages were freed before it.
+func (a *Allocator) FreePages(order int, pages []uint64) error {
+	for i, pa := range pages {
+		if err := a.Free(pa, order); err != nil {
+			return fmt.Errorf("alloc: freed %d/%d pages: %w", i, len(pages), err)
+		}
+	}
+	return nil
+}
+
 // TotalBytes returns the managed capacity.
 func (a *Allocator) TotalBytes() uint64 { return a.total }
 

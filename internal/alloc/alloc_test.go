@@ -373,3 +373,29 @@ func TestLargestFreeOrderExhausted(t *testing.T) {
 		t.Fatalf("LargestFreeOrder on exhausted allocator = %d, want -1", got)
 	}
 }
+
+// TestFreePages: the balloon's bulk-release path returns a batch of huge
+// pages and restores the exact free capacity.
+func TestFreePages(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 64<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.FreeBytes()
+	pages, perr := a.AllocPages(Order2M, 8)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if err := a.FreePages(Order2M, pages); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FreeBytes(); got != before {
+		t.Errorf("FreeBytes after FreePages = %d, want %d", got, before)
+	}
+	if got := a.UsedBytes(); got != 0 {
+		t.Errorf("UsedBytes after FreePages = %d, want 0", got)
+	}
+	if err := a.FreePages(Order2M, []uint64{12345}); err == nil {
+		t.Error("misaligned batch free accepted")
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+// Memory ballooning: returning part of a running VM's exclusive subarray
+// group reservation to the host (virtio-balloon semantics over Siloz's
+// isolation domains). The guest driver (internal/guest) inflates by pinning
+// guest frames into its balloon and telling the hypervisor which GPA ranges
+// it surrendered; this file implements the host side:
+//
+//   1. Unmap the surrendered 2 MiB EPT leaves. The guest can no longer
+//      reach the ranges — any access would take an EPT violation.
+//   2. Scrub the backing host pages that ever held guest data (the
+//      touched-page ledger makes never-written pages free to release) and
+//      return them to their node's buddy allocator.
+//   3. When a whole subarray-group node drains — the allocator reports
+//      zero used bytes — shrink the VM's control group off the node. The
+//      group returns to the admission pool for the next reservation, and
+//      the shrink is safe precisely because the node is empty: the VM's
+//      domain loses only memory the guest already cannot touch, so the
+//      subarray-isolation invariant (§5.2-5.3) is preserved at every step.
+//
+// Deflation reverses the flow: re-allocate frames from the VM's remaining
+// nodes, adopting fresh unowned nodes through the registry's exclusive
+// Expand when capacity ran out, and remap the EPT leaves. The registry
+// refuses to adopt an owned node, so a deflating VM can never grow into
+// another tenant's domain.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// BalloonReport summarizes one BalloonVM call.
+type BalloonReport struct {
+	VM       string
+	Target   uint64 // balloon size after the call (bytes surrendered)
+	Previous uint64 // balloon size before the call
+
+	InflatedPages int    // 2 MiB pages surrendered by this call
+	DeflatedPages int    // 2 MiB pages restored by this call
+	ScrubbedBytes uint64 // data-bearing bytes zeroed before release
+	ReleasedNodes []int  // guest nodes drained and returned to the pool
+	AdoptedNodes  []int  // guest nodes adopted to satisfy a deflate
+}
+
+// balloonFloor is the smallest resident RAM a balloon may leave behind:
+// the spec's MinMemoryBytes, and never less than one 2 MiB page (a VM with
+// zero resident pages would own no guest nodes, breaking the audit's
+// VM-has-a-domain invariant).
+func balloonFloor(spec VMSpec) uint64 {
+	floor := spec.MinMemoryBytes
+	if floor < geometry.PageSize2M {
+		floor = geometry.PageSize2M
+	}
+	return floor
+}
+
+// BalloonVM sets a VM's balloon to targetBytes — the amount of its RAM
+// surrendered to the host. A larger target inflates (frees pages, possibly
+// whole nodes); a smaller one deflates (restores pages, adopting nodes as
+// needed). The guest must already have quiesced the covered ranges: the
+// guest-side driver (guest.Balloon) pins the frames before calling here.
+// The call is serialized with VM lifecycle and refused while the VM is
+// live-migrating.
+func (h *Hypervisor) BalloonVM(name string, targetBytes uint64) (*BalloonReport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no VM %q", name)
+	}
+	if vm.migrating {
+		return nil, fmt.Errorf("core: VM %q is live-migrating; balloon it after the move completes", name)
+	}
+	if vm.DirtyTracking() {
+		return nil, fmt.Errorf("core: VM %q has dirty logging armed; ballooning would lose protection state", name)
+	}
+	if targetBytes%geometry.PageSize2M != 0 {
+		return nil, fmt.Errorf("core: balloon target %d must be a multiple of 2 MiB", targetBytes)
+	}
+	if max := vm.spec.MemoryBytes - balloonFloor(vm.spec); targetBytes > max {
+		return nil, fmt.Errorf("core: balloon target %d exceeds VM %q's reclaimable %d bytes (floor %d)",
+			targetBytes, name, max, balloonFloor(vm.spec))
+	}
+
+	rep := &BalloonReport{
+		VM:       name,
+		Target:   targetBytes,
+		Previous: uint64(len(vm.ballooned)) * geometry.PageSize2M,
+	}
+	targetPages := int(targetBytes / geometry.PageSize2M)
+	delta := targetPages - len(vm.ballooned)
+	var err error
+	switch {
+	case delta > 0:
+		err = h.balloonInflate(vm, delta, rep)
+	case delta < 0:
+		err = h.balloonDeflate(vm, -delta, rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if delta != 0 {
+		h.logf("balloon VM %q: %d -> %d MiB surrendered (+%d/-%d pages, %d bytes scrubbed, released nodes %v, adopted %v)",
+			name, rep.Previous>>20, rep.Target>>20, rep.InflatedPages, rep.DeflatedPages,
+			rep.ScrubbedBytes, rep.ReleasedNodes, rep.AdoptedNodes)
+	}
+	return rep, nil
+}
+
+// inflateVictims picks the RAM page indexes an inflate of n pages would
+// surrender: the highest-GPA resident pages, matching the guest driver's
+// top-down pinning. Caller holds h.mu.
+func inflateVictims(vm *VM, n int) []int {
+	victims := make([]int, 0, n)
+	for p := len(vm.ram) - 1; p >= 0 && len(victims) < n; p-- {
+		if vm.ram[p] != hpaNone {
+			victims = append(victims, p)
+		}
+	}
+	return victims
+}
+
+// balloonInflate surrenders n resident pages. Caller holds h.mu.
+func (h *Hypervisor) balloonInflate(vm *VM, n int, rep *BalloonReport) error {
+	victims := inflateVictims(vm, n)
+	if len(victims) < n {
+		return fmt.Errorf("core: VM %q has only %d resident pages, inflate wants %d", vm.spec.Name, len(victims), n)
+	}
+	// The guest is paused across the unmap+free so no store can race the
+	// EPT edit (the same stop-the-world window a real balloon's
+	// MADV_DONTNEED takes, just coarser).
+	vm.Pause()
+	defer vm.Resume()
+
+	freed := make(map[int][]uint64) // node ID -> freed HPAs
+	for _, p := range victims {
+		gpa := uint64(p) * geometry.PageSize2M
+		if err := vm.tables.Unmap(gpa); err != nil {
+			return fmt.Errorf("core: unmapping ballooned gpa %#x of VM %q: %w", gpa, vm.spec.Name, err)
+		}
+		hpa := vm.ram[p]
+		vm.dirtyMu.Lock()
+		_, dataBearing := vm.touched[p]
+		delete(vm.touched, p)
+		vm.dirtyMu.Unlock()
+		if dataBearing {
+			if err := h.mem.ScrubPhys(hpa, geometry.PageSize2M); err != nil {
+				return err
+			}
+			rep.ScrubbedBytes += geometry.PageSize2M
+		}
+		node := vm.ramNode[hpa]
+		delete(vm.ramNode, hpa)
+		freed[node] = append(freed[node], hpa)
+		vm.ram[p] = hpaNone
+		if vm.ballooned == nil {
+			vm.ballooned = make(map[int]struct{})
+		}
+		vm.ballooned[p] = struct{}{}
+		rep.InflatedPages++
+	}
+	vm.InvalidateTLB()
+	for node, pages := range freed {
+		a, err := h.Allocator(node)
+		if err != nil {
+			return err
+		}
+		if err := a.FreePages(alloc.Order2M, pages); err != nil {
+			return err
+		}
+	}
+	if h.mode == ModeSiloz {
+		released, err := h.releaseDrainedNodes(vm)
+		if err != nil {
+			return err
+		}
+		rep.ReleasedNodes = released
+	}
+	return nil
+}
+
+// releaseDrainedNodes shrinks the VM's control group off every guest node
+// whose allocator holds no allocations — the partial-release step that
+// returns whole subarray groups to the admission pool. Caller holds h.mu.
+func (h *Hypervisor) releaseDrainedNodes(vm *VM) ([]int, error) {
+	var drained []int
+	for _, node := range vm.nodes {
+		a, err := h.Allocator(node.ID)
+		if err != nil {
+			return nil, err
+		}
+		if a.UsedBytes() == 0 {
+			drained = append(drained, node.ID)
+		}
+	}
+	if len(drained) == 0 {
+		return nil, nil
+	}
+	sort.Ints(drained)
+	if err := h.reg.Shrink(vm.cgroup.Name, drained); err != nil {
+		return nil, err
+	}
+	vm.nodes = vm.cgroup.Nodes()
+	return drained, nil
+}
+
+// balloonDeflate restores n ballooned pages, adopting additional guest
+// nodes when the VM's remaining reservation lacks capacity. Caller holds
+// h.mu.
+func (h *Hypervisor) balloonDeflate(vm *VM, n int, rep *BalloonReport) error {
+	restore := make([]int, 0, len(vm.ballooned))
+	for p := range vm.ballooned {
+		restore = append(restore, p)
+	}
+	sort.Ints(restore)
+	if n > len(restore) {
+		n = len(restore)
+	}
+	restore = restore[:n]
+
+	frames, nodes, adopted, err := h.allocBalloonFrames(vm, n)
+	if err != nil {
+		return err
+	}
+	vm.Pause()
+	defer vm.Resume()
+	for i, p := range restore {
+		gpa := uint64(p) * geometry.PageSize2M
+		if merr := vm.tables.Map2M(gpa, frames[i]); merr != nil {
+			// Unreachable in practice: Unmap retained the intermediate
+			// tables, so the remap allocates nothing. Free what was not
+			// committed and report.
+			for j := i; j < len(frames); j++ {
+				if a, aerr := h.Allocator(nodes[j]); aerr == nil {
+					_ = a.Free(frames[j], alloc.Order2M)
+				}
+			}
+			return fmt.Errorf("core: remapping deflated gpa %#x of VM %q: %w", gpa, vm.spec.Name, merr)
+		}
+		vm.ram[p] = frames[i]
+		vm.ramNode[frames[i]] = nodes[i]
+		delete(vm.ballooned, p)
+		rep.DeflatedPages++
+	}
+	rep.AdoptedNodes = adopted
+	return nil
+}
+
+// allocBalloonFrames obtains n huge pages for a deflate: first from the
+// VM's current nodes, then by adopting unowned guest nodes (home socket
+// first, remote sockets if the spec allows) through the registry's
+// exclusive Expand. On failure every allocation and adoption is rolled
+// back. Caller holds h.mu.
+func (h *Hypervisor) allocBalloonFrames(vm *VM, n int) (frames []uint64, nodes []int, adopted []int, err error) {
+	rollback := func() {
+		for i, hpa := range frames {
+			if a, aerr := h.Allocator(nodes[i]); aerr == nil {
+				_ = a.Free(hpa, alloc.Order2M)
+			}
+		}
+		if len(adopted) > 0 {
+			_ = h.reg.Shrink(vm.cgroup.Name, adopted)
+			vm.nodes = vm.cgroup.Nodes()
+		}
+	}
+	var sources []*numa.Node
+	if h.mode == ModeSiloz {
+		sources = append(sources, vm.nodes...)
+	} else {
+		sources = h.topo.NodesOnSocket(vm.spec.Socket, numa.HostReserved)
+	}
+	si := 0
+	for len(frames) < n {
+		for si < len(sources) {
+			a, aerr := h.Allocator(sources[si].ID)
+			if aerr != nil {
+				rollback()
+				return nil, nil, nil, aerr
+			}
+			hpa, aerr := a.Alloc(alloc.Order2M)
+			if aerr == nil {
+				frames = append(frames, hpa)
+				nodes = append(nodes, sources[si].ID)
+				break
+			}
+			si++ // node exhausted; next source
+		}
+		if len(frames) < n && si >= len(sources) {
+			// Out of owned capacity: adopt one more unowned guest node.
+			if h.mode != ModeSiloz {
+				rollback()
+				return nil, nil, nil, fmt.Errorf("core: deflating VM %q: %w", vm.spec.Name, alloc.ErrNoMemory)
+			}
+			next, ok := h.adoptableNode(vm)
+			if !ok {
+				rollback()
+				return nil, nil, nil, fmt.Errorf("core: deflating VM %q: no unowned guest node has capacity: %w",
+					vm.spec.Name, alloc.ErrNoMemory)
+			}
+			if aerr := h.reg.Expand(vm.cgroup.Name, []int{next.ID}); aerr != nil {
+				rollback()
+				return nil, nil, nil, aerr
+			}
+			adopted = append(adopted, next.ID)
+			vm.nodes = vm.cgroup.Nodes()
+			sources = append(sources, next)
+		}
+	}
+	return frames, nodes, adopted, nil
+}
+
+// adoptableNode finds an unowned guest-reserved node with huge-page
+// capacity, preferring the VM's home socket. Caller holds h.mu.
+func (h *Hypervisor) adoptableNode(vm *VM) (*numa.Node, bool) {
+	candidates := h.topo.NodesOnSocket(vm.spec.Socket, numa.GuestReserved)
+	if vm.spec.AllowRemote {
+		for s := 0; s < h.cfg.Geometry.Sockets; s++ {
+			if s != vm.spec.Socket {
+				candidates = append(candidates, h.topo.NodesOnSocket(s, numa.GuestReserved)...)
+			}
+		}
+	}
+	for _, n := range candidates {
+		if _, owned := h.reg.OwnerOf(n.ID); owned {
+			continue
+		}
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			continue
+		}
+		if a.FreePagesAtOrder(alloc.Order2M) > 0 {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// PreviewBalloon reports, without mutating anything, how many pages an
+// inflate to targetBytes would surrender and which guest nodes it would
+// drain and release — the planner's shrink-in-place feasibility probe.
+func (h *Hypervisor) PreviewBalloon(name string, targetBytes uint64) (pages int, released []int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("core: no VM %q", name)
+	}
+	if targetBytes%geometry.PageSize2M != 0 {
+		return 0, nil, fmt.Errorf("core: balloon target %d must be a multiple of 2 MiB", targetBytes)
+	}
+	if max := vm.spec.MemoryBytes - balloonFloor(vm.spec); targetBytes > max {
+		return 0, nil, fmt.Errorf("core: balloon target %d exceeds VM %q's reclaimable %d bytes", targetBytes, name, max)
+	}
+	delta := int(targetBytes/geometry.PageSize2M) - len(vm.ballooned)
+	if delta <= 0 {
+		return 0, nil, nil
+	}
+	freed := make(map[int]uint64) // node ID -> bytes this inflate would free
+	for _, p := range inflateVictims(vm, delta) {
+		freed[vm.ramNode[vm.ram[p]]] += geometry.PageSize2M
+	}
+	if h.mode == ModeSiloz {
+		for _, node := range vm.nodes {
+			a, aerr := h.Allocator(node.ID)
+			if aerr != nil {
+				return 0, nil, aerr
+			}
+			// The node drains iff everything still allocated on it is
+			// exactly the set of pages this inflate frees.
+			if b := freed[node.ID]; b > 0 && a.UsedBytes() == b {
+				released = append(released, node.ID)
+			}
+		}
+		sort.Ints(released)
+	}
+	return delta, released, nil
+}

@@ -109,10 +109,22 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	opt.normalize()
 	h.mu.Lock()
 	vm, ok := h.vms[name]
+	if ok {
+		if vm.migrating {
+			h.mu.Unlock()
+			return nil, fmt.Errorf("core: VM %q is already migrating", name)
+		}
+		vm.migrating = true
+	}
 	h.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no VM %q", name)
 	}
+	defer func() {
+		h.mu.Lock()
+		vm.migrating = false
+		h.mu.Unlock()
+	}()
 	destIDs, err := h.validateMigrationDests(vm, destNodeIDs)
 	if err != nil {
 		return nil, err
@@ -123,7 +135,15 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	for pa, id := range vm.ramNode {
 		srcRamNode[pa] = id
 	}
+	// Ballooned-out slots hold no frame: they are skipped by every copy,
+	// remap, and free below, and stay unmapped holes at the destination.
 	ramPages := len(srcRAM)
+	resident := 0
+	for _, hpa := range srcRAM {
+		if hpa != hpaNone {
+			resident++
+		}
+	}
 	var srcNodeIDs []int
 	if h.mode == ModeSiloz {
 		for _, n := range vm.nodes {
@@ -183,11 +203,13 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	}
 
 	rep := &MigrateReport{
-		VM: name, SourceNodes: srcNodeIDs, DestNodes: destIDs, PagesTotal: ramPages,
+		VM: name, SourceNodes: srcNodeIDs, DestNodes: destIDs, PagesTotal: resident,
 	}
-	pending := make([]int, ramPages)
-	for i := range pending {
-		pending[i] = i
+	pending := make([]int, 0, resident)
+	for p, hpa := range srcRAM {
+		if hpa != hpaNone {
+			pending = append(pending, p)
+		}
 	}
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
@@ -301,8 +323,14 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	// Commit: remap every leaf to its destination frame. Remapping RAM
 	// leaves writable also disarms the per-leaf write protection.
 	for p := 0; p < ramPages; p++ {
+		if srcRAM[p] == hpaNone {
+			continue // ballooned hole: stays unmapped at the destination
+		}
 		if err := vm.tables.Map2MProt(uint64(p)*geometry.PageSize2M, dstRAM[p], true); err != nil {
 			for q := 0; q < p; q++ { // restore already-moved leaves
+				if srcRAM[q] == hpaNone {
+					continue
+				}
 				_ = vm.tables.Map2MProt(uint64(q)*geometry.PageSize2M, srcRAM[q], true)
 			}
 			vm.Resume()
@@ -332,7 +360,9 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	vm.ram = dstRAM
 	newRamNode := make(map[uint64]int, ramPages)
 	for p, hpa := range dstRAM {
-		newRamNode[hpa] = dstNode[p]
+		if hpa != hpaNone {
+			newRamNode[hpa] = dstNode[p]
+		}
 	}
 	vm.ramNode = newRamNode
 	vm.InvalidateTLB()
@@ -361,6 +391,9 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	// groups have left the VM's control group does the guest resume, so at
 	// no instant can a tenant access memory outside its domain.
 	for p, hpa := range srcRAM {
+		if hpa == hpaNone {
+			continue
+		}
 		if written[p] {
 			_ = h.mem.ScrubPhys(hpa, geometry.PageSize2M)
 		}
@@ -385,7 +418,7 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	}
 	vm.Resume()
 	h.logf("migrated VM %q: nodes %v -> %v, %d rounds, %d/%d pages copied, downtime %d pages",
-		name, srcNodeIDs, destIDs, len(rep.Rounds), rep.PagesCopied, ramPages, rep.DowntimePages)
+		name, srcNodeIDs, destIDs, len(rep.Rounds), rep.PagesCopied, resident, rep.DowntimePages)
 	return rep, nil
 }
 
@@ -434,6 +467,12 @@ func (h *Hypervisor) allocMigrationPages(vm *VM, destIDs []int) (dstRAM []uint64
 	dstNode = make([]int, 0, ramPages)
 	di := 0
 	for p := 0; p < ramPages; p++ {
+		if vm.ram[p] == hpaNone {
+			// Ballooned hole: no destination frame; keep indexes aligned.
+			dstRAM = append(dstRAM, hpaNone)
+			dstNode = append(dstNode, -1)
+			continue
+		}
 		var hpa uint64
 		for {
 			if di >= len(destIDs) {
@@ -488,6 +527,9 @@ func (h *Hypervisor) allocMigrationPages(vm *VM, destIDs []int) (dstRAM []uint64
 // first (they may hold pre-copied tenant data on the abort path).
 func (h *Hypervisor) releaseMigrationPages(dstRAM []uint64, dstNode []int, dstRegions []migRegion, scrub bool) {
 	for p, hpa := range dstRAM {
+		if hpa == hpaNone {
+			continue
+		}
 		if scrub {
 			_ = h.mem.ScrubPhys(hpa, geometry.PageSize2M)
 		}

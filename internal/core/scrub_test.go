@@ -85,3 +85,44 @@ func TestDestroyVMScrubsGuestMemory(t *testing.T) {
 		}
 	}
 }
+
+// TestBalloonDrainScrubsNodePages: the partial-release invariant's scrub
+// half — when inflation drains a whole subarray-group node, every byte of
+// that node is zero before it re-enters the admission pool, even though
+// only the touched-page ledger's entries were explicitly scrubbed.
+func TestBalloonDrainScrubsNodePages(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "bal", Socket: 0, MemoryBytes: 128 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a spread of pages in the half that will be surrendered.
+	secret := []byte("tenant secret that must not survive the balloon")
+	for p := 32; p < 64; p += 5 {
+		if err := vm.WriteGuest(uint64(p)*geometry.PageSize2M+99, secret); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := h.BalloonVM("bal", 64*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ReleasedNodes) != 1 {
+		t.Fatalf("ReleasedNodes = %v, want one drained node", rep.ReleasedNodes)
+	}
+	node, err := h.Topology().Node(rep.ReleasedNodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, geometry.PageSize4K)
+	for _, r := range node.Ranges {
+		for pa := r.Start; pa+geometry.PageSize4K <= r.End; pa += geometry.PageSize4K {
+			if err := h.Memory().ReadPhys(pa, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !allZero(buf) {
+				t.Fatalf("drained node %d leaks data at %#x", node.ID, pa)
+			}
+		}
+	}
+}

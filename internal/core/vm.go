@@ -31,6 +31,13 @@ type VMSpec struct {
 	// MemoryBytes is guest RAM; must be a multiple of 2 MiB (guests are
 	// backed by reserved, pinned 2 MiB huge pages, §5/§7).
 	MemoryBytes uint64
+	// MinMemoryBytes, if non-zero, is the smallest RAM the VM agrees to
+	// run with: the balloon may inflate it down to this floor but no
+	// further. Zero means the VM opts out of ballooning policy (the
+	// planner will never shrink it), though explicit BalloonVM calls may
+	// still take it down to one resident page. Must be a multiple of
+	// 2 MiB and at most MemoryBytes.
+	MinMemoryBytes uint64
 	// VCPUs is the number of virtual CPUs.
 	VCPUs int
 	// MediatedBytes is host-mediated memory, allocated from
@@ -52,17 +59,21 @@ type VM struct {
 	spec VMSpec
 	hv   *Hypervisor
 
-	cgroup   *numa.CGroup
-	nodes    []*numa.Node // guest-reserved nodes backing RAM (Siloz)
-	tables   *ept.Tables
-	ram      []uint64 // HPA of each 2 MiB RAM page, GPA order
-	mediated []uint64 // HPA of each 4 KiB mediated page, GPA order
-	regions  []regionInfo
-	tlbMu    sync.Mutex // guards tlb: reps of one benchmark VM translate concurrently
-	tlb      map[uint64]uint64
-	ramNode  map[uint64]int // 2M HPA -> node ID (accounting)
-	exits    uint64         // VM exits taken for mediated accesses
-	pinned   []int          // exclusively-pinned logical cores
+	cgroup *numa.CGroup
+	nodes  []*numa.Node // guest-reserved nodes backing RAM (Siloz)
+	tables *ept.Tables
+	// ram holds the HPA of each 2 MiB RAM page in GPA order; slots the
+	// balloon surrendered hold hpaNone until a deflate restores them.
+	ram       []uint64
+	ballooned map[int]struct{} // RAM page indexes currently in the balloon
+	migrating bool             // a live migration is in flight (guards balloon ops; under h.mu)
+	mediated  []uint64         // HPA of each 4 KiB mediated page, GPA order
+	regions   []regionInfo
+	tlbMu     sync.Mutex // guards tlb: reps of one benchmark VM translate concurrently
+	tlb       map[uint64]uint64
+	ramNode   map[uint64]int // 2M HPA -> node ID (accounting)
+	exits     uint64         // VM exits taken for mediated accesses
+	pinned    []int          // exclusively-pinned logical cores
 
 	// pauseMu is the vCPU gate: guest accesses hold it shared, Pause takes
 	// it exclusively (the stop-and-copy window of a live migration).
@@ -83,6 +94,10 @@ type VM struct {
 // ErrThrottled is returned when a VM exceeds its per-window mediated access
 // budget: host software refuses to be a hammering deputy (§5.1).
 var ErrThrottled = errors.New("core: mediated access rate limit exceeded")
+
+// hpaNone marks a RAM slot whose backing page the balloon surrendered: the
+// GPA range is unmapped in the EPTs and owns no host frame.
+const hpaNone = ^uint64(0)
 
 // eptAlloc adapts a node allocator to the ept.PageAllocator interface,
 // modelling the GFP_EPT allocation path (§5.4).
@@ -112,6 +127,10 @@ func (h *Hypervisor) CreateVM(proc Process, spec VMSpec) (*VM, error) {
 	}
 	if spec.MediatedBytes%geometry.PageSize4K != 0 {
 		return nil, fmt.Errorf("core: MediatedBytes %d must be 4 KiB aligned", spec.MediatedBytes)
+	}
+	if spec.MinMemoryBytes%geometry.PageSize2M != 0 || spec.MinMemoryBytes > spec.MemoryBytes {
+		return nil, fmt.Errorf("core: MinMemoryBytes %d must be a multiple of 2 MiB and at most MemoryBytes %d",
+			spec.MinMemoryBytes, spec.MemoryBytes)
 	}
 
 	vm := &VM{spec: spec, hv: h, tlb: make(map[uint64]uint64), ramNode: make(map[uint64]int)}
@@ -297,11 +316,15 @@ func (vm *VM) teardown() {
 	h := vm.hv
 	vm.scrubRAM()
 	for _, hpa := range vm.ram {
+		if hpa == hpaNone {
+			continue // ballooned out; the host already owns the frame
+		}
 		if a, err := h.Allocator(vm.ramNode[hpa]); err == nil {
 			_ = a.Free(hpa, alloc.Order2M)
 		}
 	}
 	vm.ram = nil
+	vm.ballooned = nil
 	if len(vm.mediated) > 0 {
 		for _, hpa := range vm.mediated {
 			_ = h.mem.ScrubPhys(hpa, geometry.PageSize4K)
@@ -328,7 +351,7 @@ func (vm *VM) scrubRAM() {
 	}
 	vm.dirtyMu.Unlock()
 	for _, p := range idxs {
-		if p >= 0 && p < len(vm.ram) {
+		if p >= 0 && p < len(vm.ram) && vm.ram[p] != hpaNone {
 			_ = vm.hv.mem.ScrubPhys(vm.ram[p], geometry.PageSize2M)
 		}
 	}
@@ -357,11 +380,24 @@ func (vm *VM) Nodes() []*numa.Node { return vm.nodes }
 // Tables returns the VM's extended page tables.
 func (vm *VM) Tables() *ept.Tables { return vm.tables }
 
-// RAMPages returns the HPAs of the VM's 2 MiB RAM pages in GPA order.
+// RAMPages returns the HPAs of the VM's resident 2 MiB RAM pages in GPA
+// order; ballooned-out slots are omitted.
 func (vm *VM) RAMPages() []uint64 {
-	out := make([]uint64, len(vm.ram))
-	copy(out, vm.ram)
+	out := make([]uint64, 0, len(vm.ram))
+	for _, hpa := range vm.ram {
+		if hpa != hpaNone {
+			out = append(out, hpa)
+		}
+	}
 	return out
+}
+
+// BalloonedBytes returns how much of the VM's RAM the balloon currently
+// holds (surrendered to the host).
+func (vm *VM) BalloonedBytes() uint64 {
+	vm.hv.mu.Lock()
+	defer vm.hv.mu.Unlock()
+	return uint64(len(vm.ballooned)) * geometry.PageSize2M
 }
 
 // MediatedPages returns the HPAs of the VM's mediated 4 KiB pages.
@@ -497,10 +533,15 @@ func (vm *VM) StartDirtyTracking() error {
 	if vm.tracking {
 		return fmt.Errorf("core: VM %q is already dirty-tracking (migration in progress?)", vm.spec.Name)
 	}
-	for p := range vm.ram {
+	for p, hpa := range vm.ram {
+		if hpa == hpaNone {
+			continue // ballooned out; no leaf to protect
+		}
 		if err := vm.tables.Protect(uint64(p)*geometry.PageSize2M, false); err != nil {
 			for q := 0; q < p; q++ {
-				_ = vm.tables.Protect(uint64(q)*geometry.PageSize2M, true)
+				if vm.ram[q] != hpaNone {
+					_ = vm.tables.Protect(uint64(q)*geometry.PageSize2M, true)
+				}
 			}
 			return err
 		}
@@ -545,7 +586,10 @@ func (vm *VM) StopDirtyTracking() error {
 		return nil
 	}
 	if vm.tables != nil {
-		for p := range vm.ram {
+		for p, hpa := range vm.ram {
+			if hpa == hpaNone {
+				continue
+			}
 			if err := vm.tables.Protect(uint64(p)*geometry.PageSize2M, true); err != nil {
 				return err
 			}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/guest"
+	"repro/internal/numa"
+)
+
+// BalloonConfig parameterizes the "ballooning" experiment: how much of an
+// over-provisioned VM's exclusive reservation the balloon driver can return
+// to the admission pool, and at what modeled scrub cost, as a function of
+// the balloon target and of how much of the surrendered memory the guest
+// had actually dirtied.
+type BalloonConfig struct {
+	// Geometry of the simulated server; zero value = the migration lab's
+	// two-socket box (64 MiB subarray groups, 3 guest nodes per socket).
+	Geometry geometry.Geometry
+	// VMBytes is the ballooned VM's RAM; the default fills every guest
+	// node of its home socket so any admission requires reclaim.
+	VMBytes uint64
+	// MinBytes is the VM's declared balloon floor (VMSpec.MinMemoryBytes).
+	MinBytes uint64
+	// Targets are the balloon sizes swept (bytes surrendered).
+	Targets []uint64
+	// TouchedFractions sweep how much of the surrendered range the guest
+	// wrote before inflating — only touched pages need scrubbing.
+	TouchedFractions []float64
+	// ScrubGiBps is the modeled scrub bandwidth. Reclaim latency is
+	// reported as scrubbed bytes divided by this figure — a pure function
+	// of the byte count, never a wall-clock measurement.
+	ScrubGiBps float64
+	// Seed drives which surrendered pages the guest dirties.
+	Seed int64
+}
+
+// DefaultBalloonConfig sweeps one- and two-node balloons across lightly and
+// fully dirtied guests.
+func DefaultBalloonConfig() BalloonConfig {
+	return BalloonConfig{
+		VMBytes:          192 * geometry.MiB,
+		MinBytes:         64 * geometry.MiB,
+		Targets:          []uint64{64 * geometry.MiB, 128 * geometry.MiB},
+		TouchedFractions: []float64{0.25, 1},
+		ScrubGiBps:       12,
+		Seed:             13,
+	}
+}
+
+// QuickBalloonConfig trims the sweep for smoke runs.
+func QuickBalloonConfig() BalloonConfig {
+	cfg := DefaultBalloonConfig()
+	cfg.Targets = []uint64{64 * geometry.MiB}
+	cfg.TouchedFractions = []float64{1}
+	return cfg
+}
+
+// balloonRun is one cell of the sweep.
+type balloonRun struct {
+	target   uint64
+	fraction float64
+}
+
+func (r balloonRun) label() string {
+	return fmt.Sprintf("target=%dMiB touched=%.0f%%", r.target/geometry.MiB, r.fraction*100)
+}
+
+// balloonRowResult is one completed run, index-addressed for the pool.
+type balloonRowResult struct {
+	run           balloonRun
+	nodesReleased int
+	nodeBytes     uint64
+	scrubBytes    uint64  // touched pages in the surrendered range × 2 MiB
+	reclaimMs     float64 // modeled scrub latency
+	admitted      bool    // tenant sized to the reclaimed nodes admitted
+	releasedZero  bool    // every released node reads all-zero
+	dataIntact    bool    // below-balloon guest data survived the cycle
+	deflated      bool    // deflate re-adopted and restored pages are usable
+}
+
+// runBalloon boots a fresh Siloz system, fills a socket with one
+// over-provisioned VM, drives the guest balloon driver end to end —
+// inflate, tenant admission onto the released nodes, deflate — and verifies
+// the reservation-release invariants at each step.
+func runBalloon(cfg BalloonConfig, run balloonRun, seed int64) (*balloonRowResult, error) {
+	g := cfg.Geometry
+	if g.Sockets == 0 {
+		g = migrationLabGeometry()
+	}
+	h, err := core.Boot(core.Config{
+		Geometry:      g,
+		Profiles:      []dram.Profile{migrationLabProfile()},
+		EPTProtection: ept.GuardRows,
+	}, core.ModeSiloz)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := h.CreateVM(core.Process{CGroup: "kvm", KVMPrivileged: true}, core.VMSpec{
+		Name: "bal", Socket: 0, MemoryBytes: cfg.VMBytes, MinMemoryBytes: cfg.MinBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := guest.NewKernel(vm)
+
+	// Deterministic payload below the balloon: must survive the cycle.
+	payload := make([]byte, 4*geometry.KiB)
+	for i := range payload {
+		payload[i] = byte(i*7) | 1
+	}
+	if err := vm.WriteGuest(512, payload); err != nil {
+		return nil, err
+	}
+	// Dirty the configured fraction of the pages about to be surrendered;
+	// only these enter the touched-page ledger and need scrubbing.
+	surrStart := cfg.VMBytes - run.target
+	surrPages := int(run.target / geometry.PageSize2M)
+	touched := int(float64(surrPages)*run.fraction + 0.5)
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range rng.Perm(surrPages)[:touched] {
+		if err := vm.WriteGuest(surrStart+uint64(p)*geometry.PageSize2M, payload); err != nil {
+			return nil, err
+		}
+	}
+
+	before := map[int]bool{}
+	for _, n := range vm.Nodes() {
+		before[n.ID] = true
+	}
+	if err := k.Balloon().SetTarget(run.target); err != nil {
+		return nil, fmt.Errorf("inflate to %d: %w", run.target, err)
+	}
+	after := map[int]bool{}
+	for _, n := range vm.Nodes() {
+		after[n.ID] = true
+	}
+	var released []*numa.Node
+	for id := range before {
+		if !after[id] {
+			n, err := h.Topology().Node(id)
+			if err != nil {
+				return nil, err
+			}
+			released = append(released, n)
+		}
+	}
+
+	res := &balloonRowResult{
+		run:           run,
+		nodesReleased: len(released),
+		scrubBytes:    uint64(touched) * geometry.PageSize2M,
+		dataIntact:    true,
+		releasedZero:  true,
+	}
+	res.reclaimMs = float64(res.scrubBytes) / (cfg.ScrubGiBps * float64(geometry.GiB)) * 1e3
+	if len(released) > 0 {
+		a, err := h.Allocator(released[0].ID)
+		if err != nil {
+			return nil, err
+		}
+		res.nodeBytes = a.TotalBytes()
+	}
+
+	// Every released node must read all-zero before a tenant lands on it.
+	probe := make([]byte, geometry.PageSize4K)
+	for _, n := range released {
+		for _, r := range n.Ranges {
+			for pa := r.Start; pa+geometry.PageSize4K <= r.End; pa += geometry.PageSize2M {
+				if err := h.Memory().ReadPhys(pa, probe); err != nil {
+					return nil, err
+				}
+				for _, b := range probe {
+					if b != 0 {
+						res.releasedZero = false
+					}
+				}
+			}
+		}
+	}
+
+	// The reclaimed capacity admits a tenant the full socket refused.
+	tenant := core.VMSpec{Name: "tenant", Socket: 0, MemoryBytes: uint64(len(released)) * res.nodeBytes}
+	if len(released) > 0 {
+		if _, err := h.CreateVM(core.Process{CGroup: "kvm", KVMPrivileged: true}, tenant); err == nil {
+			res.admitted = true
+			if err := h.DestroyVM("tenant"); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Deflate: re-adopt the capacity, then prove restored memory is zeroed
+	// and writable and the pre-balloon payload survived.
+	if err := k.Balloon().SetTarget(0); err == nil {
+		res.deflated = true
+		if err := vm.ReadGuest(surrStart, probe); err != nil {
+			res.deflated = false
+		}
+		for _, b := range probe {
+			if b != 0 {
+				res.deflated = false
+			}
+		}
+		if err := vm.WriteGuest(surrStart, payload); err != nil {
+			res.deflated = false
+		}
+	}
+	got := make([]byte, len(payload))
+	if err := vm.ReadGuest(512, got); err != nil {
+		return nil, err
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			res.dataIntact = false
+		}
+	}
+	return res, nil
+}
+
+// ballooningExp is the "ballooning" experiment: partial reservation release
+// via the guest balloon driver — nodes reclaimed, scrub cost, and admission
+// of a new tenant onto the released subarray groups.
+type ballooningExp struct{}
+
+func (ballooningExp) Name() string { return "ballooning" }
+
+func (ballooningExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	bc := cfg.Balloon
+	if len(bc.Targets) == 0 || len(bc.TouchedFractions) == 0 {
+		bc = DefaultBalloonConfig()
+	}
+	if bc.ScrubGiBps <= 0 {
+		bc.ScrubGiBps = DefaultBalloonConfig().ScrubGiBps
+	}
+	var runs []balloonRun
+	for _, target := range bc.Targets {
+		for _, f := range bc.TouchedFractions {
+			runs = append(runs, balloonRun{target: target, fraction: f})
+		}
+	}
+	results := make([]*balloonRowResult, len(runs))
+	err := cfg.Pool.Map(ctx, len(runs), func(i int) error {
+		var err error
+		results[i], err = runBalloon(bc, runs[i], repSeed(bc.Seed, i))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		Name:    "ballooning",
+		Title:   "Memory ballooning: partial reservation release and reclaim cost",
+		Columns: []string{"nodes released", "reclaimed", "scrubbed", "modeled reclaim", "tenant admitted", "deflated"},
+		Units:   []string{"", "MiB", "MiB", "ms", "", ""},
+		Metadata: map[string]string{
+			"reclaim_model": fmt.Sprintf("scrubbed bytes / %.0f GiB/s", bc.ScrubGiBps),
+			"vm":            fmt.Sprintf("%d MiB, floor %d MiB", bc.VMBytes/geometry.MiB, bc.MinBytes/geometry.MiB),
+		},
+	}
+	releaseOK, admitOK, zeroOK, intactOK, deflateOK := true, true, true, true, true
+	var totalReleased int
+	var maxReclaim float64
+	for _, res := range results {
+		reclaimed := uint64(res.nodesReleased) * res.nodeBytes
+		r.Rows = append(r.Rows, Row{
+			Label: res.run.label(),
+			Cells: []any{res.nodesReleased, reclaimed / geometry.MiB, res.scrubBytes / geometry.MiB,
+				res.reclaimMs, res.admitted, res.deflated},
+		})
+		// A whole-socket VM's surrendered range is node-aligned, so every
+		// ballooned node must drain completely.
+		if reclaimed != res.run.target {
+			releaseOK = false
+		}
+		admitOK = admitOK && res.admitted
+		zeroOK = zeroOK && res.releasedZero
+		intactOK = intactOK && res.dataIntact
+		deflateOK = deflateOK && res.deflated
+		totalReleased += res.nodesReleased
+		if res.reclaimMs > maxReclaim {
+			maxReclaim = res.reclaimMs
+		}
+	}
+	r.scalar("total_nodes_released", float64(totalReleased))
+	r.scalar("max_reclaim_ms", maxReclaim)
+	r.check("whole_nodes_released", releaseOK,
+		"every surrendered subarray-group node drains and leaves the VM's domain")
+	r.check("released_nodes_zeroed", zeroOK,
+		"released nodes read all-zero before any tenant is admitted onto them")
+	r.check("tenant_admitted", admitOK,
+		"a tenant sized to the reclaimed nodes is admitted on the previously-full socket")
+	r.check("guest_data_intact", intactOK,
+		"guest memory below the balloon survives the inflate/deflate cycle")
+	r.check("deflate_restores", deflateOK,
+		"deflation re-adopts capacity and restored pages are zeroed and writable")
+	r.Notes = append(r.Notes,
+		"scrub cost scales with the touched-page ledger, not the balloon size: untouched pages skip scrubbing",
+		"reclaim latency is modeled from scrubbed bytes at fixed bandwidth, so identical runs emit identical results")
+	return r, nil
+}

@@ -30,6 +30,9 @@ type Config struct {
 	// Migration parameterizes the live pre-copy migration experiment.
 	// A zero value falls back to DefaultMigrationConfig.
 	Migration MigrationConfig
+	// Balloon parameterizes the memory-ballooning experiment. A zero
+	// value falls back to DefaultBalloonConfig.
+	Balloon BalloonConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

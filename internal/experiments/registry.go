@@ -18,6 +18,7 @@ var registry = []Experiment{
 	eccExp{},
 	fragmentationExp{},
 	migrationExp{},
+	ballooningExp{},
 	ddr5Exp{},
 	dramaExp{},
 	actRatesExp{},

@@ -33,6 +33,14 @@ const (
 // ErrNotMapped reports an unmapped guest virtual address.
 var ErrNotMapped = errors.New("guest: gva not mapped")
 
+// ErrNonCanonical reports a GVA whose bits 63:47 do not sign-extend bit 47.
+// A 4-level 48-bit walk ignores the high bits, so accepting such an address
+// would silently alias the canonical mapping — real hardware raises #GP.
+var ErrNonCanonical = errors.New("guest: non-canonical gva")
+
+// ErrOutOfRange reports a GPA beyond the kernel's usable guest memory.
+var ErrOutOfRange = errors.New("guest: gpa out of range")
+
 // Kernel is a minimal guest OS: a physical-frame allocator over guest RAM
 // and per-process page tables living inside that RAM.
 type Kernel struct {
@@ -40,8 +48,12 @@ type Kernel struct {
 	// nextFrame is the guest frame allocator bump pointer (GPA).
 	nextFrame uint64
 	limit     uint64
-	procs     map[int]*Process
-	nextPID   int
+	// freeFrames holds frames returned to the kernel (displaced Map
+	// targets); allocFrame reuses them before advancing the bump pointer.
+	freeFrames []uint64
+	procs      map[int]*Process
+	nextPID    int
+	balloon    *Balloon
 }
 
 // NewKernel boots a guest kernel inside a VM. Frame allocation starts after
@@ -55,17 +67,42 @@ func NewKernel(vm *core.VM) *Kernel {
 	}
 }
 
-// allocFrame hands out one zeroed 4 KiB guest frame.
+// allocFrame hands out one zeroed 4 KiB guest frame, preferring frames on
+// the free list over fresh bump-pointer memory. Free frames above the
+// current limit (inside an inflated balloon) are skipped, not lost: a
+// deflate raises the limit and makes them allocatable again.
 func (k *Kernel) allocFrame() (uint64, error) {
-	if k.nextFrame+geometry.PageSize4K > k.limit {
-		return 0, fmt.Errorf("guest: out of guest frames")
+	gpa, found := uint64(0), false
+	for i := len(k.freeFrames) - 1; i >= 0; i-- {
+		if f := k.freeFrames[i]; f+geometry.PageSize4K <= k.limit {
+			gpa, found = f, true
+			k.freeFrames = append(k.freeFrames[:i], k.freeFrames[i+1:]...)
+			break
+		}
 	}
-	gpa := k.nextFrame
-	k.nextFrame += geometry.PageSize4K
+	if !found {
+		if k.nextFrame+geometry.PageSize4K > k.limit {
+			return 0, fmt.Errorf("guest: out of guest frames")
+		}
+		gpa = k.nextFrame
+		k.nextFrame += geometry.PageSize4K
+	}
 	if err := k.vm.WriteGuest(gpa, make([]byte, geometry.PageSize4K)); err != nil {
 		return 0, err
 	}
 	return gpa, nil
+}
+
+// freeFrame returns a guest frame to the kernel free list.
+func (k *Kernel) freeFrame(gpa uint64) {
+	k.freeFrames = append(k.freeFrames, gpa)
+}
+
+// canonical reports whether bits 63:47 of a GVA sign-extend bit 47 — the
+// x86-64 canonical-form requirement for a 48-bit virtual address space.
+func canonical(gva uint64) bool {
+	top := int64(gva) >> 47
+	return top == 0 || top == -1
 }
 
 // Process is one guest process with its own address space.
@@ -119,9 +156,18 @@ func indexAt(gva uint64, level int) uint64 {
 }
 
 // Map installs a 4 KiB mapping gva → gpa in the process's address space.
+// Remapping an already-present GVA returns the displaced backing frame to
+// the kernel free list. The GVA must be canonical and the GPA inside the
+// kernel's usable guest memory (ballooned-out ranges are outside it).
 func (p *Process) Map(gva, gpa uint64) error {
 	if gva%geometry.PageSize4K != 0 || gpa%geometry.PageSize4K != 0 {
 		return fmt.Errorf("guest: Map needs 4 KiB alignment (gva=%#x gpa=%#x)", gva, gpa)
+	}
+	if !canonical(gva) {
+		return fmt.Errorf("%w: %#x", ErrNonCanonical, gva)
+	}
+	if gpa >= p.k.limit {
+		return fmt.Errorf("%w: gpa %#x, usable guest memory ends at %#x", ErrOutOfRange, gpa, p.k.limit)
 	}
 	table := p.root
 	for level := 0; level < levels-1; level++ {
@@ -144,7 +190,17 @@ func (p *Process) Map(gva, gpa uint64) error {
 		table = v & pteFrame
 	}
 	leafGPA := table + indexAt(gva, levels-1)*8
-	return p.writePTE(leafGPA, (gpa&pteFrame)|ptePresent)
+	old, err := p.readPTE(leafGPA)
+	if err != nil {
+		return err
+	}
+	if err := p.writePTE(leafGPA, (gpa&pteFrame)|ptePresent); err != nil {
+		return err
+	}
+	if oldFrame := old & pteFrame; old&ptePresent != 0 && oldFrame != gpa {
+		p.k.freeFrame(oldFrame)
+	}
+	return nil
 }
 
 // MapAnonymous allocates a fresh guest frame and maps it at gva, returning
@@ -161,6 +217,9 @@ func (p *Process) MapAnonymous(gva uint64) (uint64, error) {
 // walk reads page table entries from guest RAM — flipped PTE bits steer it,
 // exactly like hardware.
 func (p *Process) Translate(gva uint64) (uint64, error) {
+	if !canonical(gva) {
+		return 0, fmt.Errorf("%w: %#x", ErrNonCanonical, gva)
+	}
 	table := p.root
 	for level := 0; level < levels; level++ {
 		entryGPA := table + indexAt(gva, level)*8

@@ -2,6 +2,7 @@ package guest
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/addr"
@@ -260,5 +261,88 @@ func TestKernelFrameExhaustion(t *testing.T) {
 	// Mapping needs 3 intermediate tables + 1 data frame: must fail.
 	if _, err := proc.MapAnonymous(0x5000_0000); err == nil {
 		t.Error("mapping succeeded beyond the frame limit")
+	}
+}
+
+// TestMapReclaimsDisplacedFrame: remapping a present GVA must not leak the
+// old backing frame — it returns to the kernel free list and is the next
+// frame handed out.
+func TestMapReclaimsDisplacedFrame(t *testing.T) {
+	_, _, k := bootGuest(t)
+	proc, err := k.Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := uint64(0x7f00_0000_0000)
+	oldGPA, err := proc.MapAnonymous(gva)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newGPA, err := k.allocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Map(gva, newGPA); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := proc.Translate(gva); got != newGPA {
+		t.Fatalf("Translate = %#x, want %#x", got, newGPA)
+	}
+	if len(k.freeFrames) != 1 || k.freeFrames[0] != oldGPA {
+		t.Fatalf("free list = %#v, want the displaced frame %#x", k.freeFrames, oldGPA)
+	}
+	reused, err := k.allocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != oldGPA {
+		t.Errorf("allocFrame = %#x, want reclaimed %#x", reused, oldGPA)
+	}
+	// Remapping to the same frame must not put it on the free list.
+	if err := proc.Map(gva, newGPA); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.freeFrames) != 0 {
+		t.Errorf("self-remap freed the live frame: %#v", k.freeFrames)
+	}
+}
+
+// TestMapRejectsOutOfRangeGPA: a GPA beyond the kernel's usable memory is
+// refused at map time, not at first translate.
+func TestMapRejectsOutOfRangeGPA(t *testing.T) {
+	_, vm, k := bootGuest(t)
+	proc, err := k.Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = proc.Map(0x7f00_0000_0000, vm.Spec().MemoryBytes)
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Map past the limit = %v, want ErrOutOfRange", err)
+	}
+}
+
+// TestNonCanonicalGVARejected: bits 63:48 are not translation inputs in a
+// 48-bit walk, so two GVAs differing only there would silently alias; the
+// kernel must reject non-canonical addresses like hardware's #GP.
+func TestNonCanonicalGVARejected(t *testing.T) {
+	_, _, k := bootGuest(t)
+	proc, err := k.Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := uint64(0x7f00_0000_0000)
+	if _, err := proc.MapAnonymous(gva); err != nil {
+		t.Fatal(err)
+	}
+	alias := gva | 1<<48 // same low 48 bits, non-canonical
+	if _, terr := proc.Translate(alias); !errors.Is(terr, ErrNonCanonical) {
+		t.Errorf("Translate(non-canonical) = %v, want ErrNonCanonical", terr)
+	}
+	if merr := proc.Map(1<<63, 0); !errors.Is(merr, ErrNonCanonical) {
+		t.Errorf("Map(non-canonical) = %v, want ErrNonCanonical", merr)
+	}
+	// Properly sign-extended kernel-half addresses stay usable.
+	if merr := proc.Map(0xffff_8000_0000_0000, 0); merr != nil {
+		t.Errorf("canonical high-half Map failed: %v", merr)
 	}
 }

@@ -24,12 +24,21 @@ func NewEngine(h *core.Hypervisor) *Engine { return &Engine{h: h} }
 // Hypervisor returns the engine's hypervisor.
 func (e *Engine) Hypervisor() *core.Hypervisor { return e.h }
 
-// Execute runs a plan's moves in order, stopping at the first failure. The
-// isolation audit runs around and within every move; an audit failure aborts
-// the plan even if the move itself succeeded.
+// Execute runs a plan — in-place shrinks first, then moves in order —
+// stopping at the first failure. The isolation audit runs around every
+// shrink and around and within every move; an audit failure aborts the plan
+// even if the step itself succeeded.
 func (e *Engine) Execute(ctx context.Context, plan *Plan) ([]*core.MigrateReport, error) {
 	if err := AuditIsolation(e.h); err != nil {
 		return nil, err
+	}
+	for _, s := range plan.Shrinks {
+		if _, err := e.h.BalloonVM(s.VM, s.Target); err != nil {
+			return nil, err
+		}
+		if err := AuditIsolation(e.h); err != nil {
+			return nil, fmt.Errorf("migrate: isolation audit failed after shrinking %q: %w", s.VM, err)
+		}
 	}
 	var reps []*core.MigrateReport
 	for _, mv := range plan.Moves {

@@ -42,10 +42,21 @@ type Move struct {
 	DestNodes []int
 }
 
-// Plan is an ordered sequence of moves. An empty plan means the goal is
-// already satisfiable without migration.
+// Shrink balloons one VM in place: its balloon is inflated to Target bytes
+// surrendered, draining (and releasing) the subarray-group nodes the
+// surrendered pages occupied. Shrink-in-place beats a pre-copy move when
+// the deficit fits: no pages cross the machine, no stop-and-copy downtime.
+type Shrink struct {
+	VM     string
+	Target uint64 // balloon size to set (bytes surrendered to the host)
+}
+
+// Plan is an ordered rebalancing program: in-place shrinks first (cheap),
+// then migrations (expensive). An empty plan means the goal is already
+// satisfiable without either.
 type Plan struct {
-	Moves []Move
+	Shrinks []Shrink
+	Moves   []Move
 }
 
 // Planner derives migration plans from node occupancy.
@@ -140,6 +151,69 @@ func (p *Planner) PlanAdmission(spec core.VMSpec) (*Plan, error) {
 		return &Plan{}, nil
 	}
 
+	plan := &Plan{}
+
+	// Shrink-in-place first (the balloon path): a home-socket VM that
+	// declared a MinMemoryBytes floor consents to being ballooned down to
+	// it. Every node the balloon fully drains returns to the admission
+	// pool without a single page crossing the machine — strictly cheaper
+	// than a pre-copy move, so these candidates are consumed before any
+	// migration victim is considered.
+	ballooning := map[string]bool{}
+	type shrinkCand struct {
+		vm     *core.VM
+		target uint64
+		gain   uint64 // home-socket huge-page bytes the shrink frees
+	}
+	var shrinks []shrinkCand
+	for owner, nodes := range homeOwned {
+		vm, ok := h.VM(strings.TrimPrefix(owner, "vm:"))
+		if !ok {
+			continue
+		}
+		spec := vm.Spec()
+		if spec.MinMemoryBytes == 0 || spec.MinMemoryBytes >= spec.MemoryBytes {
+			continue // VM did not opt into ballooning policy
+		}
+		target := spec.MemoryBytes - spec.MinMemoryBytes
+		_, released, err := h.PreviewBalloon(vm.Name(), target)
+		if err != nil || len(released) == 0 {
+			continue // shrink frees pages but drains no whole node: useless here
+		}
+		releasedSet := make(map[int]bool, len(released))
+		for _, id := range released {
+			releasedSet[id] = true
+		}
+		var gain uint64
+		for _, o := range nodes {
+			if releasedSet[o.Node.ID] {
+				gain += vacatedHugeCap(vm, o)
+			}
+		}
+		if gain == 0 {
+			continue // only remote nodes drain; the home socket gains nothing
+		}
+		shrinks = append(shrinks, shrinkCand{vm: vm, target: target, gain: gain})
+	}
+	// Biggest home-socket gain first; name-ordered for determinism.
+	sort.Slice(shrinks, func(i, j int) bool {
+		if shrinks[i].gain != shrinks[j].gain {
+			return shrinks[i].gain > shrinks[j].gain
+		}
+		return shrinks[i].vm.Name() < shrinks[j].vm.Name()
+	})
+	for _, c := range shrinks {
+		if freeCap >= need {
+			break
+		}
+		plan.Shrinks = append(plan.Shrinks, Shrink{VM: c.vm.Name(), Target: c.target})
+		ballooning[c.vm.Name()] = true
+		freeCap += c.gain
+	}
+	if freeCap >= need {
+		return plan, nil
+	}
+
 	type victim struct {
 		vm         *core.VM
 		guestBytes uint64
@@ -150,6 +224,9 @@ func (p *Planner) PlanAdmission(spec core.VMSpec) (*Plan, error) {
 		vm, ok := h.VM(strings.TrimPrefix(owner, "vm:"))
 		if !ok {
 			continue // reservation without a live VM; nothing to migrate
+		}
+		if ballooning[vm.Name()] {
+			continue // already being shrunk in place
 		}
 		// Only whole-socket residents: moving them vacates everything
 		// they own on the home socket.
@@ -173,7 +250,6 @@ func (p *Planner) PlanAdmission(spec core.VMSpec) (*Plan, error) {
 		return victims[i].vm.Name() < victims[j].vm.Name()
 	})
 
-	plan := &Plan{}
 	poolIdx := 0
 	for _, v := range victims {
 		if freeCap >= need {

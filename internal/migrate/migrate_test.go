@@ -243,3 +243,91 @@ func TestAuditCleanSystem(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPlanPrefersShrinkOverMigration: a home-socket VM that opted into
+// ballooning (MinMemoryBytes > 0) is shrunk in place instead of any VM
+// being migrated — no pages cross the machine.
+func TestPlanPrefersShrinkOverMigration(t *testing.T) {
+	h := bootSiloz(t)
+	if _, err := h.CreateVM(kvmProc(), core.VMSpec{
+		Name: "bal", Socket: 0, MemoryBytes: 128 * geometry.MiB,
+		MinMemoryBytes: 64 * geometry.MiB,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, h, "other", 0, 64*geometry.MiB)
+
+	plan, err := NewPlanner(h).PlanAdmission(
+		core.VMSpec{Name: "p", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 {
+		t.Errorf("plan migrates %v although a shrink suffices", plan.Moves)
+	}
+	if len(plan.Shrinks) != 1 || plan.Shrinks[0].VM != "bal" || plan.Shrinks[0].Target != 64*geometry.MiB {
+		t.Fatalf("plan.Shrinks = %+v, want bal shrunk by 64 MiB", plan.Shrinks)
+	}
+
+	// The engine executes the shrink and the pending VM is admitted with
+	// zero migration reports.
+	eng := NewEngine(h)
+	vm, reps, err := eng.AdmitWithRebalance(context.Background(), kvmProc(),
+		core.VMSpec{Name: "p", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 0 {
+		t.Errorf("admission migrated %d VMs, want pure shrink-in-place", len(reps))
+	}
+	if vm.Spec().Socket != 0 {
+		t.Error("pending VM not admitted on its home socket")
+	}
+	if err := AuditIsolation(h); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanCombinesShrinkAndMove: when shrinking every consenting VM still
+// leaves a deficit, the planner adds migrations — but never picks a VM it
+// is already ballooning as a migration victim.
+func TestPlanCombinesShrinkAndMove(t *testing.T) {
+	h := bootSiloz(t)
+	if _, err := h.CreateVM(kvmProc(), core.VMSpec{
+		Name: "bal", Socket: 0, MemoryBytes: 128 * geometry.MiB,
+		MinMemoryBytes: 64 * geometry.MiB,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, h, "other", 0, 64*geometry.MiB)
+
+	// Needs 128 MiB: the shrink frees one node (64 MiB), a move of "other"
+	// must supply the rest.
+	plan, err := NewPlanner(h).PlanAdmission(
+		core.VMSpec{Name: "p", Socket: 0, MemoryBytes: 128 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shrinks) != 1 || plan.Shrinks[0].VM != "bal" {
+		t.Fatalf("plan.Shrinks = %+v, want bal", plan.Shrinks)
+	}
+	if len(plan.Moves) != 1 || plan.Moves[0].VM != "other" {
+		t.Fatalf("plan.Moves = %+v, want exactly [other] — a ballooning VM must not also migrate", plan.Moves)
+	}
+	eng := NewEngine(h)
+	eng.Opt = core.MigrateOptions{StopPages: 1, MaxRounds: 10}
+	vm, reps, err := eng.AdmitWithRebalance(context.Background(), kvmProc(),
+		core.VMSpec{Name: "p", Socket: 0, MemoryBytes: 128 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].VM != "other" {
+		t.Fatalf("migrations = %+v, want one move of \"other\"", reps)
+	}
+	if len(vm.Nodes()) != 2 {
+		t.Errorf("admitted VM owns %d nodes, want 2", len(vm.Nodes()))
+	}
+	if err := AuditIsolation(h); err != nil {
+		t.Error(err)
+	}
+}

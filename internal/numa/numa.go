@@ -167,12 +167,18 @@ type CGroup struct {
 	Name  string
 	reg   *Registry
 	nodes map[int]*Node
+	dead  bool // set by Registry.Destroy; the handle must not look live
 }
 
-// Nodes returns the cgroup's allowed nodes in ID order.
+// Nodes returns the cgroup's allowed nodes in ID order. A destroyed cgroup
+// has no nodes: its reservations were released, so a retained handle must
+// not present them as live to the planner.
 func (c *CGroup) Nodes() []*Node {
 	c.reg.mu.Lock()
 	defer c.reg.mu.Unlock()
+	if c.dead {
+		return nil
+	}
 	out := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		out = append(out, n)
@@ -181,12 +187,23 @@ func (c *CGroup) Nodes() []*Node {
 	return out
 }
 
-// Allows reports whether the cgroup may allocate on the node.
+// Allows reports whether the cgroup may allocate on the node. Always false
+// after Destroy.
 func (c *CGroup) Allows(id int) bool {
 	c.reg.mu.Lock()
 	defer c.reg.mu.Unlock()
+	if c.dead {
+		return false
+	}
 	_, ok := c.nodes[id]
 	return ok
+}
+
+// Dead reports whether the cgroup has been destroyed.
+func (c *CGroup) Dead() bool {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
+	return c.dead
 }
 
 // Registry tracks control groups and exclusive node ownership. All methods
@@ -315,6 +332,7 @@ func (r *Registry) Destroy(name string) error {
 			delete(r.owner, id)
 		}
 	}
+	cg.dead = true
 	delete(r.cgroups, name)
 	return nil
 }

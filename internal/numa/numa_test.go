@@ -1,6 +1,9 @@
 package numa
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/subarray"
@@ -272,5 +275,113 @@ func TestRegistryExpandShrink(t *testing.T) {
 	// The released node is reclaimable by another tenant.
 	if err := r.Expand("vm:b", ids[:1]); err != nil {
 		t.Fatalf("released node not reclaimable: %v", err)
+	}
+}
+
+// TestDestroyedCGroupHandleIsDead: a handle retained across Destroy must
+// not keep answering as if the reservation were live — the planner would
+// see freed nodes as owned capacity.
+func TestDestroyedCGroupHandleIsDead(t *testing.T) {
+	topo := testTopology(t)
+	reg := NewRegistry(topo)
+	cg, err := reg.Create("vm:stale", []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Dead() {
+		t.Fatal("fresh cgroup reports dead")
+	}
+	if err := reg.Destroy("vm:stale"); err != nil {
+		t.Fatal(err)
+	}
+	if !cg.Dead() {
+		t.Error("destroyed cgroup does not report dead")
+	}
+	if nodes := cg.Nodes(); len(nodes) != 0 {
+		t.Errorf("destroyed cgroup still lists %d nodes", len(nodes))
+	}
+	if cg.Allows(1) {
+		t.Error("destroyed cgroup still allows allocation on node 1")
+	}
+	// The released nodes are genuinely reusable.
+	if _, err := reg.Create("vm:next", []int{1, 2}); err != nil {
+		t.Errorf("released nodes not reusable: %v", err)
+	}
+}
+
+// TestConcurrentExpandShrinkExclusive is the registry half of the
+// partial-release property: under any concurrent interleaving of
+// Create/Expand/Shrink/Destroy (the balloon's inflate/deflate and the
+// migration engine's adopt/release), no guest node is ever granted to two
+// cgroups at once.
+func TestConcurrentExpandShrinkExclusive(t *testing.T) {
+	topo := testTopology(t)
+	reg := NewRegistry(topo)
+	guestNodes := []int{1, 2, 5}
+
+	// claims is an independent double-grant detector: a successful
+	// Expand/Create claims the node here, a Shrink/Destroy releases it.
+	var claimsMu sync.Mutex
+	claims := map[int]string{}
+	claim := func(name string, id int) {
+		claimsMu.Lock()
+		defer claimsMu.Unlock()
+		if prev, dup := claims[id]; dup {
+			t.Errorf("node %d granted to %q while held by %q", id, name, prev)
+		}
+		claims[id] = name
+	}
+	release := func(id int) {
+		claimsMu.Lock()
+		defer claimsMu.Unlock()
+		delete(claims, id)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("vm:w%d", w)
+			rng := rand.New(rand.NewSource(int64(w) + 42))
+			if _, err := reg.Create(name, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			held := map[int]bool{}
+			for i := 0; i < 200; i++ {
+				id := guestNodes[rng.Intn(len(guestNodes))]
+				if held[id] {
+					// Release the detector claim first: the instant
+					// Shrink commits, another worker may legitimately
+					// claim the node.
+					release(id)
+					if err := reg.Shrink(name, []int{id}); err != nil {
+						t.Errorf("shrink of held node %d: %v", id, err)
+					}
+					delete(held, id)
+				} else if err := reg.Expand(name, []int{id}); err == nil {
+					claim(name, id)
+					held[id] = true
+				}
+			}
+			for id := range held {
+				release(id)
+			}
+			if err := reg.Destroy(name); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// All nodes released: the pool is whole again.
+	for _, id := range guestNodes {
+		if owner, owned := reg.OwnerOf(id); owned {
+			t.Errorf("node %d still owned by %q after all cgroups died", id, owner)
+		}
+	}
+	if _, err := reg.Create("vm:final", guestNodes); err != nil {
+		t.Errorf("full pool not reusable: %v", err)
 	}
 }
