@@ -2,17 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-quick bench bench-quick examples tools check clean
+.PHONY: all build vet fmt-check test test-short race race-quick bench bench-quick examples tools check clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-# Static checks: go vet plus a gofmt cleanliness gate (gofmt -l prints
-# misformatted files; any output fails the target).
+# Static analysis gate.
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness gate (gofmt -l prints misformatted files; any output
+# fails the target).
+fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
@@ -29,11 +32,11 @@ race:
 
 # Quick suite under the race detector: the scheduler, determinism and
 # cancellation tests that exercise every parallel path, plus the
-# balloon/registry lifecycle tests that hammer the reservation paths from
-# concurrent VMs.
+# balloon/resize/registry lifecycle tests that hammer the reservation paths
+# from concurrent VMs.
 race-quick:
 	$(GO) test -race -run 'TestParallelDeterminism|TestRunAll|TestPoolMap|TestCancellation|TestRepSeed|TestRegistry|TestRenderers' ./internal/experiments
-	$(GO) test -race -run 'TestConcurrentBalloonLifecycle' ./internal/core
+	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink' ./internal/core
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 
 # Full benchmark sweep: every table/figure plus per-substrate microbenches.
@@ -61,7 +64,7 @@ tools:
 	$(GO) run ./cmd/siloz-infer -true-size 1024
 	$(GO) run ./cmd/siloz-sim
 
-check: build vet test
+check: build vet fmt-check test
 
 clean:
 	$(GO) clean ./...

@@ -62,18 +62,21 @@ func main() {
 	sec := experiments.DefaultSecurityConfig()
 	mig := experiments.DefaultMigrationConfig()
 	bal := experiments.DefaultBalloonConfig()
+	hot := experiments.DefaultHotplugConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
 		bal = experiments.QuickBalloonConfig()
+		hot = experiments.QuickHotplugConfig()
 	}
-	// The security, migration and ballooning campaigns keep their own
-	// default seeds unless -seed is given explicitly, so default outputs
+	// The security, migration, ballooning and hotplug campaigns keep their
+	// own default seeds unless -seed is given explicitly, so default outputs
 	// match earlier releases.
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
 			sec.Seed = common.Seed
 			mig.Seed = common.Seed
 			bal.Seed = common.Seed
+			hot.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -107,6 +110,7 @@ func main() {
 		Security:  sec,
 		Migration: mig,
 		Balloon:   bal,
+		Hotplug:   hot,
 		Pool:      experiments.NewPool(common.Workers()),
 	}
 

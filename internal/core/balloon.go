@@ -63,18 +63,26 @@ func balloonFloor(spec VMSpec) uint64 {
 // whole nodes); a smaller one deflates (restores pages, adopting nodes as
 // needed). The guest must already have quiesced the covered ranges: the
 // guest-side driver (guest.Balloon) pins the frames before calling here.
-// The call is serialized with VM lifecycle and refused while the VM is
-// live-migrating.
+// The call takes the VM's lifecycle latch, so it is refused (ErrResizeBusy)
+// while the VM is live-migrating, resizing, or hot-plugging memory.
 func (h *Hypervisor) BalloonVM(name string, targetBytes uint64) (*BalloonReport, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	vm, ok := h.vms[name]
 	if !ok {
-		return nil, fmt.Errorf("core: no VM %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
 	}
-	if vm.migrating {
-		return nil, fmt.Errorf("core: VM %q is live-migrating; balloon it after the move completes", name)
+	if err := vm.acquireLifecycle("balloon"); err != nil {
+		return nil, err
 	}
+	defer vm.releaseLifecycle()
+	return h.balloonTo(vm, targetBytes)
+}
+
+// balloonTo is BalloonVM's body, shared with the resize facade. Caller holds
+// h.mu and the VM's lifecycle latch.
+func (h *Hypervisor) balloonTo(vm *VM, targetBytes uint64) (*BalloonReport, error) {
+	name := vm.spec.Name
 	if vm.DirtyTracking() {
 		return nil, fmt.Errorf("core: VM %q has dirty logging armed; ballooning would lose protection state", name)
 	}
@@ -222,7 +230,7 @@ func (h *Hypervisor) balloonDeflate(vm *VM, n int, rep *BalloonReport) error {
 	}
 	restore = restore[:n]
 
-	frames, nodes, adopted, err := h.allocBalloonFrames(vm, n)
+	frames, nodes, adopted, err := h.allocGrowFrames(vm, n)
 	if err != nil {
 		return err
 	}
@@ -250,12 +258,12 @@ func (h *Hypervisor) balloonDeflate(vm *VM, n int, rep *BalloonReport) error {
 	return nil
 }
 
-// allocBalloonFrames obtains n huge pages for a deflate: first from the
-// VM's current nodes, then by adopting unowned guest nodes (home socket
-// first, remote sockets if the spec allows) through the registry's
-// exclusive Expand. On failure every allocation and adoption is rolled
-// back. Caller holds h.mu.
-func (h *Hypervisor) allocBalloonFrames(vm *VM, n int) (frames []uint64, nodes []int, adopted []int, err error) {
+// allocGrowFrames obtains n huge pages for a grow (balloon deflate or
+// memory hotplug): first from the VM's current nodes, then by adopting
+// unowned guest nodes (home socket first, remote sockets if the spec
+// allows) through the registry's exclusive Expand. On failure every
+// allocation and adoption is rolled back. Caller holds h.mu.
+func (h *Hypervisor) allocGrowFrames(vm *VM, n int) (frames []uint64, nodes []int, adopted []int, err error) {
 	rollback := func() {
 		for i, hpa := range frames {
 			if a, aerr := h.Allocator(nodes[i]); aerr == nil {
@@ -293,13 +301,13 @@ func (h *Hypervisor) allocBalloonFrames(vm *VM, n int) (frames []uint64, nodes [
 			// Out of owned capacity: adopt one more unowned guest node.
 			if h.mode != ModeSiloz {
 				rollback()
-				return nil, nil, nil, fmt.Errorf("core: deflating VM %q: %w", vm.spec.Name, alloc.ErrNoMemory)
+				return nil, nil, nil, fmt.Errorf("%w: growing VM %q: %w", ErrCapacityExhausted, vm.spec.Name, alloc.ErrNoMemory)
 			}
 			next, ok := h.adoptableNode(vm)
 			if !ok {
 				rollback()
-				return nil, nil, nil, fmt.Errorf("core: deflating VM %q: no unowned guest node has capacity: %w",
-					vm.spec.Name, alloc.ErrNoMemory)
+				return nil, nil, nil, fmt.Errorf("%w: growing VM %q: no unowned guest node has capacity: %w",
+					ErrCapacityExhausted, vm.spec.Name, alloc.ErrNoMemory)
 			}
 			if aerr := h.reg.Expand(vm.cgroup.Name, []int{next.ID}); aerr != nil {
 				rollback()
@@ -313,9 +321,11 @@ func (h *Hypervisor) allocBalloonFrames(vm *VM, n int) (frames []uint64, nodes [
 	return frames, nodes, adopted, nil
 }
 
-// adoptableNode finds an unowned guest-reserved node with huge-page
-// capacity, preferring the VM's home socket. Caller holds h.mu.
-func (h *Hypervisor) adoptableNode(vm *VM) (*numa.Node, bool) {
+// adoptCandidates lists the guest-reserved nodes a growing VM may adopt,
+// in adoption-preference order: home socket first, then remote sockets if
+// the spec allows. Shared by the grow path and the resize preview so the
+// preview predicts exactly what the grow would do. Caller holds h.mu.
+func (h *Hypervisor) adoptCandidates(vm *VM) []*numa.Node {
 	candidates := h.topo.NodesOnSocket(vm.spec.Socket, numa.GuestReserved)
 	if vm.spec.AllowRemote {
 		for s := 0; s < h.cfg.Geometry.Sockets; s++ {
@@ -324,7 +334,13 @@ func (h *Hypervisor) adoptableNode(vm *VM) (*numa.Node, bool) {
 			}
 		}
 	}
-	for _, n := range candidates {
+	return candidates
+}
+
+// adoptableNode finds an unowned guest-reserved node with huge-page
+// capacity, preferring the VM's home socket. Caller holds h.mu.
+func (h *Hypervisor) adoptableNode(vm *VM) (*numa.Node, bool) {
+	for _, n := range h.adoptCandidates(vm) {
 		if _, owned := h.reg.OwnerOf(n.ID); owned {
 			continue
 		}
@@ -340,42 +356,30 @@ func (h *Hypervisor) adoptableNode(vm *VM) (*numa.Node, bool) {
 }
 
 // PreviewBalloon reports, without mutating anything, how many pages an
-// inflate to targetBytes would surrender and which guest nodes it would
-// drain and release — the planner's shrink-in-place feasibility probe.
+// inflate to targetBytes (balloon size, bytes surrendered) would surrender
+// and which guest nodes it would drain and release.
+//
+// Deprecated: use PreviewResize, the single preview entry point for grows
+// and shrinks alike; this shim translates balloon-size targets into resize
+// targets and will be removed in a future release.
 func (h *Hypervisor) PreviewBalloon(name string, targetBytes uint64) (pages int, released []int, err error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	vm, ok := h.vms[name]
 	if !ok {
-		return 0, nil, fmt.Errorf("core: no VM %q", name)
+		h.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
 	}
-	if targetBytes%geometry.PageSize2M != 0 {
-		return 0, nil, fmt.Errorf("core: balloon target %d must be a multiple of 2 MiB", targetBytes)
+	mem := vm.spec.MemoryBytes
+	h.mu.Unlock()
+	if targetBytes > mem {
+		return 0, nil, fmt.Errorf("core: balloon target %d exceeds VM %q's RAM %d", targetBytes, name, mem)
 	}
-	if max := vm.spec.MemoryBytes - balloonFloor(vm.spec); targetBytes > max {
-		return 0, nil, fmt.Errorf("core: balloon target %d exceeds VM %q's reclaimable %d bytes", targetBytes, name, max)
+	plan, err := h.PreviewResize(name, mem-targetBytes)
+	if err != nil {
+		return 0, nil, err
 	}
-	delta := int(targetBytes/geometry.PageSize2M) - len(vm.ballooned)
-	if delta <= 0 {
-		return 0, nil, nil
+	if plan.Action != ResizeInflate {
+		return 0, nil, nil // deflate or no-op: the balloon shim reports inflates only
 	}
-	freed := make(map[int]uint64) // node ID -> bytes this inflate would free
-	for _, p := range inflateVictims(vm, delta) {
-		freed[vm.ramNode[vm.ram[p]]] += geometry.PageSize2M
-	}
-	if h.mode == ModeSiloz {
-		for _, node := range vm.nodes {
-			a, aerr := h.Allocator(node.ID)
-			if aerr != nil {
-				return 0, nil, aerr
-			}
-			// The node drains iff everything still allocated on it is
-			// exactly the set of pages this inflate frees.
-			if b := freed[node.ID]; b > 0 && a.UsedBytes() == b {
-				released = append(released, node.ID)
-			}
-		}
-		sort.Ints(released)
-	}
-	return delta, released, nil
+	return plan.Pages, plan.ReleasedNodes, nil
 }

@@ -185,8 +185,8 @@ func TestBalloonValidation(t *testing.T) {
 		MinMemoryBytes: 64 * geometry.MiB}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.BalloonVM("nope", geometry.PageSize2M); err == nil {
-		t.Error("ballooning an unknown VM succeeded")
+	if _, err := h.BalloonVM("nope", geometry.PageSize2M); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("ballooning an unknown VM: err = %v, want ErrVMNotFound", err)
 	}
 	if _, err := h.BalloonVM("v", geometry.PageSize2M+1); err == nil {
 		t.Error("unaligned balloon target accepted")
@@ -238,8 +238,8 @@ func TestBalloonRefusedDuringMigration(t *testing.T) {
 	if _, err := h.MigrateVM(context.Background(), "m", destIDs[:1], opt); err != nil {
 		t.Fatal(err)
 	}
-	if balloonErr == nil {
-		t.Error("balloon during live migration was not refused")
+	if !errors.Is(balloonErr, ErrResizeBusy) {
+		t.Errorf("balloon during live migration: err = %v, want ErrResizeBusy", balloonErr)
 	}
 }
 

@@ -1,0 +1,141 @@
+package core
+
+// Guest-visible memory hotplug: growing a running VM beyond its boot-time
+// exclusive reservation. Siloz ties every VM to whole subarray groups fixed
+// at CreateVM, so without hotplug a tenant whose working set outgrows its
+// reservation must be killed and re-admitted. HotplugVM removes that
+// rigidity while preserving the isolation invariant at every step:
+//
+//   1. Obtain 2 MiB frames for the new range — from free capacity in the
+//      VM's current nodes first, then by adopting unowned guest-reserved
+//      nodes (home socket first, remote if the spec allows) through the
+//      registry's exclusive Expand. The registry refuses owned nodes, so a
+//      growing VM can never reach into another tenant's domain.
+//   2. Scrub every frame before the guest can see it: a recycled page must
+//      never leak a previous tenant's bytes, and the hot-added range must
+//      read all-zero like real hot-added DIMM memory.
+//   3. Pause the guest and extend the EPTs with new 2 MiB leaves at the top
+//      of guest RAM, then grow the VM's recorded size. The pause gate means
+//      no guest access can observe a half-built range.
+//
+// On any partial failure the adoption, allocations, and mappings are rolled
+// back completely: the VM keeps exactly its previous size and node set.
+//
+// The guest half lives in internal/guest: Kernel.HotplugBank invokes this
+// path and then raises the kernel's usable-memory limit so the new frame
+// range becomes allocatable and mappable (guest.Process.Map).
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+)
+
+// HotplugReport summarizes one HotplugVM call.
+type HotplugReport struct {
+	VM         string
+	AddedBytes uint64 // bytes hot-added by this call
+	AddedPages int    // 2 MiB pages hot-added
+	BaseGPA    uint64 // guest physical base of the hot-added range
+
+	NewMemoryBytes uint64 // VM RAM after the call (spec.MemoryBytes)
+	AdoptedNodes   []int  // guest nodes adopted to back the growth
+	ScrubbedBytes  uint64 // bytes zeroed before the guest could see them
+}
+
+// HotplugVM grows a running VM's RAM by addBytes beyond its current size,
+// adopting additional subarray-group nodes as needed. The new range appears
+// at the top of guest RAM, zero-filled. The call takes the VM's lifecycle
+// latch (ErrResizeBusy while ballooning, resizing, or migrating) and is
+// refused while the balloon is inflated — deflate first, so the balloon
+// driver's the-balloon-is-the-top-of-RAM model stays intact.
+func (h *Hypervisor) HotplugVM(name string, addBytes uint64) (*HotplugReport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	if err := vm.acquireLifecycle("memory hotplug"); err != nil {
+		return nil, err
+	}
+	defer vm.releaseLifecycle()
+	return h.hotplugGrow(vm, addBytes)
+}
+
+// hotplugGrow is HotplugVM's body, shared with the resize facade. Caller
+// holds h.mu and the VM's lifecycle latch.
+func (h *Hypervisor) hotplugGrow(vm *VM, addBytes uint64) (*HotplugReport, error) {
+	name := vm.spec.Name
+	if addBytes == 0 || addBytes%geometry.PageSize2M != 0 {
+		return nil, fmt.Errorf("core: hotplug size %d must be a positive multiple of 2 MiB", addBytes)
+	}
+	if len(vm.ballooned) > 0 {
+		return nil, fmt.Errorf("core: VM %q has %d pages ballooned out; deflate before hot-plugging",
+			name, len(vm.ballooned))
+	}
+	if vm.DirtyTracking() {
+		return nil, fmt.Errorf("core: VM %q has dirty logging armed; hotplug would lose protection state", name)
+	}
+	if vm.spec.MemoryBytes+addBytes > ROMBase {
+		return nil, fmt.Errorf("core: hotplug would grow VM %q past the RAM window end %#x", name, ROMBase)
+	}
+
+	n := int(addBytes / geometry.PageSize2M)
+	frames, nodes, adopted, err := h.allocGrowFrames(vm, n)
+	if err != nil {
+		return nil, err
+	}
+	rollback := func() {
+		for i, hpa := range frames {
+			if a, aerr := h.Allocator(nodes[i]); aerr == nil {
+				_ = a.Free(hpa, alloc.Order2M)
+			}
+		}
+		if len(adopted) > 0 {
+			_ = h.reg.Shrink(vm.cgroup.Name, adopted)
+			vm.nodes = vm.cgroup.Nodes()
+		}
+	}
+
+	rep := &HotplugReport{
+		VM: name, AddedBytes: addBytes, AddedPages: n,
+		BaseGPA: vm.spec.MemoryBytes, AdoptedNodes: adopted,
+	}
+	// Scrub before mapping: the guest must only ever observe zeros in the
+	// hot-added range, whatever the frames held before.
+	for _, hpa := range frames {
+		if err := h.mem.ScrubPhys(hpa, geometry.PageSize2M); err != nil {
+			rollback()
+			return nil, err
+		}
+		rep.ScrubbedBytes += geometry.PageSize2M
+	}
+
+	// The guest is paused across the EPT extension so no access can race
+	// the edit (the same stop-the-world window the balloon takes).
+	vm.Pause()
+	defer vm.Resume()
+	for i := 0; i < n; i++ {
+		gpa := rep.BaseGPA + uint64(i)*geometry.PageSize2M
+		if merr := vm.tables.Map2M(gpa, frames[i]); merr != nil {
+			for j := 0; j < i; j++ {
+				_ = vm.tables.Unmap(rep.BaseGPA + uint64(j)*geometry.PageSize2M)
+			}
+			rollback()
+			return nil, fmt.Errorf("core: mapping hot-added gpa %#x of VM %q: %w", gpa, name, merr)
+		}
+	}
+	// Commit: the range is fully mapped; grow the VM's recorded size.
+	for i := 0; i < n; i++ {
+		vm.ram = append(vm.ram, frames[i])
+		vm.ramNode[frames[i]] = nodes[i]
+	}
+	vm.spec.MemoryBytes += addBytes
+	rep.NewMemoryBytes = vm.spec.MemoryBytes
+	vm.InvalidateTLB()
+	h.logf("hotplug VM %q: +%d MiB at gpa %#x (%d pages, adopted nodes %v, %d bytes scrubbed), now %d MiB",
+		name, addBytes>>20, rep.BaseGPA, n, adopted, rep.ScrubbedBytes, vm.spec.MemoryBytes>>20)
+	return rep, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/addr"
@@ -292,8 +293,8 @@ func TestVMExhaustionAndMultiNode(t *testing.T) {
 		t.Fatalf("VM owns %d nodes, want 2", len(vm.Nodes()))
 	}
 	// 128 MiB more does not fit in the remaining 64 MiB node.
-	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "big2", Socket: 0, MemoryBytes: 128 * geometry.MiB}); err == nil {
-		t.Fatal("over-provisioning accepted")
+	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "big2", Socket: 0, MemoryBytes: 128 * geometry.MiB}); !errors.Is(err, ErrCapacityExhausted) {
+		t.Fatalf("over-provisioning: err = %v, want ErrCapacityExhausted", err)
 	}
 	// But the other socket is free.
 	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "big3", Socket: 1, MemoryBytes: 128 * geometry.MiB}); err != nil {
@@ -328,8 +329,8 @@ func TestDestroyVMReleasesResources(t *testing.T) {
 	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "x", Socket: 0, MemoryBytes: 64 * geometry.MiB}); err != nil {
 		t.Fatalf("node not reusable: %v", err)
 	}
-	if err := h.DestroyVM("nope"); err == nil {
-		t.Error("destroying unknown VM should fail")
+	if err := h.DestroyVM("nope"); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("destroying unknown VM: err = %v, want ErrVMNotFound", err)
 	}
 }
 

@@ -109,20 +109,18 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	opt.normalize()
 	h.mu.Lock()
 	vm, ok := h.vms[name]
-	if ok {
-		if vm.migrating {
-			h.mu.Unlock()
-			return nil, fmt.Errorf("core: VM %q is already migrating", name)
-		}
-		vm.migrating = true
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	if err := vm.acquireLifecycle("live migration"); err != nil {
+		h.mu.Unlock()
+		return nil, err
 	}
 	h.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("core: no VM %q", name)
-	}
 	defer func() {
 		h.mu.Lock()
-		vm.migrating = false
+		vm.releaseLifecycle()
 		h.mu.Unlock()
 	}()
 	destIDs, err := h.validateMigrationDests(vm, destNodeIDs)

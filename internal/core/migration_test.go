@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/geometry"
@@ -311,8 +312,8 @@ func TestMigrateVMDestValidation(t *testing.T) {
 	if _, err := h.MigrateVM(ctx, "v", nil, MigrateOptions{}); err == nil {
 		t.Error("empty destination list accepted")
 	}
-	if _, err := h.MigrateVM(ctx, "ghost", []int{2}, MigrateOptions{}); err == nil {
-		t.Error("migrating unknown VM accepted")
+	if _, err := h.MigrateVM(ctx, "ghost", []int{2}, MigrateOptions{}); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("migrating unknown VM: err = %v, want ErrVMNotFound", err)
 	}
 	_ = other
 }

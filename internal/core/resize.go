@@ -1,0 +1,293 @@
+package core
+
+// The resize facade: one entry point for every change to a running VM's
+// memory footprint. Callers say what size they want — core.ResizeVM(name,
+// targetBytes) — and the facade dispatches to the cheapest mechanism that
+// reaches it:
+//
+//   - shrink            → balloon inflate (surrender pages, maybe whole
+//                         nodes, to the admission pool);
+//   - grow within the   → balloon deflate (restore surrendered pages,
+//     ballooned holes     re-adopting nodes if the old ones were taken);
+//   - grow beyond the   → memory hotplug (extend guest RAM with new 2 MiB
+//     boot reservation    regions on freshly adopted subarray-group nodes).
+//
+// PreviewResize answers the same dispatch question without mutating
+// anything — which action, how many pages, which nodes would drain or be
+// adopted — replacing the scattered per-mechanism previews (PreviewBalloon
+// survives as a deprecated shim). All paths run under the per-VM lifecycle
+// latch, so a resize can never interleave with a balloon call, another
+// resize, or a live migration of the same VM.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// ResizeAction identifies the mechanism a resize dispatches to.
+type ResizeAction int
+
+const (
+	// ResizeNone: the VM already has the target size.
+	ResizeNone ResizeAction = iota
+	// ResizeInflate shrinks by inflating the balloon.
+	ResizeInflate
+	// ResizeDeflate grows within the ballooned holes by deflating.
+	ResizeDeflate
+	// ResizeHotplug grows beyond the boot-time reservation by hot-adding
+	// memory (deflating any balloon remnant first).
+	ResizeHotplug
+)
+
+func (a ResizeAction) String() string {
+	switch a {
+	case ResizeNone:
+		return "none"
+	case ResizeInflate:
+		return "balloon-inflate"
+	case ResizeDeflate:
+		return "balloon-deflate"
+	case ResizeHotplug:
+		return "hotplug"
+	}
+	return "invalid"
+}
+
+// ResizePlan is PreviewResize's answer: what a resize to Target would do,
+// computed without mutating anything.
+type ResizePlan struct {
+	VM      string
+	Current uint64 // usable guest RAM now (spec size minus balloon)
+	Target  uint64
+	Action  ResizeAction
+
+	Pages         int    // 2 MiB pages the action moves (surrendered or restored+added)
+	BalloonTarget uint64 // balloon size after the action (inflate/deflate legs)
+	HotplugBytes  uint64 // bytes hot-added beyond the reservation (hotplug only)
+	ReleasedNodes []int  // guest nodes a shrink would drain and release
+	AdoptedNodes  []int  // unowned guest nodes a grow would adopt (in adoption order)
+}
+
+// ResizeReport summarizes one ResizeVM call; the per-mechanism reports of
+// the legs that ran are attached.
+type ResizeReport struct {
+	VM       string
+	Previous uint64 // usable guest RAM before the call
+	Target   uint64
+	Action   ResizeAction
+
+	Balloon *BalloonReport // set when a balloon leg ran
+	Hotplug *HotplugReport // set when the hotplug leg ran
+}
+
+// usableBytes is the guest RAM the VM can touch: recorded size minus the
+// ballooned-out pages. Caller holds h.mu.
+func (vm *VM) usableBytes() uint64 {
+	return vm.spec.MemoryBytes - uint64(len(vm.ballooned))*geometry.PageSize2M
+}
+
+// ResizeVM resizes a running VM's usable memory to targetBytes, dispatching
+// to balloon inflate (shrink), balloon deflate (grow within the ballooned
+// holes), or memory hotplug (grow beyond the boot-time reservation; any
+// balloon remnant is deflated first). The call holds the VM's lifecycle
+// latch end to end — concurrent resize, balloon, or migration of the same
+// VM fails with ErrResizeBusy — and rolls back to the previous state on
+// partial failure.
+func (h *Hypervisor) ResizeVM(name string, targetBytes uint64) (*ResizeReport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	if err := vm.acquireLifecycle("resize"); err != nil {
+		return nil, err
+	}
+	defer vm.releaseLifecycle()
+	if targetBytes == 0 || targetBytes%geometry.PageSize2M != 0 {
+		return nil, fmt.Errorf("core: resize target %d must be a positive multiple of 2 MiB", targetBytes)
+	}
+
+	rep := &ResizeReport{VM: name, Previous: vm.usableBytes(), Target: targetBytes}
+	switch {
+	case targetBytes == rep.Previous:
+		rep.Action = ResizeNone
+		return rep, nil
+
+	case targetBytes < rep.Previous:
+		if floor := balloonFloor(vm.spec); targetBytes < floor {
+			return nil, fmt.Errorf("core: resize target %d below VM %q's floor %d", targetBytes, name, floor)
+		}
+		rep.Action = ResizeInflate
+		br, err := h.balloonTo(vm, vm.spec.MemoryBytes-targetBytes)
+		if err != nil {
+			return nil, err
+		}
+		rep.Balloon = br
+		return rep, nil
+
+	case targetBytes <= vm.spec.MemoryBytes:
+		rep.Action = ResizeDeflate
+		br, err := h.balloonTo(vm, vm.spec.MemoryBytes-targetBytes)
+		if err != nil {
+			return nil, err
+		}
+		rep.Balloon = br
+		return rep, nil
+
+	default:
+		rep.Action = ResizeHotplug
+		// Deflate any balloon remnant first: hotplug extends the top of
+		// RAM, and the balloon's model is that it *is* the top of RAM.
+		prevBalloon := uint64(len(vm.ballooned)) * geometry.PageSize2M
+		if prevBalloon > 0 {
+			br, err := h.balloonTo(vm, 0)
+			if err != nil {
+				return nil, err
+			}
+			rep.Balloon = br
+		}
+		hr, err := h.hotplugGrow(vm, targetBytes-vm.spec.MemoryBytes)
+		if err != nil {
+			if prevBalloon > 0 {
+				// Roll the deflate leg back so the caller sees the
+				// pre-resize state; the re-inflate frees pages we just
+				// allocated, so it cannot fail for capacity.
+				if _, rerr := h.balloonTo(vm, prevBalloon); rerr != nil {
+					return nil, fmt.Errorf("core: hotplug failed (%w) and balloon restore failed too: %v", err, rerr)
+				}
+			}
+			return nil, err
+		}
+		rep.Hotplug = hr
+		return rep, nil
+	}
+}
+
+// PreviewResize reports, without mutating anything, what ResizeVM(name,
+// targetBytes) would do: the dispatched action, the pages it moves, the
+// nodes a shrink would drain and release, and the unowned nodes a grow
+// would adopt. It is the planner's feasibility probe for both
+// shrink-in-place and grow-in-place.
+func (h *Hypervisor) PreviewResize(name string, targetBytes uint64) (*ResizePlan, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vm, ok := h.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	if targetBytes == 0 || targetBytes%geometry.PageSize2M != 0 {
+		return nil, fmt.Errorf("core: resize target %d must be a positive multiple of 2 MiB", targetBytes)
+	}
+	plan := &ResizePlan{VM: name, Current: vm.usableBytes(), Target: targetBytes}
+	switch {
+	case targetBytes == plan.Current:
+		plan.Action = ResizeNone
+		return plan, nil
+
+	case targetBytes < plan.Current:
+		if floor := balloonFloor(vm.spec); targetBytes < floor {
+			return nil, fmt.Errorf("core: resize target %d below VM %q's floor %d", targetBytes, name, floor)
+		}
+		plan.Action = ResizeInflate
+		plan.BalloonTarget = vm.spec.MemoryBytes - targetBytes
+		plan.Pages = int(plan.BalloonTarget/geometry.PageSize2M) - len(vm.ballooned)
+		released, err := h.previewDrain(vm, plan.Pages)
+		if err != nil {
+			return nil, err
+		}
+		plan.ReleasedNodes = released
+		return plan, nil
+
+	case targetBytes <= vm.spec.MemoryBytes:
+		plan.Action = ResizeDeflate
+		plan.BalloonTarget = vm.spec.MemoryBytes - targetBytes
+		plan.Pages = len(vm.ballooned) - int(plan.BalloonTarget/geometry.PageSize2M)
+
+	default:
+		plan.Action = ResizeHotplug
+		plan.HotplugBytes = targetBytes - vm.spec.MemoryBytes
+		plan.Pages = len(vm.ballooned) + int(plan.HotplugBytes/geometry.PageSize2M)
+	}
+	adopt, err := h.previewAdopt(vm, plan.Pages)
+	if err != nil {
+		return nil, err
+	}
+	plan.AdoptedNodes = adopt
+	return plan, nil
+}
+
+// previewDrain reports which guest nodes an inflate of n pages would drain
+// and release, in node-ID order. Caller holds h.mu.
+func (h *Hypervisor) previewDrain(vm *VM, n int) (released []int, err error) {
+	if h.mode != ModeSiloz || n <= 0 {
+		return nil, nil
+	}
+	freed := make(map[int]uint64) // node ID -> bytes this inflate would free
+	for _, p := range inflateVictims(vm, n) {
+		freed[vm.ramNode[vm.ram[p]]] += geometry.PageSize2M
+	}
+	for _, node := range vm.nodes {
+		a, aerr := h.Allocator(node.ID)
+		if aerr != nil {
+			return nil, aerr
+		}
+		// The node drains iff everything still allocated on it is exactly
+		// the set of pages this inflate frees.
+		if b := freed[node.ID]; b > 0 && a.UsedBytes() == b {
+			released = append(released, node.ID)
+		}
+	}
+	sort.Ints(released)
+	return released, nil
+}
+
+// previewAdopt reports which unowned guest nodes a grow of n huge pages
+// would adopt (in the adoption order allocGrowFrames uses), or
+// ErrCapacityExhausted when even adopting every reachable node cannot cover
+// the growth. Caller holds h.mu.
+func (h *Hypervisor) previewAdopt(vm *VM, n int) (adopt []int, err error) {
+	free := 0
+	var sources []*numa.Node
+	if h.mode == ModeSiloz {
+		sources = vm.nodes
+	} else {
+		sources = h.topo.NodesOnSocket(vm.spec.Socket, numa.HostReserved)
+	}
+	for _, node := range sources {
+		a, aerr := h.Allocator(node.ID)
+		if aerr != nil {
+			return nil, aerr
+		}
+		free += a.FreePagesAtOrder(alloc.Order2M)
+	}
+	if free >= n {
+		return nil, nil
+	}
+	if h.mode == ModeSiloz {
+		for _, cand := range h.adoptCandidates(vm) {
+			if _, owned := h.reg.OwnerOf(cand.ID); owned {
+				continue
+			}
+			a, aerr := h.Allocator(cand.ID)
+			if aerr != nil {
+				continue
+			}
+			pages := a.FreePagesAtOrder(alloc.Order2M)
+			if pages == 0 {
+				continue
+			}
+			adopt = append(adopt, cand.ID)
+			free += pages
+			if free >= n {
+				return adopt, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: growing VM %q by %d pages reaches only %d",
+		ErrCapacityExhausted, vm.spec.Name, n, free)
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// usable returns a VM's current usable RAM as ResizeVM defines it.
+func usable(vm *VM) uint64 {
+	return vm.Spec().MemoryBytes - vm.BalloonedBytes()
+}
+
+// TestResizeFacadeDispatch walks one VM through every facade action:
+// shrink (inflate), no-op, grow within the holes (deflate), and grow beyond
+// the boot reservation (hotplug).
+func TestResizeFacadeDispatch(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "v", Socket: 0, MemoryBytes: 128 * geometry.MiB,
+		MinMemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		target uint64
+		action ResizeAction
+		nodes  int
+	}{
+		{64 * geometry.MiB, ResizeInflate, 1},  // shrink drains a node
+		{64 * geometry.MiB, ResizeNone, 1},     // already there
+		{128 * geometry.MiB, ResizeDeflate, 2}, // grow back into the holes
+		{192 * geometry.MiB, ResizeHotplug, 3}, // grow beyond the reservation
+	}
+	for _, s := range steps {
+		rep, err := h.ResizeVM("v", s.target)
+		if err != nil {
+			t.Fatalf("resize to %d MiB: %v", s.target/geometry.MiB, err)
+		}
+		if rep.Action != s.action {
+			t.Errorf("resize to %d MiB dispatched %v, want %v", s.target/geometry.MiB, rep.Action, s.action)
+		}
+		if got := usable(vm); got != s.target {
+			t.Errorf("after resize to %d MiB usable = %d MiB", s.target/geometry.MiB, got/geometry.MiB)
+		}
+		if len(vm.Nodes()) != s.nodes {
+			t.Errorf("after resize to %d MiB VM owns %d nodes, want %d", s.target/geometry.MiB, len(vm.Nodes()), s.nodes)
+		}
+	}
+	// Validation: unknown VM, unaligned target, below-floor target.
+	if _, err := h.ResizeVM("nope", 64*geometry.MiB); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("resize of unknown VM: err = %v, want ErrVMNotFound", err)
+	}
+	if _, err := h.ResizeVM("v", geometry.PageSize2M+1); err == nil {
+		t.Error("unaligned resize target accepted")
+	}
+	if _, err := h.ResizeVM("v", geometry.PageSize2M); err == nil {
+		t.Error("resize below the MinMemoryBytes floor accepted")
+	}
+}
+
+// TestResizeHotplugDeflatesFirst: a grow beyond the reservation on a
+// ballooned VM runs both legs — full deflate, then hotplug — under one
+// latch acquisition.
+func TestResizeHotplugDeflatesFirst(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "v", Socket: 0, MemoryBytes: 128 * geometry.MiB,
+		MinMemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ResizeVM("v", 64*geometry.MiB); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.ResizeVM("v", 192*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != ResizeHotplug || rep.Balloon == nil || rep.Hotplug == nil {
+		t.Fatalf("action %v, balloon %v, hotplug %v: want hotplug with both legs", rep.Action, rep.Balloon, rep.Hotplug)
+	}
+	if rep.Balloon.Target != 0 || rep.Balloon.DeflatedPages != 32 {
+		t.Errorf("deflate leg = %+v, want full deflate of 32 pages", rep.Balloon)
+	}
+	if rep.Hotplug.AddedBytes != 64*geometry.MiB {
+		t.Errorf("hotplug leg added %d bytes, want 64 MiB", rep.Hotplug.AddedBytes)
+	}
+	if got := usable(vm); got != 192*geometry.MiB {
+		t.Errorf("usable = %d MiB, want 192", got/geometry.MiB)
+	}
+}
+
+// TestResizeRollbackRestoresBalloon: when the hotplug leg fails for
+// capacity, the deflate leg is rolled back so the caller sees the exact
+// pre-resize state.
+func TestResizeRollbackRestoresBalloon(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "v", Socket: 0, MemoryBytes: 128 * geometry.MiB,
+		MinMemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ResizeVM("v", 64*geometry.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// One neighbor takes one of the two free nodes: the deflate leg can
+	// re-adopt the last one, but the hotplug leg then finds nothing.
+	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "t", Socket: 0, MemoryBytes: 64 * geometry.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	nodesBefore := len(vm.Nodes())
+	if _, err := h.ResizeVM("v", 256*geometry.MiB); !errors.Is(err, ErrCapacityExhausted) {
+		t.Fatalf("over-capacity resize: err = %v, want ErrCapacityExhausted", err)
+	}
+	if got := vm.BalloonedBytes(); got != 64*geometry.MiB {
+		t.Errorf("BalloonedBytes = %d MiB after rollback, want 64", got/geometry.MiB)
+	}
+	if got := usable(vm); got != 64*geometry.MiB {
+		t.Errorf("usable = %d MiB after rollback, want 64", got/geometry.MiB)
+	}
+	if len(vm.Nodes()) != nodesBefore {
+		t.Errorf("node set changed across failed resize: %d -> %d", nodesBefore, len(vm.Nodes()))
+	}
+}
+
+// TestPreviewResizeAgreesWithShim: the deprecated PreviewBalloon shim and
+// PreviewResize answer identically for inflates, and the preview mutates
+// nothing.
+func TestPreviewResizeAgreesWithShim(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "v", Socket: 0, MemoryBytes: 128 * geometry.MiB,
+		MinMemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := h.PreviewResize("v", 64*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Action != ResizeInflate || plan.Pages != 32 || len(plan.ReleasedNodes) != 1 {
+		t.Fatalf("plan = %+v, want inflate of 32 pages releasing one node", plan)
+	}
+	pages, released, err := h.PreviewBalloon("v", 64*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != plan.Pages || len(released) != len(plan.ReleasedNodes) || released[0] != plan.ReleasedNodes[0] {
+		t.Errorf("shim (%d pages, %v) diverges from PreviewResize (%d pages, %v)",
+			pages, released, plan.Pages, plan.ReleasedNodes)
+	}
+	// Grow preview predicts adoption, still without mutating.
+	grow, err := h.PreviewResize("v", 192*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grow.Action != ResizeHotplug || grow.HotplugBytes != 64*geometry.MiB || len(grow.AdoptedNodes) != 1 {
+		t.Fatalf("grow plan = %+v, want hotplug of 64 MiB adopting one node", grow)
+	}
+	if got := usable(vm); got != 128*geometry.MiB || len(vm.Nodes()) != 2 || vm.BalloonedBytes() != 0 {
+		t.Errorf("preview mutated the VM: usable %d, %d nodes, %d ballooned",
+			got, len(vm.Nodes()), vm.BalloonedBytes())
+	}
+	// An infeasible grow previews as ErrCapacityExhausted.
+	if _, err := h.PreviewResize("v", 512*geometry.MiB); !errors.Is(err, ErrCapacityExhausted) {
+		t.Errorf("infeasible grow preview: err = %v, want ErrCapacityExhausted", err)
+	}
+}
+
+// TestResizeBusyDuringMigration: the facade shares the per-VM lifecycle
+// latch with the pre-copy engine.
+func TestResizeBusyDuringMigration(t *testing.T) {
+	h := bootSiloz(t)
+	if _, err := h.CreateVM(kvmProc(), VMSpec{Name: "m", Socket: 0, MemoryBytes: 64 * geometry.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	var resizeErr error
+	opt := MigrateOptions{GuestStep: func(round int) error {
+		if round == 0 {
+			_, resizeErr = h.ResizeVM("m", 128*geometry.MiB)
+		}
+		return nil
+	}}
+	if _, err := h.MigrateVM(context.Background(), "m", guestNodeIDs(h, 1), opt); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(resizeErr, ErrResizeBusy) {
+		t.Errorf("resize during live migration: err = %v, want ErrResizeBusy", resizeErr)
+	}
+}
+
+// TestConcurrentResizeGrowShrink is the resize property test (race-quick):
+// random grow/shrink interleavings across tenants contending for the same
+// socket's spare node never double-own a node, and every grow→shrink
+// round-trip returns the registry to the VM's pre-grow node set.
+func TestConcurrentResizeGrowShrink(t *testing.T) {
+	h := bootSiloz(t)
+	names := []string{"a", "b", "c"}
+	sockets := []int{0, 0, 1}
+	preGrow := map[string]map[int]bool{}
+	for i, name := range names {
+		vm, err := h.CreateVM(kvmProc(), VMSpec{Name: name, Socket: sockets[i], MemoryBytes: 64 * geometry.MiB,
+			MinMemoryBytes: 64 * geometry.MiB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[int]bool{}
+		for _, n := range vm.Nodes() {
+			set[n.ID] = true
+		}
+		preGrow[name] = set
+	}
+
+	const iters = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*iters)
+	for i, name := range names {
+		wg.Add(1)
+		go func(name string, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < iters; it++ {
+				grow := uint64(128+64*rng.Intn(2)) * geometry.MiB
+				if _, err := h.ResizeVM(name, grow); err != nil {
+					// Capacity contention with the sibling tenant is a
+					// legitimate refusal, not an invariant violation.
+					if !errors.Is(err, ErrCapacityExhausted) {
+						errs <- fmt.Errorf("grow %q: %w", name, err)
+						return
+					}
+				}
+				if _, err := h.ResizeVM(name, 64*geometry.MiB); err != nil {
+					errs <- fmt.Errorf("shrink %q: %w", name, err)
+					return
+				}
+			}
+		}(name, int64(i+1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Invariant 1: no guest node in two tenants' domains, and the registry
+	// agrees with every VM's view.
+	seen := map[int]string{}
+	for _, vm := range h.VMs() {
+		for _, n := range vm.Nodes() {
+			if prev, dup := seen[n.ID]; dup {
+				t.Errorf("node %d owned by both %q and %q", n.ID, prev, vm.Name())
+			}
+			seen[n.ID] = vm.Name()
+			if owner, _ := h.Registry().OwnerOf(n.ID); owner != "vm:"+vm.Name() {
+				t.Errorf("registry owner of node %d is %q, VM is %q", n.ID, owner, vm.Name())
+			}
+		}
+	}
+	// Invariant 2: every grow→shrink round-trip ended at 64 MiB usable, so
+	// each VM's node set is exactly its pre-grow set.
+	for _, name := range names {
+		vm, _ := h.VM(name)
+		if got := usable(vm); got != 64*geometry.MiB {
+			t.Errorf("VM %q usable = %d MiB after round-trips, want 64", name, got/geometry.MiB)
+		}
+		set := map[int]bool{}
+		for _, n := range vm.Nodes() {
+			set[n.ID] = true
+		}
+		if len(set) != len(preGrow[name]) {
+			t.Errorf("VM %q owns %d nodes after round-trips, want %d", name, len(set), len(preGrow[name]))
+		}
+		for id := range preGrow[name] {
+			if !set[id] {
+				t.Errorf("VM %q lost pre-grow node %d across round-trips", name, id)
+			}
+		}
+	}
+}

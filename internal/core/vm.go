@@ -66,8 +66,12 @@ type VM struct {
 	// balloon surrendered hold hpaNone until a deflate restores them.
 	ram       []uint64
 	ballooned map[int]struct{} // RAM page indexes currently in the balloon
-	migrating bool             // a live migration is in flight (guards balloon ops; under h.mu)
-	mediated  []uint64         // HPA of each 4 KiB mediated page, GPA order
+	// lifecycle is the per-VM lifecycle latch (under h.mu): the name of the
+	// exclusive operation in flight ("live migration", "balloon", "resize",
+	// "memory hotplug"), or "" when idle. Balloon, migration, resize, and
+	// hotplug all rewrite the RAM layout, so at most one may run per VM.
+	lifecycle string
+	mediated  []uint64 // HPA of each 4 KiB mediated page, GPA order
 	regions   []regionInfo
 	tlbMu     sync.Mutex // guards tlb: reps of one benchmark VM translate concurrently
 	tlb       map[uint64]uint64
@@ -98,6 +102,21 @@ var ErrThrottled = errors.New("core: mediated access rate limit exceeded")
 // hpaNone marks a RAM slot whose backing page the balloon surrendered: the
 // GPA range is unmapped in the EPTs and owns no host frame.
 const hpaNone = ^uint64(0)
+
+// acquireLifecycle takes the VM's lifecycle latch for the named operation,
+// failing with ErrResizeBusy if another lifecycle operation is in flight.
+// Caller holds h.mu.
+func (vm *VM) acquireLifecycle(op string) error {
+	if vm.lifecycle != "" {
+		return fmt.Errorf("%w: VM %q has a %s in flight; retry %s after it completes",
+			ErrResizeBusy, vm.spec.Name, vm.lifecycle, op)
+	}
+	vm.lifecycle = op
+	return nil
+}
+
+// releaseLifecycle drops the lifecycle latch. Caller holds h.mu.
+func (vm *VM) releaseLifecycle() { vm.lifecycle = "" }
 
 // eptAlloc adapts a node allocator to the ept.PageAllocator interface,
 // modelling the GFP_EPT allocation path (§5.4).
@@ -219,8 +238,8 @@ func (h *Hypervisor) reserveGuestNodes(vm *VM) error {
 		capacity += uint64(a.FreePagesAtOrder(alloc.Order2M)) * geometry.PageSize2M
 	}
 	if capacity < bytes {
-		return fmt.Errorf("core: only %d bytes of huge-page-backed guest capacity available, VM %q needs %d",
-			capacity, vm.spec.Name, bytes)
+		return fmt.Errorf("%w: only %d bytes of huge-page-backed guest capacity available, VM %q needs %d",
+			ErrCapacityExhausted, capacity, vm.spec.Name, bytes)
 	}
 	cg, err := h.reg.Create("vm:"+vm.spec.Name, ids)
 	if err != nil {
@@ -299,7 +318,10 @@ func (h *Hypervisor) DestroyVM(name string) error {
 	defer h.mu.Unlock()
 	vm, ok := h.vms[name]
 	if !ok {
-		return fmt.Errorf("core: no VM %q", name)
+		return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	if err := vm.acquireLifecycle("destroy"); err != nil {
+		return err
 	}
 	vm.teardown()
 	delete(h.vms, name)

@@ -33,6 +33,9 @@ type Config struct {
 	// Balloon parameterizes the memory-ballooning experiment. A zero
 	// value falls back to DefaultBalloonConfig.
 	Balloon BalloonConfig
+	// Hotplug parameterizes the memory-hotplug experiment. A zero value
+	// falls back to DefaultHotplugConfig.
+	Hotplug HotplugConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

@@ -19,6 +19,7 @@ var registry = []Experiment{
 	fragmentationExp{},
 	migrationExp{},
 	ballooningExp{},
+	hotplugExp{},
 	ddr5Exp{},
 	dramaExp{},
 	actRatesExp{},

@@ -54,6 +54,8 @@ type Kernel struct {
 	procs      map[int]*Process
 	nextPID    int
 	balloon    *Balloon
+	// banks are the hot-added memory ranges, in arrival order.
+	banks []Bank
 }
 
 // NewKernel boots a guest kernel inside a VM. Frame allocation starts after

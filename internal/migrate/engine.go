@@ -24,10 +24,11 @@ func NewEngine(h *core.Hypervisor) *Engine { return &Engine{h: h} }
 // Hypervisor returns the engine's hypervisor.
 func (e *Engine) Hypervisor() *core.Hypervisor { return e.h }
 
-// Execute runs a plan — in-place shrinks first, then moves in order —
+// Execute runs a plan — in-place shrinks first, then moves in order, then
+// in-place grows (which consume the capacity the earlier steps freed) —
 // stopping at the first failure. The isolation audit runs around every
-// shrink and around and within every move; an audit failure aborts the plan
-// even if the step itself succeeded.
+// shrink and grow and around and within every move; an audit failure aborts
+// the plan even if the step itself succeeded.
 func (e *Engine) Execute(ctx context.Context, plan *Plan) ([]*core.MigrateReport, error) {
 	if err := AuditIsolation(e.h); err != nil {
 		return nil, err
@@ -48,6 +49,14 @@ func (e *Engine) Execute(ctx context.Context, plan *Plan) ([]*core.MigrateReport
 		}
 		if err != nil {
 			return reps, err
+		}
+	}
+	for _, g := range plan.Grows {
+		if _, err := e.h.ResizeVM(g.VM, g.TargetBytes); err != nil {
+			return reps, err
+		}
+		if err := AuditIsolation(e.h); err != nil {
+			return reps, fmt.Errorf("migrate: isolation audit failed after growing %q: %w", g.VM, err)
 		}
 	}
 	return reps, nil

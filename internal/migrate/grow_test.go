@@ -1,0 +1,88 @@
+package migrate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+)
+
+// TestPlanGrowDispatch pins grow-in-place planning: a no-op for a VM
+// already at target, a single audited Grow step for feasible growth, an
+// error for shrinking targets, and ErrCapacityExhausted when no adoption
+// can cover the growth.
+func TestPlanGrowDispatch(t *testing.T) {
+	h := bootSiloz(t)
+	mustCreate(t, h, "g", 0, 64*geometry.MiB)
+	p := NewPlanner(h)
+
+	plan, err := p.PlanGrow("g", 64*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Grows) != 0 {
+		t.Errorf("at-target plan has %d grows, want none", len(plan.Grows))
+	}
+
+	plan, err = p.PlanGrow("g", 192*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Grows) != 1 || plan.Grows[0].VM != "g" || plan.Grows[0].TargetBytes != 192*geometry.MiB {
+		t.Fatalf("grow plan = %+v, want one 192 MiB grow of g", plan.Grows)
+	}
+
+	if _, err := p.PlanGrow("g", geometry.PageSize2M); err == nil {
+		t.Error("shrinking PlanGrow target accepted")
+	}
+	if _, err := p.PlanGrow("ghost", 192*geometry.MiB); !errors.Is(err, core.ErrVMNotFound) {
+		t.Errorf("PlanGrow of unknown VM: err = %v, want ErrVMNotFound", err)
+	}
+	// Fill the socket: the growth becomes infeasible.
+	mustCreate(t, h, "full", 0, 128*geometry.MiB)
+	if _, err := p.PlanGrow("g", 192*geometry.MiB); !errors.Is(err, core.ErrCapacityExhausted) {
+		t.Errorf("infeasible PlanGrow: err = %v, want ErrCapacityExhausted", err)
+	}
+}
+
+// TestExecuteGrowAudited: the engine executes Grow steps after shrinks and
+// moves, the VM ends at target, and the isolation audit holds throughout.
+func TestExecuteGrowAudited(t *testing.T) {
+	h := bootSiloz(t)
+	vm := mustCreate(t, h, "g", 0, 64*geometry.MiB)
+	plan, err := NewPlanner(h).PlanGrow("g", 128*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(h).Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Spec().MemoryBytes - vm.BalloonedBytes(); got != 128*geometry.MiB {
+		t.Errorf("usable = %d MiB after grow, want 128", got/geometry.MiB)
+	}
+	if len(vm.Nodes()) != 2 {
+		t.Errorf("VM owns %d nodes after grow, want 2", len(vm.Nodes()))
+	}
+	if err := AuditIsolation(h); err != nil {
+		t.Errorf("isolation audit after grow: %v", err)
+	}
+	// A ballooned VM grows back through the same plan shape (deflate leg).
+	if _, err := h.ResizeVM("g", 64*geometry.MiB); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = NewPlanner(h).PlanGrow("g", 128*geometry.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Grows) != 1 {
+		t.Fatalf("re-grow plan = %+v, want one grow", plan.Grows)
+	}
+	if _, err := NewEngine(h).Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Spec().MemoryBytes - vm.BalloonedBytes(); got != 128*geometry.MiB {
+		t.Errorf("usable = %d MiB after re-grow, want 128", got/geometry.MiB)
+	}
+}

@@ -51,12 +51,24 @@ type Shrink struct {
 	Target uint64 // balloon size to set (bytes surrendered to the host)
 }
 
+// Grow resizes one VM in place to TargetBytes of usable RAM — the dual of
+// Shrink. The resize facade dispatches it to a balloon deflate (growing
+// back into ballooned holes) or a memory hotplug (growing beyond the
+// boot-time reservation, adopting fresh subarray-group nodes). Like a
+// shrink, no pages cross the machine.
+type Grow struct {
+	VM          string
+	TargetBytes uint64 // usable RAM to resize to
+}
+
 // Plan is an ordered rebalancing program: in-place shrinks first (cheap),
-// then migrations (expensive). An empty plan means the goal is already
-// satisfiable without either.
+// then migrations (expensive), then in-place grows (which consume the
+// capacity the earlier steps freed). An empty plan means the goal is
+// already satisfiable without any of them.
 type Plan struct {
 	Shrinks []Shrink
 	Moves   []Move
+	Grows   []Grow
 }
 
 // Planner derives migration plans from node occupancy.
@@ -176,10 +188,11 @@ func (p *Planner) PlanAdmission(spec core.VMSpec) (*Plan, error) {
 			continue // VM did not opt into ballooning policy
 		}
 		target := spec.MemoryBytes - spec.MinMemoryBytes
-		_, released, err := h.PreviewBalloon(vm.Name(), target)
-		if err != nil || len(released) == 0 {
+		rp, err := h.PreviewResize(vm.Name(), spec.MinMemoryBytes)
+		if err != nil || rp.Action != core.ResizeInflate || len(rp.ReleasedNodes) == 0 {
 			continue // shrink frees pages but drains no whole node: useless here
 		}
+		released := rp.ReleasedNodes
 		releasedSet := make(map[int]bool, len(released))
 		for _, id := range released {
 			releasedSet[id] = true
@@ -277,4 +290,32 @@ func (p *Planner) PlanAdmission(spec core.VMSpec) (*Plan, error) {
 			need, spec.Socket, freeCap)
 	}
 	return plan, nil
+}
+
+// PlanGrow produces the plan that raises a VM's usable RAM to targetBytes —
+// grow-in-place, the dual of shrink-in-place. The resize preview decides
+// the mechanism (balloon deflate within the reservation, memory hotplug
+// with node adoption beyond it) and proves feasibility without mutating
+// anything; the returned single-step plan carries that audited decision to
+// the engine. An error (core.ErrCapacityExhausted wrapped) means even
+// adopting every node the VM may reach cannot cover the growth — the
+// caller can then fall back to Defragment or AdmitWithRebalance-style
+// vacating before retrying.
+func (p *Planner) PlanGrow(name string, targetBytes uint64) (*Plan, error) {
+	if p.h.Mode() != core.ModeSiloz {
+		return nil, fmt.Errorf("migrate: grow planning applies to Siloz exclusive reservations")
+	}
+	rp, err := p.h.PreviewResize(name, targetBytes)
+	if err != nil {
+		return nil, err
+	}
+	switch rp.Action {
+	case core.ResizeNone:
+		return &Plan{}, nil
+	case core.ResizeDeflate, core.ResizeHotplug:
+		return &Plan{Grows: []Grow{{VM: name, TargetBytes: targetBytes}}}, nil
+	default:
+		return nil, fmt.Errorf("migrate: PlanGrow target %d would shrink VM %q (current %d); use PlanAdmission's shrink path",
+			targetBytes, name, rp.Current)
+	}
 }
