@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race race-quick bench bench-quick examples tools check clean
+.PHONY: all build vet fmt-check test test-short race race-quick bench bench-quick examples tools check verify clean
 
 all: check
 
@@ -38,6 +38,7 @@ race-quick:
 	$(GO) test -race -run 'TestParallelDeterminism|TestRunAll|TestPoolMap|TestCancellation|TestRepSeed|TestRegistry|TestRenderers' ./internal/experiments
 	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink' ./internal/core
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
+	$(GO) test -race -run 'TestEPTRelocationProperty' ./internal/migrate
 
 # Full benchmark sweep: every table/figure plus per-substrate microbenches.
 bench:
@@ -65,6 +66,9 @@ tools:
 	$(GO) run ./cmd/siloz-sim
 
 check: build vet fmt-check test
+
+# Pre-commit gate: everything `check` runs, as one target.
+verify: build vet fmt-check test
 
 clean:
 	$(GO) clean ./...

@@ -63,10 +63,12 @@ func main() {
 	mig := experiments.DefaultMigrationConfig()
 	bal := experiments.DefaultBalloonConfig()
 	hot := experiments.DefaultHotplugConfig()
+	rel := experiments.DefaultEPTRelocConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
 		bal = experiments.QuickBalloonConfig()
 		hot = experiments.QuickHotplugConfig()
+		rel = experiments.QuickEPTRelocConfig()
 	}
 	// The security, migration, ballooning and hotplug campaigns keep their
 	// own default seeds unless -seed is given explicitly, so default outputs
@@ -77,6 +79,7 @@ func main() {
 			mig.Seed = common.Seed
 			bal.Seed = common.Seed
 			hot.Seed = common.Seed
+			rel.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -111,6 +114,7 @@ func main() {
 		Migration: mig,
 		Balloon:   bal,
 		Hotplug:   hot,
+		EPTReloc:  rel,
 		Pool:      experiments.NewPool(common.Workers()),
 	}
 

@@ -49,9 +49,11 @@ func (h *Hypervisor) Audit() []string {
 				report("VM %q RAM page %#x outside its domain", vm.Name(), hpa)
 			}
 		}
-		// 3: table pages.
+		// 3: table pages. The tables follow the guest across cross-socket
+		// migrations, so the EPT block to check is the VM's *current* EPT
+		// socket, not the boot socket in its spec.
 		if h.mode == ModeSiloz && h.cfg.EPTProtection.String() == "guard-rows" {
-			eptNode, err := h.EPTNode(vm.Spec().Socket)
+			eptNode, err := h.EPTNode(vm.EPTSocket())
 			if err != nil {
 				report("VM %q: %v", vm.Name(), err)
 			} else {

@@ -76,7 +76,17 @@ func (h *Hypervisor) BalloonVM(name string, targetBytes uint64) (*BalloonReport,
 		return nil, err
 	}
 	defer vm.releaseLifecycle()
-	return h.balloonTo(vm, targetBytes)
+	rep, err := h.balloonTo(vm, targetBytes)
+	if err != nil {
+		return nil, err
+	}
+	// A deflate that re-adopted nodes (or an inflate that dropped the last
+	// node on a socket) can leave the whole reservation on a socket other
+	// than the EPT tables' home; pull the tables after the guest.
+	if rerr := h.relocateIfStranded(vm); rerr != nil {
+		return rep, fmt.Errorf("core: balloon of VM %q left EPT tables behind: %w", name, rerr)
+	}
+	return rep, nil
 }
 
 // balloonTo is BalloonVM's body, shared with the resize facade. Caller holds

@@ -30,7 +30,7 @@ func (h *Hypervisor) AttachDevice(vm *VM, name string) (*Device, error) {
 	if vm.tables == nil {
 		return nil, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
 	}
-	a, err := h.eptAllocatorFor(vm.spec.Socket)
+	a, err := h.eptAllocatorFor(vm.eptSocket)
 	if err != nil {
 		return nil, err
 	}

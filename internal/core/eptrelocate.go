@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// EPT-table relocation (§5.4 applied to live migration): migration and the
+// resize facade move guest data between sockets, but a VM's EPT tables stay
+// where CreateVM placed them — the boot socket's guard-protected EPT block.
+// Relocation rebuilds the hierarchy from the destination socket's GFP_EPT
+// allocator under the pause gate, so the guard-block placement argument
+// holds for the socket the guest actually lives on, and so the source
+// socket's EPT row group can drain for defragmentation.
+
+// EPTRelocationReport describes one EPT-table relocation.
+type EPTRelocationReport struct {
+	VM         string
+	FromSocket int
+	ToSocket   int
+	// TablePages is the number of table pages rebuilt on the destination
+	// socket (zero when the tables were already there).
+	TablePages int
+	// ReclaimedBytes is how much the source socket's EPT pool got back.
+	ReclaimedBytes uint64
+}
+
+// RelocateEPT moves a VM's EPT tables into the named socket's EPT pool —
+// the guard-protected EPT block under guard-rows protection, the socket's
+// host pool otherwise. The guest is paused for the copy (the root and every
+// intermediate pointer swap non-atomically); on failure the old hierarchy
+// remains live and the guest resumes unharmed. Migration calls the same
+// machinery automatically; this entry point serves standalone rebalancing.
+func (h *Hypervisor) RelocateEPT(name string, socket int) (EPTRelocationReport, error) {
+	var rep EPTRelocationReport
+	h.mu.Lock()
+	vm, ok := h.vms[name]
+	if !ok {
+		h.mu.Unlock()
+		return rep, fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	if err := vm.acquireLifecycle("ept relocation"); err != nil {
+		h.mu.Unlock()
+		return rep, err
+	}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		vm.releaseLifecycle()
+		h.mu.Unlock()
+	}()
+
+	rep.VM = name
+	rep.FromSocket = vm.eptSocket
+	rep.ToSocket = socket
+	if socket < 0 || socket >= h.cfg.Geometry.Sockets {
+		return rep, fmt.Errorf("core: socket %d out of range", socket)
+	}
+	if socket == vm.eptSocket {
+		return rep, nil // already home; nothing to move
+	}
+
+	vm.Pause()
+	defer vm.Resume()
+	moved, err := h.relocateTables(vm, socket)
+	if err != nil {
+		return rep, err
+	}
+	rep.TablePages = moved
+	rep.ReclaimedBytes = uint64(moved) * geometry.PageSize4K
+	return rep, nil
+}
+
+// relocateTables rebuilds vm's EPT hierarchy from the destination socket's
+// EPT allocator and retargets the VM's EPT-residency bookkeeping. The
+// caller holds the VM paused and the lifecycle latch.
+func (h *Hypervisor) relocateTables(vm *VM, socket int) (int, error) {
+	if vm.tables == nil {
+		return 0, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
+	}
+	newA, err := h.eptAllocatorFor(socket)
+	if err != nil {
+		return 0, err
+	}
+	moved, err := vm.tables.Relocate(eptAlloc{newA})
+	if err != nil {
+		return 0, fmt.Errorf("core: relocating EPT tables of VM %q to socket %d: %w", vm.spec.Name, socket, err)
+	}
+	from := vm.eptSocket
+	vm.eptSocket = socket
+	vm.InvalidateTLB()
+	h.logf("relocated EPT tables of VM %q: %d pages, socket %d -> %d", vm.spec.Name, moved, from, socket)
+	return moved, nil
+}
+
+// relocateIfStranded relocates vm's EPT tables when every node backing the
+// VM sits on one socket that is not the tables' current home — the state a
+// resize can leave behind when it drops a VM's last remote (or last home-
+// socket) node. Safe no-op otherwise. The caller holds the lifecycle latch
+// but not the pause gate.
+func (h *Hypervisor) relocateIfStranded(vm *VM) error {
+	if h.mode != ModeSiloz || len(vm.nodes) == 0 {
+		return nil
+	}
+	socket := vm.nodes[0].Socket
+	for _, n := range vm.nodes[1:] {
+		if n.Socket != socket {
+			return nil // VM spans sockets; no single home to follow
+		}
+	}
+	if socket == vm.eptSocket {
+		return nil
+	}
+	vm.Pause()
+	defer vm.Resume()
+	_, err := h.relocateTables(vm, socket)
+	return err
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/numa"
+)
+
+// freeGuestNodes returns unowned guest-reserved nodes on a socket whose
+// combined capacity covers bytes — cross-socket migration destinations.
+func freeGuestNodes(t *testing.T, h *Hypervisor, socket int, bytes uint64) []int {
+	t.Helper()
+	var ids []int
+	var capacity uint64
+	for _, n := range h.Topology().NodesOnSocket(socket, numa.GuestReserved) {
+		if _, owned := h.Registry().OwnerOf(n.ID); owned {
+			continue
+		}
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, n.ID)
+		capacity += a.FreeBytes()
+		if capacity >= bytes {
+			return ids
+		}
+	}
+	t.Fatalf("socket %d cannot host %d bytes", socket, bytes)
+	return nil
+}
+
+// eptFreeBytes reads a socket's EPT-node free capacity.
+func eptFreeBytes(t *testing.T, h *Hypervisor, socket int) uint64 {
+	t.Helper()
+	n, err := h.EPTNode(socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.Allocator(n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.FreeBytes()
+}
+
+func TestRelocateEPTStandalone(t *testing.T) {
+	h := bootSiloz(t)
+	bootFree0 := eptFreeBytes(t, h, 0)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "vm", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("relocation survivor")
+	if err := vm.WriteGuest(4096, payload); err != nil {
+		t.Fatal(err)
+	}
+	nPages := len(vm.Tables().Pages())
+
+	rep, err := h.RelocateEPT("vm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FromSocket != 0 || rep.ToSocket != 1 || rep.TablePages != nPages {
+		t.Fatalf("report = %+v, want 0->1 with %d pages", rep, nPages)
+	}
+	if rep.ReclaimedBytes != uint64(nPages)*geometry.PageSize4K {
+		t.Errorf("ReclaimedBytes = %d", rep.ReclaimedBytes)
+	}
+	if vm.EPTSocket() != 1 {
+		t.Errorf("EPTSocket = %d, want 1", vm.EPTSocket())
+	}
+	// Source pool fully reclaimed, pages inside socket 1's guarded block.
+	if got := eptFreeBytes(t, h, 0); got != bootFree0 {
+		t.Errorf("socket 0 EPT free = %d, want boot value %d", got, bootFree0)
+	}
+	dstNode, err := h.EPTNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pa := range vm.Tables().Pages() {
+		if !dstNode.Contains(pa) {
+			t.Errorf("table page %#x outside socket 1's EPT node", pa)
+		}
+	}
+	// The guest is untouched and the system still audits clean.
+	buf := make([]byte, len(payload))
+	if err := vm.ReadGuest(4096, buf); err != nil || !bytes.Equal(buf, payload) {
+		t.Fatalf("payload after relocation: %q, %v", buf, err)
+	}
+	if findings := h.Audit(); len(findings) != 0 {
+		t.Fatalf("audit after relocation: %v", findings)
+	}
+
+	// Same-socket relocation is a no-op report.
+	rep, err = h.RelocateEPT("vm", 1)
+	if err != nil || rep.TablePages != 0 {
+		t.Fatalf("same-socket relocation: %+v, %v", rep, err)
+	}
+	if _, err := h.RelocateEPT("vm", 9); err == nil {
+		t.Error("out-of-range socket accepted")
+	}
+	if _, err := h.RelocateEPT("ghost", 1); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("missing VM: %v", err)
+	}
+}
+
+func TestMigrateVMRelocatesEPT(t *testing.T) {
+	h := bootSiloz(t)
+	bootFree0 := eptFreeBytes(t, h, 0)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "mig", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("follows the guest")
+	if err := vm.WriteGuest(12345, payload); err != nil {
+		t.Fatal(err)
+	}
+	nPages := len(vm.Tables().Pages())
+
+	dests := freeGuestNodes(t, h, 1, 64*geometry.MiB)
+	rep, err := h.MigrateVM(context.Background(), "mig", dests, MigrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EPTRelocatedPages != nPages {
+		t.Errorf("EPTRelocatedPages = %d, want %d", rep.EPTRelocatedPages, nPages)
+	}
+	if rep.EPTReclaimedBytes != uint64(nPages)*geometry.PageSize4K {
+		t.Errorf("EPTReclaimedBytes = %d", rep.EPTReclaimedBytes)
+	}
+	if vm.EPTSocket() != 1 {
+		t.Errorf("EPTSocket = %d, want 1", vm.EPTSocket())
+	}
+	if got := eptFreeBytes(t, h, 0); got != bootFree0 {
+		t.Errorf("source socket EPT free = %d, want boot value %d", got, bootFree0)
+	}
+	dstNode, err := h.EPTNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pa := range vm.Tables().Pages() {
+		if !dstNode.Contains(pa) {
+			t.Errorf("table page %#x outside the destination EPT block", pa)
+		}
+	}
+	buf := make([]byte, len(payload))
+	if err := vm.ReadGuest(12345, buf); err != nil || !bytes.Equal(buf, payload) {
+		t.Fatalf("payload after migration: %q, %v", buf, err)
+	}
+	if findings := h.Audit(); len(findings) != 0 {
+		t.Fatalf("audit after cross-socket migration: %v", findings)
+	}
+}
+
+func TestSameSocketMigrationKeepsEPTsHome(t *testing.T) {
+	h := bootSiloz(t)
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "mig", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := freeGuestNodes(t, h, 0, 64*geometry.MiB)
+	rep, err := h.MigrateVM(context.Background(), "mig", dests, MigrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EPTRelocatedPages != 0 || vm.EPTSocket() != 0 {
+		t.Errorf("same-socket migration relocated EPTs: %d pages, socket %d",
+			rep.EPTRelocatedPages, vm.EPTSocket())
+	}
+}
+
+// The §7.1 in-block hammering check against the *relocated* block: after a
+// cross-socket migration under guard-rows protection, the nearest rows an
+// attacker can reach on the destination socket must not flip EPT rows.
+func TestRelocatedEPTBlockResistsHammering(t *testing.T) {
+	h, err := Boot(denseConfig(ept.GuardRows), ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "mig", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := freeGuestNodes(t, h, 1, 64*geometry.MiB)
+	if _, err := h.MigrateVM(context.Background(), "mig", dests, MigrateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := make(map[uint64]uint64)
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[gpa] = hpa
+	}
+
+	mem := h.Memory()
+	dstNode, err := h.EPTNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := mem.Mapper().Decode(dstNode.Ranges[0].Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Row != EPTRowGroupOffset {
+		t.Fatalf("destination EPT row = %d, want %d", ma.Row, EPTRowGroupOffset)
+	}
+	// Hammer the closest allocatable rows after the destination block.
+	for _, row := range []int{EPTBlockRowGroups, EPTBlockRowGroups + 1} {
+		aggr, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.ActivatePhys(aggr, 100000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range mem.Flips() {
+		if f.MediaRow == ma.Row && f.Bank.Socket == 1 {
+			t.Errorf("flip reached the relocated EPT row: %v", f)
+		}
+	}
+	for gpa, want := range before {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			t.Fatalf("translate %#x after hammering: %v", gpa, err)
+		}
+		if hpa != want {
+			t.Fatalf("translation of %#x changed: %#x -> %#x", gpa, want, hpa)
+		}
+	}
+}
+
+// SecureEPT across a relocation: the re-keyed MACs on the destination pages
+// must still detect hammered entries.
+func TestRelocatedSecureEPTDetectsHammering(t *testing.T) {
+	h, err := Boot(denseConfig(ept.SecureEPT), ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "mig", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := freeGuestNodes(t, h, 1, 64*geometry.MiB)
+	if _, err := h.MigrateVM(context.Background(), "mig", dests, MigrateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if vm.EPTSocket() != 1 {
+		t.Fatalf("EPTSocket = %d, want 1", vm.EPTSocket())
+	}
+	hammerEPTNeighbours(t, h, vm) // targets the relocated PD's neighbour rows
+
+	sawIntegrityFault := false
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		if _, err := vm.TranslateUncached(gpa); err != nil {
+			sawIntegrityFault = true
+			break
+		}
+	}
+	if !sawIntegrityFault {
+		t.Fatal("relocated secure EPT never faulted despite hammered table rows")
+	}
+}
+
+// Regression for the Registry.Shrink failure path: when the source nodes
+// cannot be released after commit, the guest must resume on its destination
+// frames, the failure must be logged, and a system audit must run.
+func TestMigrateShrinkFailureLogsAndAudits(t *testing.T) {
+	var log bytes.Buffer
+	cfg := testConfig()
+	cfg.Log = &log
+	h, err := Boot(cfg, ModeSiloz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "mig", Socket: 0, MemoryBytes: 64 * geometry.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcNode := vm.Nodes()[0].ID
+	dests := freeGuestNodes(t, h, 1, 64*geometry.MiB)
+
+	// Force the failure: a guest step yanks the source node out of the
+	// control group mid-migration, so the engine's final Shrink of the same
+	// node fails with "not in cgroup".
+	opt := MigrateOptions{GuestStep: func(round int) error {
+		if round == 0 {
+			return h.Registry().Shrink("vm:mig", []int{srcNode})
+		}
+		return nil
+	}}
+	rep, err := h.MigrateVM(context.Background(), "mig", dests, opt)
+	if err == nil {
+		t.Fatal("migration succeeded despite sabotaged source-node release")
+	}
+	if !strings.Contains(err.Error(), "releasing source nodes") {
+		t.Errorf("error = %v, want source-node release failure", err)
+	}
+	if rep == nil {
+		t.Fatal("commit-phase failure must still return the report")
+	}
+	out := log.String()
+	if !strings.Contains(out, "failed to release source nodes") {
+		t.Errorf("failure not logged:\n%s", out)
+	}
+	if !strings.Contains(out, "post-failure audit") {
+		t.Errorf("no audit on the failure path:\n%s", out)
+	}
+	// The guest survived and runs on destination frames.
+	if err := vm.WriteGuest(0, []byte("alive")); err != nil {
+		t.Fatalf("guest unusable after shrink failure: %v", err)
+	}
+	for _, hpa := range vm.RAMPages() {
+		if node, ok := h.Topology().NodeOf(hpa); !ok || node.Socket != 1 {
+			t.Fatalf("RAM page %#x not on the destination socket", hpa)
+		}
+	}
+}

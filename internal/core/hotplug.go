@@ -61,7 +61,17 @@ func (h *Hypervisor) HotplugVM(name string, addBytes uint64) (*HotplugReport, er
 		return nil, err
 	}
 	defer vm.releaseLifecycle()
-	return h.hotplugGrow(vm, addBytes)
+	rep, err := h.hotplugGrow(vm, addBytes)
+	if err != nil {
+		return nil, err
+	}
+	// Adoption prefers the home socket, but a grow of a remote-resident VM
+	// can consolidate it on one socket away from its EPT tables; pull the
+	// tables after the guest.
+	if rerr := h.relocateIfStranded(vm); rerr != nil {
+		return rep, fmt.Errorf("core: hotplug of VM %q left EPT tables behind: %w", name, rerr)
+	}
+	return rep, nil
 }
 
 // hotplugGrow is HotplugVM's body, shared with the resize facade. Caller

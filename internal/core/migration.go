@@ -17,14 +17,15 @@ package core
 //      dirty set converges (or a round/shrink budget expires).
 //   3. Pause the guest, copy the residual dirty set, remap every EPT leaf
 //      to its destination frame, flush the TLB — the measured downtime.
-//   4. Still paused: scrub and free the source pages, then shrink the
-//      control group off the source nodes. When the guest resumes it can
-//      only touch destination frames, and the vacated groups are free for
-//      the next reservation.
+//   4. Still paused: relocate the EPT tables into the destination socket's
+//      guard-protected EPT block when the migration crossed sockets (§5.4
+//      demands the tables live on the socket whose block protects them),
+//      then scrub and free the source pages and shrink the control group
+//      off the source nodes. When the guest resumes it can only touch
+//      destination frames, and the vacated groups — including the source
+//      EPT row group's pages — are free for the next reservation.
 //
-// EPT table pages never move: they live in the socket's guard-protected EPT
-// row-group block (§5.4) regardless of where guest data goes. Mediated
-// pages are host-reserved and likewise unaffected.
+// Mediated pages are host-reserved and never move.
 
 import (
 	"context"
@@ -91,6 +92,12 @@ type MigrateReport struct {
 	DowntimeBytes uint64        // bytes moved with the guest paused
 	Downtime      time.Duration // wall-clock pause (simulator time, not modeled DRAM time)
 	Converged     bool          // dirty set shrank below StopPages
+
+	// EPTRelocatedPages counts table pages rebuilt on the destination
+	// socket's EPT pool (zero for same-socket migrations); the matching
+	// EPTReclaimedBytes returned to the source socket's pool.
+	EPTRelocatedPages int
+	EPTReclaimedBytes uint64
 }
 
 // migRegion pairs a region with its freshly-allocated destination pages.
@@ -324,12 +331,12 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 		if srcRAM[p] == hpaNone {
 			continue // ballooned hole: stays unmapped at the destination
 		}
-		if err := vm.tables.Map2MProt(uint64(p)*geometry.PageSize2M, dstRAM[p], true); err != nil {
+		if err := vm.tables.Remap2MProt(uint64(p)*geometry.PageSize2M, dstRAM[p], true); err != nil {
 			for q := 0; q < p; q++ { // restore already-moved leaves
 				if srcRAM[q] == hpaNone {
 					continue
 				}
-				_ = vm.tables.Map2MProt(uint64(q)*geometry.PageSize2M, srcRAM[q], true)
+				_ = vm.tables.Remap2MProt(uint64(q)*geometry.PageSize2M, srcRAM[q], true)
 			}
 			vm.Resume()
 			rollback(true)
@@ -345,7 +352,7 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 		info := &vm.regions[mr.idx]
 		writable := info.Type != RegionROM
 		for i, hpa := range mr.pages {
-			if err := vm.tables.Map4KProt(info.gpa+uint64(i)*geometry.PageSize4K, hpa, writable); err != nil {
+			if err := vm.tables.Remap4KProt(info.gpa+uint64(i)*geometry.PageSize4K, hpa, writable); err != nil {
 				vm.Resume()
 				rollback(true)
 				return nil, err
@@ -378,6 +385,24 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 		}
 	}
 	vm.dirtyMu.Unlock()
+
+	// Still paused: pull the EPT tables onto the destination socket when the
+	// migration crossed sockets, so the guard-block placement argument (§5.4)
+	// holds for where the guest now lives and the source EPT row group can
+	// drain. A relocation failure is not fatal to the migration — Relocate
+	// rolls itself back, leaving the old hierarchy live on the source socket
+	// — but it is surfaced to the caller after the source nodes are released.
+	var relocErr error
+	if h.mode == ModeSiloz {
+		if dstSocket, ok := h.socketOfNodes(destIDs); ok && dstSocket != vm.eptSocket {
+			var moved int
+			moved, relocErr = h.relocateTables(vm, dstSocket)
+			if relocErr == nil {
+				rep.EPTRelocatedPages = moved
+				rep.EPTReclaimedBytes = uint64(moved) * geometry.PageSize4K
+			}
+		}
+	}
 	rep.PagesCopied += len(finalPages)
 	rep.BytesCopied += dtBytes
 	rep.DowntimePages = len(finalPages)
@@ -409,15 +434,55 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	}
 	if h.mode == ModeSiloz {
 		if err := h.reg.Shrink(vm.cgroup.Name, srcNodeIDs); err != nil {
+			// The guest already runs entirely on destination frames, but the
+			// domain is still widened over the drained source nodes. That is
+			// over-reservation, not an isolation breach — still, log it and
+			// re-audit the whole system before resuming, so the drift is on
+			// record rather than silent.
+			vm.nodes = vm.cgroup.Nodes()
 			vm.Resume()
+			h.logf("migration of VM %q: failed to release source nodes %v; domain remains widened: %v",
+				name, srcNodeIDs, err)
+			findings := h.Audit()
+			h.logf("post-failure audit of VM %q migration: %d findings", name, len(findings))
+			for _, f := range findings {
+				h.logf("post-failure audit: %s", f)
+			}
 			return rep, fmt.Errorf("core: releasing source nodes of VM %q: %w", name, err)
 		}
 		vm.nodes = vm.cgroup.Nodes()
 	}
 	vm.Resume()
-	h.logf("migrated VM %q: nodes %v -> %v, %d rounds, %d/%d pages copied, downtime %d pages",
-		name, srcNodeIDs, destIDs, len(rep.Rounds), rep.PagesCopied, resident, rep.DowntimePages)
+	if relocErr != nil {
+		h.logf("migrated VM %q but EPT relocation failed; tables remain on socket %d: %v",
+			name, vm.eptSocket, relocErr)
+		return rep, relocErr
+	}
+	h.logf("migrated VM %q: nodes %v -> %v, %d rounds, %d/%d pages copied, downtime %d pages, %d EPT pages relocated",
+		name, srcNodeIDs, destIDs, len(rep.Rounds), rep.PagesCopied, resident, rep.DowntimePages, rep.EPTRelocatedPages)
 	return rep, nil
+}
+
+// socketOfNodes resolves the single socket hosting every listed node; ok is
+// false when the nodes span sockets (or the list is empty), in which case
+// there is no one home for the EPT tables to follow.
+func (h *Hypervisor) socketOfNodes(ids []int) (int, bool) {
+	socket := -1
+	for _, id := range ids {
+		n, err := h.topo.Node(id)
+		if err != nil {
+			return 0, false
+		}
+		if socket == -1 {
+			socket = n.Socket
+		} else if n.Socket != socket {
+			return 0, false
+		}
+	}
+	if socket == -1 {
+		return 0, false
+	}
+	return socket, true
 }
 
 // validateMigrationDests checks and dedupes the destination node list.

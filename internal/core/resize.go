@@ -128,7 +128,7 @@ func (h *Hypervisor) ResizeVM(name string, targetBytes uint64) (*ResizeReport, e
 			return nil, err
 		}
 		rep.Balloon = br
-		return rep, nil
+		return h.finishResize(vm, rep)
 
 	case targetBytes <= vm.spec.MemoryBytes:
 		rep.Action = ResizeDeflate
@@ -137,7 +137,7 @@ func (h *Hypervisor) ResizeVM(name string, targetBytes uint64) (*ResizeReport, e
 			return nil, err
 		}
 		rep.Balloon = br
-		return rep, nil
+		return h.finishResize(vm, rep)
 
 	default:
 		rep.Action = ResizeHotplug
@@ -164,8 +164,20 @@ func (h *Hypervisor) ResizeVM(name string, targetBytes uint64) (*ResizeReport, e
 			return nil, err
 		}
 		rep.Hotplug = hr
-		return rep, nil
+		return h.finishResize(vm, rep)
 	}
+}
+
+// finishResize completes a successful resize leg. Dropping a VM's last node
+// on a socket can leave the whole reservation on the other socket while the
+// EPT tables stay behind; when that happens, pull the tables after the
+// guest. A relocation failure does not undo the resize — the report is
+// returned alongside the error. Caller holds h.mu and the lifecycle latch.
+func (h *Hypervisor) finishResize(vm *VM, rep *ResizeReport) (*ResizeReport, error) {
+	if err := h.relocateIfStranded(vm); err != nil {
+		return rep, fmt.Errorf("core: resize of VM %q left EPT tables behind: %w", vm.spec.Name, err)
+	}
+	return rep, nil
 }
 
 // PreviewResize reports, without mutating anything, what ResizeVM(name,

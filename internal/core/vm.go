@@ -62,6 +62,11 @@ type VM struct {
 	cgroup *numa.CGroup
 	nodes  []*numa.Node // guest-reserved nodes backing RAM (Siloz)
 	tables *ept.Tables
+	// eptSocket is the socket whose EPT block (or host node, outside
+	// guard-rows mode) currently holds the table pages. It starts as the
+	// home socket and follows the guest across cross-socket migrations
+	// (EPT relocation); Spec().Socket records only where the VM booted.
+	eptSocket int
 	// ram holds the HPA of each 2 MiB RAM page in GPA order; slots the
 	// balloon surrendered hold hpaNone until a deflate restores them.
 	ram       []uint64
@@ -152,7 +157,7 @@ func (h *Hypervisor) CreateVM(proc Process, spec VMSpec) (*VM, error) {
 			spec.MinMemoryBytes, spec.MemoryBytes)
 	}
 
-	vm := &VM{spec: spec, hv: h, tlb: make(map[uint64]uint64), ramNode: make(map[uint64]int)}
+	vm := &VM{spec: spec, hv: h, eptSocket: spec.Socket, tlb: make(map[uint64]uint64), ramNode: make(map[uint64]int)}
 
 	if h.mode == ModeSiloz {
 		if err := h.reserveGuestNodes(vm); err != nil {
@@ -401,6 +406,11 @@ func (vm *VM) Nodes() []*numa.Node { return vm.nodes }
 
 // Tables returns the VM's extended page tables.
 func (vm *VM) Tables() *ept.Tables { return vm.tables }
+
+// EPTSocket returns the socket whose EPT block currently hosts the VM's
+// table pages. It equals Spec().Socket at boot and tracks the guest across
+// cross-socket migrations once the tables are relocated.
+func (vm *VM) EPTSocket() int { return vm.eptSocket }
 
 // RAMPages returns the HPAs of the VM's resident 2 MiB RAM pages in GPA
 // order; ballooned-out slots are omitted.

@@ -55,9 +55,16 @@ func BenchmarkTranslate2M(b *testing.B) {
 
 func BenchmarkMap2M(b *testing.B) {
 	tables := benchTables(b, NoProtection)
+	for i := uint64(16); i < 416; i++ {
+		if err := tables.Map2M(i*geometry.PageSize2M, i*geometry.PageSize2M); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gpa := uint64(16+i%400) * geometry.PageSize2M
-		_ = tables.Map2M(gpa, gpa) // remaps of the same gpa overwrite the leaf
+		if err := tables.Remap2M(gpa, gpa); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -60,7 +60,7 @@ func (m IntegrityMode) String() string {
 	return "invalid"
 }
 
-// Errors returned by Translate.
+// Errors returned by Translate and the structural mutators.
 var (
 	// ErrNotMapped reports a GPA with no valid mapping.
 	ErrNotMapped = errors.New("ept: gpa not mapped")
@@ -71,6 +71,15 @@ var (
 	// EPT violation that makes ROM writes trap into the hypervisor
 	// (§5.1's mediated access types).
 	ErrPermission = errors.New("ept: write to read-only mapping")
+	// ErrAlreadyMapped reports a Map over a present entry. Overwriting a
+	// PD entry that points at a live 4 KiB page table would silently drop
+	// its mappings and orphan the table page; callers replacing a leaf on
+	// purpose use the Remap variants.
+	ErrAlreadyMapped = errors.New("ept: gpa already mapped")
+	// ErrDestroyed reports any use of a hierarchy after Destroy: its
+	// frames are back in the free pool and its MACs are gone, so a walk
+	// would dereference recycled memory.
+	ErrDestroyed = errors.New("ept: tables destroyed")
 )
 
 // PageAllocator provides table pages; Siloz passes a GFP_EPT-backed
@@ -95,8 +104,9 @@ type Tables struct {
 	root  uint64
 	all   []uint64 // every table page, for accounting and attack targeting
 
-	entryMu sync.Mutex        // serializes entry loads/stores and macs
-	macs    map[uint64]uint64 // entry pa -> MAC (SecureEPT only)
+	entryMu   sync.Mutex        // serializes entry loads/stores, macs, destroyed
+	macs      map[uint64]uint64 // entry pa -> MAC (SecureEPT only)
+	destroyed bool              // Destroy ran; every entry access fails loudly
 }
 
 // New allocates an empty hierarchy (root only).
@@ -128,12 +138,20 @@ func (t *Tables) Pages() []uint64 {
 	return out
 }
 
-// Destroy releases all table pages.
+// Destroy releases all table pages and poisons the hierarchy: the root and
+// the MAC table are dropped along with the pages, so any later walk or map
+// fails with ErrDestroyed instead of dereferencing recycled frames with
+// stale MACs. Destroy is idempotent.
 func (t *Tables) Destroy() {
 	for _, pa := range t.all {
 		t.pages.FreeTablePage(pa)
 	}
+	t.entryMu.Lock()
 	t.all = nil
+	t.root = 0
+	t.macs = nil
+	t.destroyed = true
+	t.entryMu.Unlock()
 }
 
 func (t *Tables) zeroPage(pa uint64) error {
@@ -162,6 +180,9 @@ func mac(entryPA, value uint64) uint64 {
 func (t *Tables) readEntry(entryPA uint64) (uint64, error) {
 	t.entryMu.Lock()
 	defer t.entryMu.Unlock()
+	if t.destroyed {
+		return 0, fmt.Errorf("%w: load of entry %#x", ErrDestroyed, entryPA)
+	}
 	var buf [entrySize]byte
 	if err := t.mem.ReadPhys(entryPA, buf[:]); err != nil {
 		return 0, err
@@ -179,6 +200,9 @@ func (t *Tables) readEntry(entryPA uint64) (uint64, error) {
 func (t *Tables) writeEntry(entryPA, v uint64) error {
 	t.entryMu.Lock()
 	defer t.entryMu.Unlock()
+	if t.destroyed {
+		return fmt.Errorf("%w: store to entry %#x", ErrDestroyed, entryPA)
+	}
 	var buf [entrySize]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	if err := t.mem.WritePhys(entryPA, buf[:]); err != nil {
@@ -197,7 +221,7 @@ func indexAt(gpa uint64, level int) uint64 {
 }
 
 // Map2M installs a writable 2 MiB leaf mapping gpa → hpa (both 2 MiB
-// aligned).
+// aligned). The GPA must be unmapped; replacing a live leaf is Remap2M's job.
 func (t *Tables) Map2M(gpa, hpa uint64) error { return t.Map2MProt(gpa, hpa, true) }
 
 // Map2MProt installs a 2 MiB leaf with explicit write permission.
@@ -205,11 +229,25 @@ func (t *Tables) Map2MProt(gpa, hpa uint64, writable bool) error {
 	if gpa%geometry.PageSize2M != 0 || hpa%geometry.PageSize2M != 0 {
 		return fmt.Errorf("ept: Map2M needs 2 MiB alignment (gpa=%#x hpa=%#x)", gpa, hpa)
 	}
-	return t.mapLeaf(gpa, hpa, 2, writable)
+	return t.mapLeaf(gpa, hpa, 2, writable, false)
+}
+
+// Remap2M rewrites the present 2 MiB leaf at gpa to a new writable frame —
+// live migration's commit step. Remapping an unmapped GPA or a GPA whose PD
+// entry points at a 4 KiB page table fails.
+func (t *Tables) Remap2M(gpa, hpa uint64) error { return t.Remap2MProt(gpa, hpa, true) }
+
+// Remap2MProt rewrites the present 2 MiB leaf at gpa with explicit write
+// permission.
+func (t *Tables) Remap2MProt(gpa, hpa uint64, writable bool) error {
+	if gpa%geometry.PageSize2M != 0 || hpa%geometry.PageSize2M != 0 {
+		return fmt.Errorf("ept: Remap2M needs 2 MiB alignment (gpa=%#x hpa=%#x)", gpa, hpa)
+	}
+	return t.mapLeaf(gpa, hpa, 2, writable, true)
 }
 
 // Map4K installs a writable 4 KiB leaf mapping gpa → hpa (both page
-// aligned).
+// aligned). The GPA must be unmapped; replacing a live leaf is Remap4K's job.
 func (t *Tables) Map4K(gpa, hpa uint64) error { return t.Map4KProt(gpa, hpa, true) }
 
 // Map4KProt installs a 4 KiB leaf with explicit write permission.
@@ -217,12 +255,24 @@ func (t *Tables) Map4KProt(gpa, hpa uint64, writable bool) error {
 	if gpa%geometry.PageSize4K != 0 || hpa%geometry.PageSize4K != 0 {
 		return fmt.Errorf("ept: Map4K needs 4 KiB alignment (gpa=%#x hpa=%#x)", gpa, hpa)
 	}
-	return t.mapLeaf(gpa, hpa, 3, writable)
+	return t.mapLeaf(gpa, hpa, 3, writable, false)
+}
+
+// Remap4KProt rewrites the present 4 KiB leaf at gpa with explicit write
+// permission — the region leg of live migration's commit step.
+func (t *Tables) Remap4KProt(gpa, hpa uint64, writable bool) error {
+	if gpa%geometry.PageSize4K != 0 || hpa%geometry.PageSize4K != 0 {
+		return fmt.Errorf("ept: Remap4K needs 4 KiB alignment (gpa=%#x hpa=%#x)", gpa, hpa)
+	}
+	return t.mapLeaf(gpa, hpa, 3, writable, true)
 }
 
 // mapLeaf walks to leafLevel, allocating intermediate tables, and installs
-// the leaf entry.
-func (t *Tables) mapLeaf(gpa, hpa uint64, leafLevel int, writable bool) error {
+// the leaf entry. With remap unset the target entry must be non-present —
+// overwriting a PD entry that points at a live 4 KiB page table would
+// silently drop its mappings and orphan the table page. With remap set the
+// target must already hold a leaf of the same size.
+func (t *Tables) mapLeaf(gpa, hpa uint64, leafLevel int, writable, remap bool) error {
 	table := t.root
 	for level := 0; level < leafLevel; level++ {
 		entryPA := table + indexAt(gpa, level)*entrySize
@@ -231,6 +281,9 @@ func (t *Tables) mapLeaf(gpa, hpa uint64, leafLevel int, writable bool) error {
 			return err
 		}
 		if v&entryPresent == 0 {
+			if remap {
+				return fmt.Errorf("%w: gpa %#x (remap target, level %d)", ErrNotMapped, gpa, level)
+			}
 			next, err := t.pages.AllocTablePage()
 			if err != nil {
 				return fmt.Errorf("ept: allocating level-%d table: %w", level+1, err)
@@ -244,11 +297,25 @@ func (t *Tables) mapLeaf(gpa, hpa uint64, leafLevel int, writable bool) error {
 				return err
 			}
 		} else if v&entryLeaf != 0 {
-			return fmt.Errorf("ept: gpa %#x already mapped by a larger page", gpa)
+			return fmt.Errorf("%w: gpa %#x covered by a larger page", ErrAlreadyMapped, gpa)
 		}
 		table = v & frameMask
 	}
 	entryPA := table + indexAt(gpa, leafLevel)*entrySize
+	cur, err := t.readEntry(entryPA)
+	if err != nil {
+		return err
+	}
+	if remap {
+		if cur&entryPresent == 0 {
+			return fmt.Errorf("%w: gpa %#x (remap target)", ErrNotMapped, gpa)
+		}
+		if leafLevel < numLevels-1 && cur&entryLeaf == 0 {
+			return fmt.Errorf("%w: gpa %#x: entry holds a page-table pointer, not a leaf", ErrAlreadyMapped, gpa)
+		}
+	} else if cur&entryPresent != 0 {
+		return fmt.Errorf("%w: gpa %#x", ErrAlreadyMapped, gpa)
+	}
 	leaf := (hpa & frameMask) | entryPresent
 	if writable {
 		leaf |= entryWrite
@@ -346,4 +413,86 @@ func (t *Tables) TranslateAccess(gpa uint64, write bool) (uint64, error) {
 		table = frame
 	}
 	panic("unreachable")
+}
+
+// Relocate rebuilds the whole hierarchy on pages drawn from newAlloc and
+// frees the old pages back to the allocator that provided them, returning
+// the number of table pages moved. Cross-socket migration uses this to pull
+// a VM's tables into the destination socket's guard-protected EPT block
+// (§5.4): the guest must be paused (relocation swaps the root and every
+// intermediate pointer non-atomically), and under SecureEPT each copied
+// entry is re-MACed for its new PA simply by being written there — the MAC
+// is keyed by entry PA, so stale MACs cannot follow the move. On any
+// partial failure the pages already drawn from newAlloc are returned and
+// the old hierarchy stays live: the caller can resume the guest unharmed.
+func (t *Tables) Relocate(newAlloc PageAllocator) (int, error) {
+	if t.destroyed {
+		return 0, fmt.Errorf("%w: relocate", ErrDestroyed)
+	}
+	oldPages, oldAlloc := t.all, t.pages
+	var newPages []uint64
+	fail := func(err error) (int, error) {
+		for _, pa := range newPages {
+			t.dropMACs(pa)
+			newAlloc.FreeTablePage(pa)
+		}
+		return 0, err
+	}
+	// copyTable deep-copies the table at pa (and, recursively, every table
+	// it points to) onto a fresh page, returning the new page's PA. Reads
+	// verify the old MACs; writes mint MACs keyed by the new PAs.
+	var copyTable func(pa uint64, level int) (uint64, error)
+	copyTable = func(pa uint64, level int) (uint64, error) {
+		np, err := newAlloc.AllocTablePage()
+		if err != nil {
+			return 0, fmt.Errorf("ept: relocating level-%d table: %w", level, err)
+		}
+		newPages = append(newPages, np)
+		if err := t.zeroPage(np); err != nil {
+			return 0, err
+		}
+		for off := uint64(0); off < tableBytes; off += entrySize {
+			v, err := t.readEntry(pa + off)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				continue
+			}
+			if v&entryPresent != 0 && v&entryLeaf == 0 && level < numLevels-1 {
+				child, err := copyTable(v&frameMask, level+1)
+				if err != nil {
+					return 0, err
+				}
+				v = (v &^ uint64(frameMask)) | (child & frameMask)
+			}
+			if err := t.writeEntry(np+off, v); err != nil {
+				return 0, err
+			}
+		}
+		return np, nil
+	}
+	newRoot, err := copyTable(t.root, 0)
+	if err != nil {
+		return fail(err)
+	}
+	t.root, t.all, t.pages = newRoot, newPages, newAlloc
+	for _, pa := range oldPages {
+		t.dropMACs(pa)
+		oldAlloc.FreeTablePage(pa)
+	}
+	return len(newPages), nil
+}
+
+// dropMACs forgets the MAC entries for a table page being released, so a
+// future tenant of the same frame starts clean.
+func (t *Tables) dropMACs(pa uint64) {
+	if t.mode != SecureEPT {
+		return
+	}
+	t.entryMu.Lock()
+	for off := uint64(0); off < tableBytes; off += entrySize {
+		delete(t.macs, pa+off)
+	}
+	t.entryMu.Unlock()
 }

@@ -1,0 +1,259 @@
+package ept
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/subarray"
+
+	allocpkg "repro/internal/alloc"
+)
+
+// Regression: mapping a 2 MiB leaf over a PD entry that points at a live
+// 4 KiB page table must fail — the old code overwrote the entry, silently
+// dropping every 4 KiB mapping under it and orphaning the table page.
+func TestMap2MOverPageTableRejected(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	gpa4 := uint64(0x7000) // lives in the PT under PD entry 0
+	if err := tables.Map4K(gpa4, 0x123000); err != nil {
+		t.Fatal(err)
+	}
+	before := len(tables.Pages())
+	if err := tables.Map2M(0, 16<<20); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("Map2M over a live page table: err = %v, want ErrAlreadyMapped", err)
+	}
+	// The 4 KiB mapping must have survived and no table page leaked.
+	if got, err := tables.Translate(gpa4); err != nil || got != 0x123000 {
+		t.Fatalf("4K mapping lost after rejected 2M map: %#x, %v", got, err)
+	}
+	if got := len(tables.Pages()); got != before {
+		t.Errorf("table pages = %d, want %d (rejected map must not allocate)", got, before)
+	}
+}
+
+// Regression: double-mapping the same GPA at the same size must fail rather
+// than silently replacing the frame.
+func TestMapOverPresentLeafRejected(t *testing.T) {
+	_, tables, _ := testEnv(t, NoProtection)
+	if err := tables.Map2M(0, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables.Map2M(0, 8<<20); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("second Map2M: err = %v, want ErrAlreadyMapped", err)
+	}
+	gpa4 := uint64(1) << 31
+	if err := tables.Map4K(gpa4, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables.Map4K(gpa4, 0x2000); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("second Map4K: err = %v, want ErrAlreadyMapped", err)
+	}
+	// The originals are intact.
+	if got, _ := tables.Translate(0); got != 4<<20 {
+		t.Errorf("2M frame replaced: %#x", got)
+	}
+	if got, _ := tables.Translate(gpa4); got != 0x1000 {
+		t.Errorf("4K frame replaced: %#x", got)
+	}
+}
+
+func TestRemapReplacesLeaf(t *testing.T) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, tables, _ := testEnv(t, mode)
+			if err := tables.Map2M(0, 4<<20); err != nil {
+				t.Fatal(err)
+			}
+			if err := tables.Remap2M(0, 8<<20); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := tables.Translate(0); err != nil || got != 8<<20 {
+				t.Fatalf("after remap: %#x, %v", got, err)
+			}
+			// Remap of an unmapped GPA fails — it is not a Map.
+			if err := tables.Remap2M(2*geometry.PageSize2M, 0); !errors.Is(err, ErrNotMapped) {
+				t.Fatalf("remap of unmapped gpa: err = %v, want ErrNotMapped", err)
+			}
+			// Remap4K over a PD entry holding a page-table pointer... first
+			// build the 4K mapping, then check Remap2M over its PD entry fails.
+			gpa4 := uint64(1) << 31
+			if err := tables.Map4K(gpa4, 0x3000); err != nil {
+				t.Fatal(err)
+			}
+			if err := tables.Remap2M(gpa4, 4<<20); !errors.Is(err, ErrAlreadyMapped) {
+				t.Fatalf("Remap2M over page-table pointer: err = %v, want ErrAlreadyMapped", err)
+			}
+			if err := tables.Remap4KProt(gpa4, 0x4000, false); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tables.TranslateAccess(gpa4, true); !errors.Is(err, ErrPermission) {
+				t.Fatalf("remapped read-only leaf writable: %v", err)
+			}
+		})
+	}
+}
+
+// Regression: Destroy used to leave root dangling and macs populated, so a
+// use-after-destroy walked freed frames with stale MACs.
+func TestUseAfterDestroyFailsLoudly(t *testing.T) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, tables, a := testEnv(t, mode)
+			if err := tables.Map2M(0, 4<<20); err != nil {
+				t.Fatal(err)
+			}
+			tables.Destroy()
+			if a.UsedBytes() != 0 {
+				t.Fatalf("UsedBytes = %d after Destroy", a.UsedBytes())
+			}
+			if len(tables.Pages()) != 0 {
+				t.Error("Pages() non-empty after Destroy")
+			}
+			if _, err := tables.Translate(0); !errors.Is(err, ErrDestroyed) {
+				t.Errorf("Translate after Destroy: err = %v, want ErrDestroyed", err)
+			}
+			if err := tables.Map2M(0, 4<<20); !errors.Is(err, ErrDestroyed) {
+				t.Errorf("Map2M after Destroy: err = %v, want ErrDestroyed", err)
+			}
+			if err := tables.Unmap(0); !errors.Is(err, ErrDestroyed) {
+				t.Errorf("Unmap after Destroy: err = %v, want ErrDestroyed", err)
+			}
+			if _, err := tables.Relocate(allocAdapter{a}); !errors.Is(err, ErrDestroyed) {
+				t.Errorf("Relocate after Destroy: err = %v, want ErrDestroyed", err)
+			}
+			tables.Destroy() // idempotent
+		})
+	}
+}
+
+func TestRelocateMovesHierarchy(t *testing.T) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			mem, tables, src := testEnv(t, mode)
+			dst, err := allocpkg.New([]subarray.Range{{Start: 32 << 20, End: 48 << 20}}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type mapping struct{ gpa, hpa uint64 }
+			var want []mapping
+			for i := uint64(0); i < 8; i++ {
+				m := mapping{i * geometry.PageSize2M, (i + 8) * geometry.PageSize2M}
+				if err := tables.Map2M(m.gpa, m.hpa); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, m)
+			}
+			// A 4 KiB region and a read-only page, to cover every entry shape.
+			g4 := uint64(1) << 31
+			if err := tables.Map4K(g4, 0x5000); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, mapping{g4, 0x5000})
+			if err := tables.Protect(0, false); err != nil {
+				t.Fatal(err)
+			}
+
+			nPages := len(tables.Pages())
+			moved, err := tables.Relocate(allocAdapter{dst})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if moved != nPages {
+				t.Errorf("relocated %d pages, want %d", moved, nPages)
+			}
+			if src.UsedBytes() != 0 {
+				t.Errorf("source allocator UsedBytes = %d, want 0", src.UsedBytes())
+			}
+			for _, pa := range tables.Pages() {
+				if pa < 32<<20 || pa >= 48<<20 {
+					t.Errorf("table page %#x outside destination range", pa)
+				}
+			}
+			for _, m := range want {
+				got, err := tables.Translate(m.gpa)
+				if err != nil || got != m.hpa {
+					t.Errorf("translate %#x = %#x, %v; want %#x", m.gpa, got, err, m.hpa)
+				}
+			}
+			// Write protection survived the move.
+			if _, err := tables.TranslateAccess(0, true); !errors.Is(err, ErrPermission) {
+				t.Errorf("protection lost across relocation: %v", err)
+			}
+			// The hierarchy is still mutable in place.
+			if err := tables.Map2M(32*geometry.PageSize2M, 0); err != nil {
+				t.Fatal(err)
+			}
+			if mode == SecureEPT {
+				// MACs were re-keyed for the new PAs: corruption on a NEW
+				// table page is still detected.
+				corruptEntry(t, mem, tables, 0)
+				if _, err := tables.Translate(0); !errors.Is(err, ErrIntegrity) {
+					t.Errorf("corruption on relocated table missed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// smallAlloc fails after budget pages, forcing a mid-relocation allocation
+// failure.
+type smallAlloc struct {
+	inner  allocAdapter
+	budget int
+}
+
+func (s *smallAlloc) AllocTablePage() (uint64, error) {
+	if s.budget <= 0 {
+		return 0, errors.New("smallAlloc: out of pages")
+	}
+	s.budget--
+	return s.inner.AllocTablePage()
+}
+func (s *smallAlloc) FreeTablePage(pa uint64) { s.inner.FreeTablePage(pa) }
+
+func TestRelocateRollsBackOnAllocFailure(t *testing.T) {
+	for _, mode := range []IntegrityMode{NoProtection, SecureEPT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, tables, src := testEnv(t, mode)
+			for i := uint64(0); i < 4; i++ {
+				if err := tables.Map2M(i*geometry.PageSize2M, i*geometry.PageSize2M); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dstInner, err := allocpkg.New([]subarray.Range{{Start: 32 << 20, End: 48 << 20}}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := &smallAlloc{inner: allocAdapter{dstInner}, budget: 1}
+			usedBefore := src.UsedBytes()
+			pagesBefore := tables.Pages()
+			if _, err := tables.Relocate(dst); err == nil {
+				t.Fatal("relocation with a 1-page allocator succeeded")
+			}
+			// Everything drawn from the destination went back, the old
+			// hierarchy is untouched and still works.
+			if dstInner.UsedBytes() != 0 {
+				t.Errorf("destination UsedBytes = %d after failed relocation", dstInner.UsedBytes())
+			}
+			if src.UsedBytes() != usedBefore {
+				t.Errorf("source UsedBytes changed: %d -> %d", usedBefore, src.UsedBytes())
+			}
+			after := tables.Pages()
+			if len(after) != len(pagesBefore) {
+				t.Fatalf("table page count changed: %d -> %d", len(pagesBefore), len(after))
+			}
+			for i := range after {
+				if after[i] != pagesBefore[i] {
+					t.Errorf("table page %d moved: %#x -> %#x", i, pagesBefore[i], after[i])
+				}
+			}
+			for i := uint64(0); i < 4; i++ {
+				got, err := tables.Translate(i * geometry.PageSize2M)
+				if err != nil || got != i*geometry.PageSize2M {
+					t.Errorf("translate %d after failed relocation: %#x, %v", i, got, err)
+				}
+			}
+		})
+	}
+}

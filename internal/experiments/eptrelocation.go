@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/ept"
+	"repro/internal/geometry"
+	"repro/internal/migrate"
+	"repro/internal/numa"
+)
+
+// EPTRelocConfig parameterizes the "ept-relocation" experiment: after one or
+// more cross-socket live migrations, are a VM's EPT tables rebuilt inside the
+// destination socket's protected pool, is the source pool's capacity given
+// back, and does the relocated block still resist the §7.1 in-block hammering
+// attack?
+type EPTRelocConfig struct {
+	// Geometry of the simulated server; zero value = the two-socket lab box
+	// the migration studies use.
+	Geometry geometry.Geometry
+	// Moves are the cross-socket migration counts swept. Odd counts leave
+	// the VM (and its tables) on socket 1, even counts ping-pong it home.
+	Moves []int
+	// Modes are the EPT integrity modes swept. Guard rows exercise the
+	// guard-protected EPT block (§5.4); SecureEPT exercises per-entry MAC
+	// recomputation across the relocation.
+	Modes []ept.IntegrityMode
+	// Seed drives the guest's payload and dirtying pattern.
+	Seed int64
+}
+
+// DefaultEPTRelocConfig sweeps one to three migrations under both protection
+// modes.
+func DefaultEPTRelocConfig() EPTRelocConfig {
+	return EPTRelocConfig{
+		Moves: []int{1, 2, 3},
+		Modes: []ept.IntegrityMode{ept.GuardRows, ept.SecureEPT},
+		Seed:  23,
+	}
+}
+
+// QuickEPTRelocConfig trims the sweep for smoke runs.
+func QuickEPTRelocConfig() EPTRelocConfig {
+	cfg := DefaultEPTRelocConfig()
+	cfg.Moves = []int{1}
+	return cfg
+}
+
+// eptRelocProfile is the lab DIMM for the relocation study: transforms
+// stripped so subarray groups form without padding, every row fully
+// vulnerable and dense with weak cells so the hammering phase is
+// deterministic rather than probabilistic.
+func eptRelocProfile() dram.Profile {
+	p := dram.ProfileF()
+	p.Transforms = addr.TransformConfig{}
+	p.VulnerableRowFraction = 1
+	p.WeakCellsPerRow = 600
+	p.HammerThreshold = 5000
+	return p
+}
+
+// eptRelocRun is one cell of the sweep.
+type eptRelocRun struct {
+	mode  ept.IntegrityMode
+	moves int
+}
+
+func (r eptRelocRun) label() string {
+	return fmt.Sprintf("%s moves=%d", eptModeName(r.mode), r.moves)
+}
+
+func eptModeName(m ept.IntegrityMode) string {
+	switch m {
+	case ept.GuardRows:
+		return "guardrows"
+	case ept.SecureEPT:
+		return "secure-ept"
+	default:
+		return "none"
+	}
+}
+
+// eptRelocRowResult is one completed cell, index-addressed for the pool.
+type eptRelocRowResult struct {
+	run eptRelocRun
+	// RelocatedPages totals table pages rebuilt across all moves.
+	relocatedPages int
+	// reclaimedBytes totals source-pool bytes freed across all moves.
+	reclaimedBytes uint64
+	// relocatedEveryMove: each migration moved the full hierarchy (>= the
+	// root, one PDPT and one PD page).
+	relocatedEveryMove bool
+	// sourceReclaimed: every socket the VM left has its EPT pool back at
+	// its boot free-byte count, and reclaimed bytes match the page count.
+	sourceReclaimed bool
+	// auditOK: migrate.AuditIsolation passed after every move.
+	auditOK bool
+	// memoryIntact: the guest payload survived the whole sequence.
+	memoryIntact bool
+	// Guard-rows hammering phase (§7.1 against the NEW block).
+	newBlockFlips  int
+	controlFlips   int
+	translationsOK bool
+	// SecureEPT hammering phase: corrupted walks must fault, never
+	// silently resolve differently.
+	integrityFaults int
+	silentCorrupt   int
+}
+
+// eptRelocDest picks enough unowned guest nodes on the target socket to
+// hold the VM.
+func eptRelocDest(h *core.Hypervisor, socket int, bytes uint64) ([]int, error) {
+	var ids []int
+	var capacity uint64
+	for _, n := range h.Topology().NodesOnSocket(socket, numa.GuestReserved) {
+		if _, owned := h.Registry().OwnerOf(n.ID); owned {
+			continue
+		}
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, n.ID)
+		capacity += a.FreeBytes()
+		if capacity >= bytes {
+			return ids, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: socket %d cannot host %d bytes", socket, bytes)
+}
+
+// eptPoolFree snapshots each socket's EPT-pool free bytes (the EPT node
+// under guard rows; relocation accounting under SecureEPT is validated
+// through the migration reports instead, since tables then share the
+// host-reserved pool).
+func eptPoolFree(h *core.Hypervisor) (map[int]uint64, error) {
+	out := map[int]uint64{}
+	for _, n := range h.Topology().NodesOfKind(numa.EPTReserved) {
+		a, err := h.Allocator(n.ID)
+		if err != nil {
+			return nil, err
+		}
+		out[n.Socket] = a.FreeBytes()
+	}
+	return out, nil
+}
+
+// runEPTReloc executes one cell: boot, migrate cross-socket `moves` times,
+// then re-run the §7.1 hammering attack against the relocated tables.
+func runEPTReloc(cfg EPTRelocConfig, run eptRelocRun, seed int64) (eptRelocRowResult, error) {
+	res := eptRelocRowResult{run: run}
+	g := cfg.Geometry
+	if g.Sockets == 0 {
+		g = migrationLabGeometry()
+	}
+	h, err := core.Boot(core.Config{
+		Geometry:      g,
+		Profiles:      []dram.Profile{eptRelocProfile()},
+		EPTProtection: run.mode,
+	}, core.ModeSiloz)
+	if err != nil {
+		return res, err
+	}
+	bootFree, err := eptPoolFree(h)
+	if err != nil {
+		return res, err
+	}
+	vm, err := h.CreateVM(core.Process{KVMPrivileged: true}, core.VMSpec{
+		Name: "reloc", Socket: 0, MemoryBytes: 64 * geometry.MiB,
+	})
+	if err != nil {
+		return res, err
+	}
+	payload := byte(seed)
+	if err := vm.WriteGuest(4321, []byte{payload}); err != nil {
+		return res, err
+	}
+
+	res.relocatedEveryMove = true
+	res.auditOK = true
+	for m := 0; m < run.moves; m++ {
+		target := 1 - vm.EPTSocket()
+		dests, err := eptRelocDest(h, target, vm.Spec().MemoryBytes)
+		if err != nil {
+			return res, err
+		}
+		rep, err := h.MigrateVM(context.Background(), "reloc", dests, core.MigrateOptions{
+			MaxRounds: 8,
+			StopPages: 8,
+			GuestStep: func(round int) error {
+				return vm.WriteGuest(uint64(round)*geometry.PageSize2M, []byte{byte(round)})
+			},
+		})
+		if err != nil {
+			return res, err
+		}
+		res.relocatedPages += rep.EPTRelocatedPages
+		res.reclaimedBytes += rep.EPTReclaimedBytes
+		// The 64 MiB hierarchy is at least root + PDPT + PD.
+		if rep.EPTRelocatedPages < 3 {
+			res.relocatedEveryMove = false
+		}
+		if err := migrate.AuditIsolation(h); err != nil {
+			res.auditOK = false
+		}
+	}
+
+	final := vm.EPTSocket()
+	res.sourceReclaimed = res.reclaimedBytes == uint64(res.relocatedPages)*geometry.PageSize4K
+	if run.mode == ept.GuardRows {
+		now, err := eptPoolFree(h)
+		if err != nil {
+			return res, err
+		}
+		for socket, free := range bootFree {
+			if socket != final && now[socket] != free {
+				res.sourceReclaimed = false
+			}
+		}
+	}
+	buf := make([]byte, 1)
+	if err := vm.ReadGuest(4321, buf); err == nil && buf[0] == payload {
+		res.memoryIntact = true
+	}
+
+	// §7.1 re-run against the block the tables now live in.
+	before := make(map[uint64]uint64)
+	for gpa := uint64(0); gpa < vm.Spec().MemoryBytes; gpa += geometry.PageSize2M {
+		hpa, err := vm.TranslateUncached(gpa)
+		if err != nil {
+			return res, err
+		}
+		before[gpa] = hpa
+	}
+	mem := h.Memory()
+	acts := int(eptRelocProfile().HammerThreshold) * 4
+	switch run.mode {
+	case ept.GuardRows:
+		// Hammer the closest allocatable rows around the destination
+		// socket's 32-row EPT block, plus an unprotected control row in
+		// the same bank so a flip-free result is non-vacuous.
+		eptNode, err := h.EPTNode(final)
+		if err != nil {
+			return res, err
+		}
+		ma, err := mem.Mapper().Decode(eptNode.Ranges[0].Start)
+		if err != nil {
+			return res, err
+		}
+		for _, row := range []int{core.EPTBlockRowGroups, core.EPTBlockRowGroups + 1} {
+			pa, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+			if err != nil {
+				return res, err
+			}
+			if err := mem.ActivatePhys(pa, acts, 0); err != nil {
+				return res, err
+			}
+		}
+		mem.Refresh()
+		ctrlPA, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: 40, Col: 0})
+		if err != nil {
+			return res, err
+		}
+		if err := mem.ActivatePhys(ctrlPA, acts, 0); err != nil {
+			return res, err
+		}
+		mem.Refresh()
+		for _, f := range mem.Flips() {
+			if f.Bank.Socket != final {
+				continue
+			}
+			if f.MediaRow == core.EPTRowGroupOffset {
+				res.newBlockFlips++
+			}
+			if f.MediaRow >= core.EPTBlockRowGroups {
+				res.controlFlips++
+			}
+		}
+		res.translationsOK = true
+		for gpa, want := range before {
+			hpa, err := vm.TranslateUncached(gpa)
+			if err != nil || hpa != want {
+				res.translationsOK = false
+				break
+			}
+		}
+	case ept.SecureEPT:
+		// The relocated tables live in ordinary host rows; hammer the
+		// relocated PD's neighbours and require every corrupted walk to
+		// fault on the freshly-minted MACs rather than resolve silently.
+		pd := vm.Tables().Pages()[2] // root, PDPT, PD
+		ma, err := mem.Mapper().Decode(pd)
+		if err != nil {
+			return res, err
+		}
+		for _, row := range []int{ma.Row - 1, ma.Row + 1} {
+			if row < 0 || row >= g.RowsPerBank {
+				continue
+			}
+			pa, err := mem.Mapper().Encode(geometry.MediaAddr{Bank: ma.Bank, Row: row, Col: 0})
+			if err != nil {
+				return res, err
+			}
+			if err := mem.ActivatePhys(pa, acts, 0); err != nil {
+				return res, err
+			}
+		}
+		mem.Refresh()
+		res.translationsOK = true
+		for gpa, want := range before {
+			hpa, err := vm.TranslateUncached(gpa)
+			switch {
+			case err != nil:
+				res.integrityFaults++
+			case hpa != want:
+				res.silentCorrupt++
+			}
+		}
+	}
+	return res, nil
+}
+
+// eptRelocExp is the "ept-relocation" experiment.
+type eptRelocExp struct{}
+
+func (eptRelocExp) Name() string { return "ept-relocation" }
+
+func (eptRelocExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	rc := cfg.EPTReloc
+	if len(rc.Moves) == 0 || len(rc.Modes) == 0 {
+		def := DefaultEPTRelocConfig()
+		if len(rc.Moves) == 0 {
+			rc.Moves = def.Moves
+		}
+		if len(rc.Modes) == 0 {
+			rc.Modes = def.Modes
+		}
+		if rc.Seed == 0 {
+			rc.Seed = def.Seed
+		}
+	}
+	var runs []eptRelocRun
+	for _, mode := range rc.Modes {
+		for _, moves := range rc.Moves {
+			runs = append(runs, eptRelocRun{mode: mode, moves: moves})
+		}
+	}
+	results := make([]eptRelocRowResult, len(runs))
+	if err := cfg.Pool.Map(ctx, len(runs), func(i int) error {
+		var err error
+		results[i], err = runEPTReloc(rc, runs[i], repSeed(rc.Seed, i))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		Name:  "ept-relocation",
+		Title: "EPT-table relocation across sockets (§5.4 pool placement, §7.1 re-run)",
+		Columns: []string{
+			"moves", "relocated pages", "reclaimed", "new-block flips",
+			"control flips", "integrity faults", "intact",
+		},
+		Units:    []string{"", "", "KiB", "", "", "", ""},
+		Metadata: map[string]string{"profile": eptRelocProfile().Name, "vm": "64 MiB"},
+	}
+	allRelocated, allReclaimed, allAudited, allIntact := true, true, true, true
+	guardFlipFree, guardControl, secureDetected := true, false, true
+	var totalPages int
+	var totalBytes uint64
+	var totalNewFlips, totalFaults int
+	for _, res := range results {
+		r.Rows = append(r.Rows, Row{Label: res.run.label(), Cells: []any{
+			res.run.moves, res.relocatedPages, res.reclaimedBytes / geometry.KiB,
+			res.newBlockFlips, res.controlFlips, res.integrityFaults,
+			res.memoryIntact && res.translationsOK,
+		}})
+		totalPages += res.relocatedPages
+		totalBytes += res.reclaimedBytes
+		totalNewFlips += res.newBlockFlips
+		totalFaults += res.integrityFaults
+		allRelocated = allRelocated && res.relocatedEveryMove
+		allReclaimed = allReclaimed && res.sourceReclaimed
+		allAudited = allAudited && res.auditOK
+		allIntact = allIntact && res.memoryIntact
+		switch res.run.mode {
+		case ept.GuardRows:
+			guardFlipFree = guardFlipFree && res.newBlockFlips == 0 && res.translationsOK
+			guardControl = guardControl || res.controlFlips > 0
+		case ept.SecureEPT:
+			secureDetected = secureDetected && res.integrityFaults > 0 && res.silentCorrupt == 0
+		}
+	}
+	r.scalar("relocated_pages", float64(totalPages))
+	r.scalar("reclaimed_bytes", float64(totalBytes))
+	r.scalar("new_block_flips", float64(totalNewFlips))
+	r.scalar("integrity_faults", float64(totalFaults))
+	r.check("relocated_every_move", allRelocated,
+		"every cross-socket migration rebuilt the full table hierarchy")
+	r.check("source_ept_reclaimed", allReclaimed,
+		"vacated sockets' EPT pools returned to their boot free-byte count")
+	r.check("isolation_audited", allAudited,
+		"migrate.AuditIsolation passed after every move")
+	r.check("memory_intact", allIntact,
+		"guest payload survived every migration sequence")
+	r.check("new_block_flip_free", guardFlipFree,
+		fmt.Sprintf("%d flips reached relocated guard-protected blocks; translations intact", totalNewFlips))
+	r.check("control_rows_flipped", guardControl,
+		"unprotected control rows flipped (hammering phase non-vacuous)")
+	r.check("corruption_detected_not_silent", secureDetected,
+		fmt.Sprintf("%d integrity faults on relocated SecureEPT tables, none silent", totalFaults))
+	return r, nil
+}

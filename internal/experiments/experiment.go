@@ -36,6 +36,9 @@ type Config struct {
 	// Hotplug parameterizes the memory-hotplug experiment. A zero value
 	// falls back to DefaultHotplugConfig.
 	Hotplug HotplugConfig
+	// EPTReloc parameterizes the EPT-table relocation experiment. A zero
+	// value falls back to DefaultEPTRelocConfig.
+	EPTReloc EPTRelocConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

@@ -24,6 +24,7 @@ var registry = []Experiment{
 	dramaExp{},
 	actRatesExp{},
 	zebramExp{},
+	eptRelocExp{},
 }
 
 // All returns every registered experiment in canonical order.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ept"
 	"repro/internal/numa"
 )
 
@@ -16,8 +17,11 @@ import (
 //   - every RAM page lies inside its VM's domain;
 //   - no guest node appears in two VMs' domains (no cross-tenant InDomain
 //     overlap);
-//   - EPT table pages never live in a guest-reserved node: they stay in
-//     host memory or the guard-protected EPT row-group block (§5.4);
+//   - EPT table pages live in the pool of the VM's *current* EPT socket —
+//     the guard-protected EPT row-group block under guard-rows protection,
+//     that socket's host-reserved memory otherwise (§5.4). Relocation keeps
+//     EPTSocket() tracking cross-socket migrations, so a VM whose tables
+//     were left behind on the source socket fails this check;
 //   - mediated pages stay host-reserved, outside every guest domain.
 //
 // Under the baseline there are no domains and the audit trivially passes.
@@ -51,9 +55,24 @@ func AuditIsolation(h *core.Hypervisor) error {
 				return fmt.Errorf("migrate: VM %q RAM page %#x outside its domain", vm.Name(), hpa)
 			}
 		}
-		for _, pa := range vm.Tables().Pages() {
-			if n, ok := topo.NodeOf(pa); ok && n.Kind == numa.GuestReserved {
-				return fmt.Errorf("migrate: VM %q EPT page %#x inside guest-reserved node %d", vm.Name(), pa, n.ID)
+		if vm.Tables().Mode() == ept.GuardRows {
+			eptNode, err := h.EPTNode(vm.EPTSocket())
+			if err != nil {
+				return fmt.Errorf("migrate: VM %q: %v", vm.Name(), err)
+			}
+			for _, pa := range vm.Tables().Pages() {
+				if !eptNode.Contains(pa) {
+					return fmt.Errorf("migrate: VM %q EPT page %#x outside socket %d's guard-protected EPT block",
+						vm.Name(), pa, vm.EPTSocket())
+				}
+			}
+		} else {
+			for _, pa := range vm.Tables().Pages() {
+				n, ok := topo.NodeOf(pa)
+				if !ok || n.Kind != numa.HostReserved || n.Socket != vm.EPTSocket() {
+					return fmt.Errorf("migrate: VM %q EPT page %#x not in socket %d's host-reserved memory",
+						vm.Name(), pa, vm.EPTSocket())
+				}
 			}
 		}
 		for _, pa := range vm.MediatedPages() {

@@ -101,6 +101,42 @@ func (p *Planner) Occupancy() ([]NodeOccupancy, error) {
 	return out, nil
 }
 
+// EPTNodeOccupancy is one socket's EPT-reserved node state: how much of the
+// guard-protected row-group block its resident table hierarchies consume.
+// Cross-socket migrations relocate EPT tables, so defragmentation drains
+// these pools alongside the guest-reserved ones.
+type EPTNodeOccupancy struct {
+	Socket     int
+	Node       *numa.Node
+	FreeBytes  uint64
+	TotalBytes uint64
+	UsedBytes  uint64
+	TablePages int // 4 KiB table pages resident in the block
+}
+
+// EPTOccupancy reports every EPT-reserved node's usage in socket order —
+// empty outside guard-rows protection, where table pages live in host
+// memory instead of dedicated blocks.
+func (p *Planner) EPTOccupancy() ([]EPTNodeOccupancy, error) {
+	var out []EPTNodeOccupancy
+	for _, n := range p.h.Topology().NodesOfKind(numa.EPTReserved) {
+		a, err := p.h.Allocator(n.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EPTNodeOccupancy{
+			Socket:     n.Socket,
+			Node:       n,
+			FreeBytes:  a.FreeBytes(),
+			TotalBytes: a.TotalBytes(),
+			UsedBytes:  a.UsedBytes(),
+			TablePages: int(a.UsedBytes() / geometry.PageSize4K),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Socket < out[j].Socket })
+	return out, nil
+}
+
 // specGuestBytes is the capacity a spec demands from guest-reserved nodes:
 // RAM plus every unmediated region (mirrors the admission check).
 func specGuestBytes(spec core.VMSpec) uint64 {
