@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race race-quick bench bench-quick examples tools check verify clean
+.PHONY: all build vet fmt-check test test-short race race-quick bench bench-micro bench-check bench-quick examples tools check verify clean
 
 all: check
 
@@ -40,9 +40,28 @@ race-quick:
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 	$(GO) test -race -run 'TestEPTRelocationProperty' ./internal/migrate
 
-# Full benchmark sweep: every table/figure plus per-substrate microbenches.
+# Packages with substrate microbenchmarks (address decode, the memory
+# controller, the DRAM module) — the hot paths the BENCH_*.json baseline
+# tracks. The registry benches in the repo root ride along.
+BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount
+BENCH_DATE := $(shell date +%F)
+# Latest committed baseline by date-sorted filename.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+# Full benchmark sweep: every table/figure plus per-substrate microbenches,
+# captured into a dated JSON baseline (min ns/op across -count runs).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -count=3 ./... | $(GO) run ./cmd/siloz-perf -o BENCH_$(BENCH_DATE).json
+
+# Microbench-only capture: the substrate hot paths, quick enough to run on
+# every perf-relevant change.
+bench-micro:
+	$(GO) test -run '^$$' -bench=. -benchmem -count=3 $(BENCH_PKGS) | $(GO) run ./cmd/siloz-perf -o BENCH_$(BENCH_DATE).json
+
+# Regression gate: rerun the microbenches and fail on >20% ns/op slowdown
+# against the newest committed BENCH_*.json.
+bench-check:
+	$(GO) test -run '^$$' -bench=. -benchmem -count=2 $(BENCH_PKGS) | $(GO) run ./cmd/siloz-perf -check $(BENCH_BASELINE) -tolerance 20
 
 bench-quick:
 	$(GO) run ./cmd/siloz-bench -quick

@@ -263,3 +263,19 @@ func BenchmarkZebRAMComparison(b *testing.B) {
 	}
 	b.ReportMetric(silozOverhead, "siloz-overhead-%")
 }
+
+// BenchmarkSecuritySweep runs the whole §7.1 security battery — Table 3
+// containment, EPT protection, and activation rates — end to end per
+// iteration. This is the registry-level trajectory number the sharded
+// campaign driver and the memctrl/addr hot-path rewrites are measured by.
+func BenchmarkSecuritySweep(b *testing.B) {
+	cfg := benchConfig()
+	var outside float64
+	for i := 0; i < b.N; i++ {
+		cfg.Security.Seed = int64(i) + 7
+		outside = scalar(b, runExp(b, "table3", cfg), "flips_outside")
+		runExp(b, "ept", cfg)
+		runExp(b, "actrates", cfg)
+	}
+	b.ReportMetric(outside, "flips-outside")
+}

@@ -32,7 +32,7 @@ import (
 
 // infer builds a fresh simulated DIMM and runs one inference pass.
 func infer(g geometry.Geometry, prof dram.Profile, cfg attack.InferenceConfig) (int, error) {
-	mapper, err := addr.NewSkylakeMapper(g)
+	mapper, err := addr.NewMapper(g, addr.KindSkylake)
 	if err != nil {
 		return 0, err
 	}

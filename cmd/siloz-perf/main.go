@@ -1,0 +1,241 @@
+// Command siloz-perf turns `go test -bench` output into a stable JSON
+// baseline and gates regressions against one.
+//
+// Capture mode (default) parses benchmark lines from stdin, keeps the
+// minimum ns/op across repeated -count runs of the same benchmark (the
+// minimum is the least noisy estimator of the true cost on a shared
+// machine), and writes a sorted JSON document:
+//
+//	go test -bench=. -benchmem -count=3 ./... | siloz-perf -o BENCH_2026-08-08.json
+//
+// Check mode compares fresh output against a committed baseline and exits
+// non-zero if any benchmark regressed beyond the tolerance:
+//
+//	go test -bench=. -benchmem -count=2 ./... | siloz-perf -check BENCH_2026-08-08.json -tolerance 20
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate: the suite is expected to grow.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's aggregated numbers.
+type Result struct {
+	// Pkg is the Go package the benchmark lives in.
+	Pkg string `json:"pkg"`
+	// Name is the benchmark name without the Benchmark prefix or the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// NsPerOp is the minimum ns/op observed across runs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are from -benchmem; -1 when absent.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Runs counts how many -count repetitions were aggregated.
+	Runs int `json:"runs"`
+}
+
+// Baseline is the JSON document siloz-perf reads and writes.
+type Baseline struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON baseline to this file (default stdout)")
+	check := flag.String("check", "", "baseline JSON to compare against instead of capturing")
+	tolerance := flag.Float64("tolerance", 20, "max allowed ns/op regression in percent (check mode)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if *check != "" {
+		if err := runCheck(*check, results, *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	doc := Baseline{
+		Schema:     "siloz-bench/1",
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		Benchmarks: results,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "siloz-perf: %d benchmarks -> %s\n", len(results), *out)
+	}
+}
+
+// parse reads `go test -bench` output and aggregates repeated runs of the
+// same benchmark, keyed by (pkg, name).
+func parse(r io.Reader) ([]Result, error) {
+	byKey := map[string]*Result{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName[-P] N x ns/op [y B/op z allocs/op [metrics...]]
+		if len(fields) < 4 || !hasUnit(fields, "ns/op") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{Pkg: pkg, Name: name, BytesPerOp: -1, AllocsPerOp: -1, Runs: 1}
+		found := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				found = true
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			}
+		}
+		if !found {
+			continue
+		}
+		key := pkg + "." + name
+		prev, ok := byKey[key]
+		if !ok {
+			r := res
+			byKey[key] = &r
+			continue
+		}
+		prev.Runs++
+		if res.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = res.NsPerOp
+		}
+		if res.BytesPerOp >= 0 && (prev.BytesPerOp < 0 || res.BytesPerOp < prev.BytesPerOp) {
+			prev.BytesPerOp = res.BytesPerOp
+		}
+		if res.AllocsPerOp >= 0 && (prev.AllocsPerOp < 0 || res.AllocsPerOp < prev.AllocsPerOp) {
+			prev.AllocsPerOp = res.AllocsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(byKey))
+	for _, r := range byKey {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// hasUnit reports whether any field equals the unit (layout tolerance for
+// benchmarks that report custom metrics first).
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}
+
+// runCheck compares current results against the baseline file and fails on
+// any ns/op regression beyond tolerance percent.
+func runCheck(path string, current []Result, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	baseBy := map[string]Result{}
+	for _, r := range base.Benchmarks {
+		baseBy[r.Pkg+"."+r.Name] = r
+	}
+	curBy := map[string]bool{}
+	regressions := 0
+	for _, cur := range current {
+		key := cur.Pkg + "." + cur.Name
+		curBy[key] = true
+		old, ok := baseBy[key]
+		if !ok {
+			fmt.Printf("NEW       %-60s %10.1f ns/op\n", key, cur.NsPerOp)
+			continue
+		}
+		delta := 100 * (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("%-9s %-60s %10.1f -> %10.1f ns/op (%+.1f%%)\n",
+			status, key, old.NsPerOp, cur.NsPerOp, delta)
+	}
+	for key := range baseBy {
+		if !curBy[key] {
+			fmt.Printf("MISSING   %-60s (in baseline, not in run)\n", key)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, tolerance, path)
+	}
+	fmt.Printf("siloz-perf: no regression beyond %.0f%% vs %s (%d benchmarks)\n",
+		tolerance, path, len(current))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siloz-perf:", err)
+	os.Exit(1)
+}

@@ -17,7 +17,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	g := geometry.Default()
-	mapper, err := addr.NewSkylakeMapper(g)
+	mapper, err := addr.NewMapper(g, addr.KindSkylake)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func main() {
 		BanksPerRank: 8, RowsPerBank: 5120, RowBytes: 8 * geometry.KiB,
 		RowsPerSubarray: 640,
 	}
-	nm, err := addr.NewSkylakeMapper(ng)
+	nm, err := addr.NewMapper(ng, addr.KindSkylake)
 	if err != nil {
 		log.Fatal(err)
 	}

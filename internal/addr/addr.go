@@ -36,6 +36,56 @@ type Mapper interface {
 	Geometry() geometry.Geometry
 }
 
+// BankDecoder is an optional fast-path capability a Mapper may implement
+// for callers that only steer on bank, row and socket (the memory
+// controller's per-access decode): it skips assembling the structured
+// BankID and the column offset. bank is the dense server-wide index
+// BankID.Flat would return. Callers feature-detect it once with a type
+// assertion and must fall back to Decode when absent; both paths return
+// identical coordinates.
+type BankDecoder interface {
+	// DecodeBank returns pa's flat bank index, row, and socket.
+	DecodeBank(pa uint64) (bank, row, socket int, err error)
+}
+
+// Kind selects a physical-to-media mapping family.
+type Kind int
+
+const (
+	// KindSkylake is the Skylake-like interleaved mapping of §4.2, the
+	// mapping of the paper's evaluation server and the default everywhere.
+	KindSkylake Kind = iota
+	// KindLinear is the no-interleave ablation mapping: addresses fill one
+	// bank completely before moving to the next.
+	KindLinear
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSkylake:
+		return "skylake"
+	case KindLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NewMapper builds a mapper of the given kind for g. It is the constructor
+// callers should use unless they need a concrete type's extra methods
+// (SkylakeMapper.ChunkBytes, PartitionedMapper.PartitionOf); the LUT and
+// reciprocal-divider fast paths are wired up behind it either way.
+// Partitioned mappings take a partition count and keep their dedicated
+// NewPartitionedMapper constructor.
+func NewMapper(g geometry.Geometry, k Kind) (Mapper, error) {
+	switch k {
+	case KindSkylake:
+		return NewSkylakeMapper(g)
+	case KindLinear:
+		return NewLinearMapper(g)
+	}
+	return nil, fmt.Errorf("addr: unknown mapper kind %d", int(k))
+}
+
 // Side identifies one of the two internal half-rows of a DDR4 row (§2.3).
 // Each 8 KiB external row is split across a rank's "A" and "B" sides, each
 // half simultaneously serving half of a data request.

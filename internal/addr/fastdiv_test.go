@@ -1,0 +1,77 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastDivExhaustiveSmall checks every dividend against hardware
+// division for a spread of small divisors.
+func TestFastDivExhaustiveSmall(t *testing.T) {
+	for _, d := range []int64{1, 2, 3, 5, 7, 12, 16, 24, 100, 192, 384, 1023, 1024, 1536} {
+		const maxN = 1 << 16
+		f, err := newFastDiv(d, maxN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := int64(0); n <= maxN; n++ {
+			q, r := f.divmod(n)
+			if q != n/d || r != n%d {
+				t.Fatalf("d=%d n=%d: got (%d,%d), want (%d,%d)", d, n, q, r, n/d, n%d)
+			}
+		}
+	}
+}
+
+// TestFastDivGeometryDivisors checks random dividends against hardware
+// division for the divisors the mappers actually construct (row group,
+// chunk, half-region, region, socket spans), over full address-space
+// ranges, with the range endpoints pinned.
+func TestFastDivGeometryDivisors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	divisors := []int64{
+		192 * 8 << 10,            // row group, 1.5 MiB
+		16 * 192 * 8 << 10,       // chunk, 24 MiB
+		16 * 16 * 192 * 8 << 10,  // half region, 384 MiB
+		32 * 16 * 192 * 8 << 10,  // region, 768 MiB
+		192 << 30,                // socket, 192 GiB
+		384 * 8 << 10,            // DDR5 row group
+		256 * 8 << 10,            // HBM2 row group
+		1 << 30,                  // power-of-two bank
+		3 << 30,                  // 3 GiB subarray group
+		(2*192<<30 - 1) | 0x5555, // adversarial odd divisor
+	}
+	for _, d := range divisors {
+		maxN := int64(2*192)<<30 - 1 // two-socket evaluation server span
+		f, err := newFastDiv(d, maxN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(n int64) {
+			q, r := f.divmod(n)
+			if q != n/d || r != n%d {
+				t.Fatalf("d=%d n=%d: got (%d,%d), want (%d,%d)", d, n, q, r, n/d, n%d)
+			}
+		}
+		check(0)
+		check(maxN)
+		check(d - 1)
+		check(d)
+		check(d + 1)
+		for i := 0; i < 200_000; i++ {
+			check(rng.Int63n(maxN + 1))
+		}
+	}
+}
+
+func TestFastDivRejectsBadInputs(t *testing.T) {
+	if _, err := newFastDiv(0, 100); err == nil {
+		t.Error("divisor 0 accepted")
+	}
+	if _, err := newFastDiv(-3, 100); err == nil {
+		t.Error("negative divisor accepted")
+	}
+	if _, err := newFastDiv(3, 1<<62); err == nil {
+		t.Error("out-of-range maxN accepted")
+	}
+}

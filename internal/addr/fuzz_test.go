@@ -1,6 +1,7 @@
 package addr
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/geometry"
@@ -39,6 +40,123 @@ func FuzzSkylakeRoundTrip(f *testing.F) {
 			t.Fatalf("round trip %#x -> %v -> %#x (%v)", pa, ma, back, err)
 		}
 	})
+}
+
+// refMapper is a Mapper whose fast Decode has a retained divide/modulo
+// reference implementation to compare against.
+type refMapper interface {
+	Mapper
+	decodeRef(pa uint64) (geometry.MediaAddr, error)
+}
+
+// equivalenceMappers builds one mapper per geometry in use across the repo:
+// the evaluation server, the DDR5 and HBM2 variants (§8.2), a sub-NUMA
+// cluster split (§8.1), the reduced geometries the registry benchmarks and
+// cmd/siloz-infer run on, and partitioned mappers at several splits.
+func equivalenceMappers(t testing.TB) []refMapper {
+	t.Helper()
+	benchG := geometry.Geometry{
+		Sockets: 2, CoresPerSocket: 8, DIMMsPerSocket: 2, RanksPerDIMM: 2,
+		BanksPerRank: 4, RowsPerBank: 4096, RowBytes: 8 * geometry.KiB,
+		RowsPerSubarray: 512,
+	}
+	inferG := geometry.Geometry{
+		Sockets: 1, CoresPerSocket: 4, DIMMsPerSocket: 1, RanksPerDIMM: 2,
+		BanksPerRank: 8, RowsPerBank: 8192, RowBytes: 8 * geometry.KiB,
+		RowsPerSubarray: 1024,
+	}
+	snc, err := geometry.Default().WithSNC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []refMapper
+	for _, g := range []geometry.Geometry{
+		geometry.Default(), geometry.DDR5Server(), geometry.HBM2Server(),
+		snc, benchG, inferG,
+	} {
+		sky, err := NewSkylakeMapper(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := NewLinearMapper(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, sky, lin)
+		for _, parts := range []int{2, 4} {
+			if g.BanksPerSocket()%parts != 0 {
+				continue
+			}
+			pm, err := NewPartitionedMapper(g, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms = append(ms, pm)
+		}
+	}
+	return ms
+}
+
+// checkFastPathAt demands that the LUT/reciprocal fast path and the
+// divide/modulo reference agree at pa — same media address or same error —
+// and that the fast Encode inverts the fast Decode exactly.
+func checkFastPathAt(t *testing.T, m refMapper, pa uint64) {
+	t.Helper()
+	fast, fastErr := m.Decode(pa)
+	ref, refErr := m.decodeRef(pa)
+	if (fastErr == nil) != (refErr == nil) {
+		t.Fatalf("%T Decode(%#x): fast err %v, ref err %v", m, pa, fastErr, refErr)
+	}
+	if fastErr != nil {
+		return
+	}
+	if fast != ref {
+		t.Fatalf("%T Decode(%#x): fast %v, ref %v", m, pa, fast, ref)
+	}
+	back, err := m.Encode(fast)
+	if err != nil || back != pa {
+		t.Fatalf("%T round trip %#x -> %v -> %#x (%v)", m, pa, fast, back, err)
+	}
+	bank, row, socket, err := m.(BankDecoder).DecodeBank(pa)
+	if err != nil {
+		t.Fatalf("%T DecodeBank(%#x): %v", m, pa, err)
+	}
+	if bank != fast.Bank.Flat(m.Geometry()) || row != fast.Row || socket != fast.Bank.Socket {
+		t.Fatalf("%T DecodeBank(%#x) = (%d,%d,%d), Decode says (%d,%d,%d)",
+			m, pa, bank, row, socket, fast.Bank.Flat(m.Geometry()), fast.Row, fast.Bank.Socket)
+	}
+}
+
+// FuzzMapperFastPathEquivalence cross-checks the fast Decode path against
+// the retained reference arithmetic for every geometry in use.
+func FuzzMapperFastPathEquivalence(f *testing.F) {
+	ms := equivalenceMappers(f)
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(768)<<20-64, uint8(0))
+	f.Add(uint64(geometry.Default().SocketBytes()), uint8(0))
+	f.Add(^uint64(0), uint8(3))
+	for i := range ms {
+		f.Add(uint64(geometry.Default().TotalBytes())-1, uint8(i))
+	}
+	f.Fuzz(func(t *testing.T, pa uint64, which uint8) {
+		checkFastPathAt(t, ms[int(which)%len(ms)], pa)
+	})
+}
+
+// TestMapperFastPathEquivalence sweeps randomized and boundary addresses
+// through every mapper on every normal test run (the fuzzer only replays
+// its seed corpus under plain `go test`).
+func TestMapperFastPathEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range equivalenceMappers(t) {
+		total := uint64(m.Geometry().TotalBytes())
+		for _, pa := range []uint64{0, 63, 64, total - 1, total, total + 4096} {
+			checkFastPathAt(t, m, pa)
+		}
+		for i := 0; i < 20_000; i++ {
+			checkFastPathAt(t, m, rng.Uint64()%total)
+		}
+	}
 }
 
 // FuzzInternalRowRoundTrip checks the transform chain inverse for arbitrary

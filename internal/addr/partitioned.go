@@ -17,6 +17,9 @@ import (
 // Default BIOS mappings interleave every page over all banks, making this
 // isolation impossible today (§8.4); the mapper exists to quantify the
 // trade-off.
+//
+// Like SkylakeMapper, the hot path runs on fastDiv dividers and an
+// interleave LUT built at construction, with decodeRef as the fuzz oracle.
 type PartitionedMapper struct {
 	g          geometry.Geometry
 	partitions int
@@ -25,6 +28,14 @@ type PartitionedMapper struct {
 	rowGroupBytes int64 // bytes of one partition-local row group
 	partBytes     int64 // capacity of one partition
 	socketBytes   int64
+
+	totalBytes  int64
+	divSocket   fastDiv // by socketBytes over [0, totalBytes)
+	divPart     fastDiv // by partBytes over [0, socketBytes)
+	divRowGroup fastDiv // by rowGroupBytes over [0, partBytes)
+	lut         *interleaveLUT
+	bnd         bounds
+	banksPerSkt int
 }
 
 // NewPartitionedMapper builds a mapper with the given partition count;
@@ -42,9 +53,25 @@ func NewPartitionedMapper(g geometry.Geometry, partitions int) (*PartitionedMapp
 		partitions:  partitions,
 		banksPer:    g.BanksPerSocket() / partitions,
 		socketBytes: g.SocketBytes(),
+		totalBytes:  g.TotalBytes(),
+		bnd:         newBounds(g),
+		banksPerSkt: g.BanksPerSocket(),
 	}
 	m.rowGroupBytes = int64(m.banksPer) * int64(g.RowBytes)
 	m.partBytes = m.socketBytes / int64(partitions)
+	var err error
+	if m.divSocket, err = newFastDiv(m.socketBytes, m.totalBytes-1); err != nil {
+		return nil, err
+	}
+	if m.divPart, err = newFastDiv(m.partBytes, m.socketBytes-1); err != nil {
+		return nil, err
+	}
+	if m.divRowGroup, err = newFastDiv(m.rowGroupBytes, m.partBytes-1); err != nil {
+		return nil, err
+	}
+	if m.lut, err = newInterleaveLUT(g, m.banksPer); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -56,16 +83,65 @@ func (m *PartitionedMapper) Partitions() int { return m.partitions }
 
 // PartitionOf returns the bank-partition index owning a physical address.
 func (m *PartitionedMapper) PartitionOf(pa uint64) (socket, partition int, err error) {
-	if err := rangeCheck(m.g, pa); err != nil {
-		return 0, 0, err
+	if pa >= uint64(m.totalBytes) {
+		return 0, 0, rangeCheck(m.g, pa)
 	}
-	socket = int(pa / uint64(m.socketBytes))
-	off := int64(pa % uint64(m.socketBytes))
-	return socket, int(off / m.partBytes), nil
+	s, off := m.divSocket.divmod(int64(pa))
+	return int(s), int(m.divPart.div(off)), nil
 }
 
 // Decode translates a host physical address to a media address.
 func (m *PartitionedMapper) Decode(pa uint64) (geometry.MediaAddr, error) {
+	if pa >= uint64(m.totalBytes) {
+		return geometry.MediaAddr{}, rangeCheck(m.g, pa)
+	}
+	socket, off := m.divSocket.divmod(int64(pa))
+	part, inPart := m.divPart.divmod(off)
+	rowGroup, inGroup := m.divRowGroup.divmod(inPart)
+
+	line := inGroup >> lineShift
+	inLine := int(inGroup & (geometry.CacheLineSize - 1))
+	bankInPart, lineInBank := m.lut.split(line)
+	bankIdx := int(part)*m.banksPer + bankInPart
+	return geometry.MediaAddr{
+		Bank: m.lut.bank(int(socket), bankIdx),
+		Row:  int(rowGroup),
+		Col:  lineInBank<<lineShift + inLine,
+	}, nil
+}
+
+// DecodeBank is the col-free fast path of Decode (BankDecoder).
+func (m *PartitionedMapper) DecodeBank(pa uint64) (bank, row, socket int, err error) {
+	if pa >= uint64(m.totalBytes) {
+		return 0, 0, 0, rangeCheck(m.g, pa)
+	}
+	skt, off := m.divSocket.divmod(int64(pa))
+	part, inPart := m.divPart.divmod(off)
+	rowGroup, inGroup := m.divRowGroup.divmod(inPart)
+	bankInPart, _ := m.lut.split(inGroup >> lineShift)
+	bank = int(skt)*m.banksPerSkt + int(part)*m.banksPer + bankInPart
+	return bank, int(rowGroup), int(skt), nil
+}
+
+// Encode is the inverse of Decode.
+func (m *PartitionedMapper) Encode(addr geometry.MediaAddr) (uint64, error) {
+	if !m.bnd.valid(addr) {
+		return 0, fmt.Errorf("%w: media address %v", ErrOutOfRange, addr)
+	}
+	bankIdx := m.bnd.socketFlat(addr.Bank)
+	part := bankIdx / m.banksPer
+	bankInPart := int64(bankIdx % m.banksPer)
+	lineInBank := int64(addr.Col >> lineShift)
+	inLine := int64(addr.Col & (geometry.CacheLineSize - 1))
+	line := lineInBank*int64(m.banksPer) + bankInPart
+	inPart := int64(addr.Row)*m.rowGroupBytes + line<<lineShift + inLine
+	off := int64(part)*m.partBytes + inPart
+	return uint64(int64(addr.Bank.Socket)*m.socketBytes + off), nil
+}
+
+// decodeRef is the original divide/modulo implementation of Decode, kept as
+// the oracle for the fuzz equivalence tests.
+func (m *PartitionedMapper) decodeRef(pa uint64) (geometry.MediaAddr, error) {
 	if err := rangeCheck(m.g, pa); err != nil {
 		return geometry.MediaAddr{}, err
 	}
@@ -86,22 +162,6 @@ func (m *PartitionedMapper) Decode(pa uint64) (geometry.MediaAddr, error) {
 		Row:  int(rowGroup),
 		Col:  int(lineInBank)*geometry.CacheLineSize + inLine,
 	}, nil
-}
-
-// Encode is the inverse of Decode.
-func (m *PartitionedMapper) Encode(addr geometry.MediaAddr) (uint64, error) {
-	if !addr.Valid(m.g) {
-		return 0, fmt.Errorf("%w: media address %v", ErrOutOfRange, addr)
-	}
-	bankIdx := addr.Bank.SocketFlat(m.g)
-	part := bankIdx / m.banksPer
-	bankInPart := int64(bankIdx % m.banksPer)
-	lineInBank := int64(addr.Col / geometry.CacheLineSize)
-	inLine := int64(addr.Col % geometry.CacheLineSize)
-	line := lineInBank*int64(m.banksPer) + bankInPart
-	inPart := int64(addr.Row)*m.rowGroupBytes + line*geometry.CacheLineSize + inLine
-	off := int64(part)*m.partBytes + inPart
-	return uint64(int64(addr.Bank.Socket)*m.socketBytes + off), nil
 }
 
 // Ensure interface conformance.

@@ -1,0 +1,79 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+)
+
+// BankShard names one independent unit of a sharded campaign: a fuzzing run
+// pinned to a single bank with its own RNG seed. Because the simulated
+// disturbance state is per-bank, shards over distinct banks commute — they
+// produce the same flips whether run serially on one machine image or in
+// parallel on per-shard images. That is the determinism contract the
+// experiment registry relies on: seeds are fixed per shard, and reports are
+// merged in shard order, so the output is byte-identical at any parallelism.
+type BankShard struct {
+	// Tag labels the shard for reports (e.g. the DIMM profile name).
+	Tag string
+	// BankIndex is the socket-flat bank the shard hammers.
+	BankIndex int
+	// Seed drives this shard's pattern synthesis, independent of other
+	// shards and of scheduling order.
+	Seed int64
+	// MaxActsPerWindow, when non-zero, overrides the template config's
+	// activation budget for this shard (per-DIMM profiles differ in their
+	// refresh-window budgets).
+	MaxActsPerWindow int
+}
+
+// ShardReport pairs a shard with its campaign report.
+type ShardReport struct {
+	Shard  BankShard
+	Report Report
+}
+
+// RunSharded fans a fuzzing campaign out over bank shards. newTarget builds
+// shard i's target (typically booting an isolated machine image pinned to
+// the shard's bank); parallel schedules the per-shard closures — pass nil to
+// run them serially in order. cfg is used as the template for every shard
+// with the shard's seed (and activation budget, when set) swapped in. The
+// returned reports are in shard order regardless of completion order.
+func RunSharded(ctx context.Context, cfg FuzzerConfig, shards []BankShard,
+	newTarget func(i int, s BankShard) (Target, error),
+	parallel func(ctx context.Context, n int, task func(int) error) error,
+) ([]ShardReport, error) {
+	out := make([]ShardReport, len(shards))
+	task := func(i int) error {
+		s := shards[i]
+		t, err := newTarget(i, s)
+		if err != nil {
+			return fmt.Errorf("attack: shard %d (%s bank %d): %w", i, s.Tag, s.BankIndex, err)
+		}
+		scfg := cfg
+		scfg.Seed = s.Seed
+		if s.MaxActsPerWindow != 0 {
+			scfg.MaxActsPerWindow = s.MaxActsPerWindow
+		}
+		rep, err := NewFuzzer(scfg).Run(t)
+		if err != nil {
+			return fmt.Errorf("attack: shard %d (%s bank %d): %w", i, s.Tag, s.BankIndex, err)
+		}
+		out[i] = ShardReport{Shard: s, Report: rep}
+		return nil
+	}
+	if parallel == nil {
+		for i := range shards {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := task(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if err := parallel(ctx, len(shards), task); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -364,32 +364,3 @@ func (h *Hypervisor) adoptableNode(vm *VM) (*numa.Node, bool) {
 	}
 	return nil, false
 }
-
-// PreviewBalloon reports, without mutating anything, how many pages an
-// inflate to targetBytes (balloon size, bytes surrendered) would surrender
-// and which guest nodes it would drain and release.
-//
-// Deprecated: use PreviewResize, the single preview entry point for grows
-// and shrinks alike; this shim translates balloon-size targets into resize
-// targets and will be removed in a future release.
-func (h *Hypervisor) PreviewBalloon(name string, targetBytes uint64) (pages int, released []int, err error) {
-	h.mu.Lock()
-	vm, ok := h.vms[name]
-	if !ok {
-		h.mu.Unlock()
-		return 0, nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
-	}
-	mem := vm.spec.MemoryBytes
-	h.mu.Unlock()
-	if targetBytes > mem {
-		return 0, nil, fmt.Errorf("core: balloon target %d exceeds VM %q's RAM %d", targetBytes, name, mem)
-	}
-	plan, err := h.PreviewResize(name, mem-targetBytes)
-	if err != nil {
-		return 0, nil, err
-	}
-	if plan.Action != ResizeInflate {
-		return 0, nil, nil // deflate or no-op: the balloon shim reports inflates only
-	}
-	return plan.Pages, plan.ReleasedNodes, nil
-}

@@ -107,7 +107,7 @@ func (c *Config) normalize() error {
 		c.Profiles = dram.EvaluationProfiles()
 	}
 	if c.Mapper == nil {
-		m, err := addr.NewSkylakeMapper(c.Geometry)
+		m, err := addr.NewMapper(c.Geometry, addr.KindSkylake)
 		if err != nil {
 			return err
 		}

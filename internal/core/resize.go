@@ -14,8 +14,8 @@ package core
 //
 // PreviewResize answers the same dispatch question without mutating
 // anything — which action, how many pages, which nodes would drain or be
-// adopted — replacing the scattered per-mechanism previews (PreviewBalloon
-// survives as a deprecated shim). All paths run under the per-VM lifecycle
+// adopted — replacing the scattered per-mechanism previews. All paths run
+// under the per-VM lifecycle
 // latch, so a resize can never interleave with a balloon call, another
 // resize, or a live migration of the same VM.
 

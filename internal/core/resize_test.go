@@ -127,10 +127,9 @@ func TestResizeRollbackRestoresBalloon(t *testing.T) {
 	}
 }
 
-// TestPreviewResizeAgreesWithShim: the deprecated PreviewBalloon shim and
-// PreviewResize answer identically for inflates, and the preview mutates
-// nothing.
-func TestPreviewResizeAgreesWithShim(t *testing.T) {
+// TestPreviewResize: PreviewResize predicts inflates and grows without
+// mutating the VM.
+func TestPreviewResize(t *testing.T) {
 	h := bootSiloz(t)
 	vm, err := h.CreateVM(kvmProc(), VMSpec{Name: "v", Socket: 0, MemoryBytes: 128 * geometry.MiB,
 		MinMemoryBytes: 64 * geometry.MiB})
@@ -143,14 +142,6 @@ func TestPreviewResizeAgreesWithShim(t *testing.T) {
 	}
 	if plan.Action != ResizeInflate || plan.Pages != 32 || len(plan.ReleasedNodes) != 1 {
 		t.Fatalf("plan = %+v, want inflate of 32 pages releasing one node", plan)
-	}
-	pages, released, err := h.PreviewBalloon("v", 64*geometry.MiB)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if pages != plan.Pages || len(released) != len(plan.ReleasedNodes) || released[0] != plan.ReleasedNodes[0] {
-		t.Errorf("shim (%d pages, %v) diverges from PreviewResize (%d pages, %v)",
-			pages, released, plan.Pages, plan.ReleasedNodes)
 	}
 	// Grow preview predicts adoption, still without mutating.
 	grow, err := h.PreviewResize("v", 192*geometry.MiB)

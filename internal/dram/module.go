@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/rowcount"
 )
 
 // Flip records one committed Rowhammer bit flip.
@@ -47,30 +48,34 @@ type spare struct {
 	anchor int // physical position it is adjacent to
 }
 
-// bankState is the per-bank disturbance bookkeeping.
+// bankState is the per-bank disturbance bookkeeping. Disturbance and TRR
+// accumulators are flat generation-reset row tables (rowcount.Table), not
+// maps: a refresh window ends with an O(1) invalidation per table instead
+// of reallocating, and the per-activation accrue path runs on open
+// addressing instead of map buckets.
 type bankState struct {
 	id geometry.BankID
 
 	// disturb[side] accumulates weighted aggressor activations per
 	// victim internal (virtual) row index within the current window.
-	disturb [2]map[int]float64
+	disturb [2]rowcount.Table[float64]
 	// acts is the bank's activation count this window (budget check).
 	acts int
 
 	// TRR sampler state.
-	trrTable map[int]float64 // media row -> observed activations
-	trrActs  int             // activations since last TRR event
+	trrTable rowcount.Table[float64] // media row -> observed activations
+	trrActs  int                     // activations since last TRR event
 
-	// Repairs affecting this bank.
+	// Repairs affecting this bank. hasSpares gates every spare lookup on
+	// the hot path: most banks have no repairs, and the per-neighbour
+	// sparesAtAnchor probe is pure overhead for them.
+	hasSpares      bool
 	spareBySource  map[int]*spare
 	sparesAtAnchor map[int][]*spare
 }
 
 func newBankState(id geometry.BankID) *bankState {
-	return &bankState{
-		id:      id,
-		disturb: [2]map[int]float64{make(map[int]float64), make(map[int]float64)},
-	}
+	return &bankState{id: id}
 }
 
 // Module models one DIMM: data storage plus the disturbance state of its
@@ -83,9 +88,9 @@ type Module struct {
 	socket  int
 	dimm    int
 
-	banks  map[[2]int]*bankState // keyed by (rank, bank)
-	rowsMu sync.Mutex            // guards rows: EPT walks from parallel reps share it
-	rows   map[[3]int][]byte     // (rank, bank, mediaRow) -> row bytes
+	banks  []*bankState      // indexed rank*BanksPerRank+bank, nil until touched
+	rowsMu sync.Mutex        // guards rows: EPT walks from parallel reps share it
+	rows   map[[3]int][]byte // (rank, bank, mediaRow) -> row bytes
 	window int
 	flips  []Flip
 }
@@ -105,7 +110,7 @@ func NewModule(g geometry.Geometry, prof Profile, socket, dimm int, repairs *add
 		repairs: repairs,
 		socket:  socket,
 		dimm:    dimm,
-		banks:   make(map[[2]int]*bankState),
+		banks:   make([]*bankState, g.BanksPerDIMM()),
 		rows:    make(map[[3]int][]byte),
 	}
 	return m, nil
@@ -127,12 +132,12 @@ func (m *Module) owns(b geometry.BankID) bool {
 }
 
 func (m *Module) bank(b geometry.BankID) *bankState {
-	key := [2]int{b.Rank, b.Bank}
-	bs := m.banks[key]
+	idx := b.Rank*m.g.BanksPerRank + b.Bank
+	bs := m.banks[idx]
 	if bs == nil {
 		bs = newBankState(b)
 		m.loadRepairs(bs)
-		m.banks[key] = bs
+		m.banks[idx] = bs
 	}
 	return bs
 }
@@ -151,6 +156,7 @@ func (m *Module) loadRepairs(bs *bankState) {
 		}
 	}
 	sort.Ints(sources)
+	bs.hasSpares = len(sources) > 0
 	for i, src := range sources {
 		sp, _ := m.repairs.Lookup(bs.id, src)
 		s := &spare{virt: m.g.RowsPerBank + i, source: src, anchor: sp.Anchor}
@@ -163,8 +169,10 @@ func (m *Module) loadRepairs(bs *bankState) {
 // that its activation actually drives on one side, following any repair.
 func (m *Module) internalTarget(bs *bankState, mediaRow int, side addr.Side) (virt int, anchor int) {
 	internal := m.im.InternalRow(bs.id, mediaRow, side)
-	if sp, ok := bs.spareBySource[internal]; ok {
-		return sp.virt, sp.anchor
+	if bs.hasSpares {
+		if sp, ok := bs.spareBySource[internal]; ok {
+			return sp.virt, sp.anchor
+		}
 	}
 	return internal, internal
 }
@@ -219,10 +227,10 @@ func (m *Module) ActivateRow(b geometry.BankID, mediaRow, count int, openNs int6
 	// Weighted disturbance per activation, including RowPress dwell.
 	eff := float64(count) * (1 + m.prof.RowPressFactor*float64(openNs)/1000.0)
 
-	for _, side := range []addr.Side{addr.SideA, addr.SideB} {
+	for _, side := range [...]addr.Side{addr.SideA, addr.SideB} {
 		virt, anchor := m.internalTarget(bs, mediaRow, side)
 		// Activation refreshes the aggressor row's own charge.
-		delete(bs.disturb[side], virt)
+		bs.disturb[side].Delete(virt)
 		m.disturbNeighbours(bs, side, virt, anchor, eff, mediaRow)
 	}
 
@@ -257,9 +265,11 @@ func (m *Module) disturbNeighbours(bs *bankState, side addr.Side, aggVirt, ancho
 			}
 		}
 		// Spare victims anchored here.
-		for _, sp := range bs.sparesAtAnchor[pos] {
-			if sp.virt != aggVirt {
-				m.accrue(bs, side, sp.virt, w*eff, aggMediaRow)
+		if bs.hasSpares {
+			for _, sp := range bs.sparesAtAnchor[pos] {
+				if sp.virt != aggVirt {
+					m.accrue(bs, side, sp.virt, w*eff, aggMediaRow)
+				}
 			}
 		}
 	}
@@ -267,14 +277,13 @@ func (m *Module) disturbNeighbours(bs *bankState, side addr.Side, aggVirt, ancho
 
 // accrue adds disturbance to a victim and commits flips on threshold.
 func (m *Module) accrue(bs *bankState, side addr.Side, virt int, amount float64, aggMediaRow int) {
-	d := bs.disturb[side][virt] + amount
+	d := bs.disturb[side].Add(virt, amount)
 	if d < m.prof.HammerThreshold {
-		bs.disturb[side][virt] = d
 		return
 	}
 	// Threshold exceeded: the victim's weak cells discharge. Reset the
 	// accumulation; committing is idempotent for already-failed cells.
-	delete(bs.disturb[side], virt)
+	bs.disturb[side].Delete(virt)
 	m.commitFlips(bs, side, virt, aggMediaRow)
 }
 
@@ -316,27 +325,27 @@ func (m *Module) trrObserve(bs *bankState, mediaRow, count int) {
 	if m.prof.TRRTableSize == 0 {
 		return
 	}
-	if bs.trrTable == nil {
-		bs.trrTable = make(map[int]float64, m.prof.TRRTableSize)
-	}
 	c := float64(count)
-	if _, ok := bs.trrTable[mediaRow]; ok {
-		bs.trrTable[mediaRow] += c
-	} else if len(bs.trrTable) < m.prof.TRRTableSize {
-		bs.trrTable[mediaRow] = c
+	if _, ok := bs.trrTable.Get(mediaRow); ok {
+		bs.trrTable.Add(mediaRow, c)
+	} else if bs.trrTable.Len() < m.prof.TRRTableSize {
+		bs.trrTable.Add(mediaRow, c)
 	} else {
 		// Replace the lowest-count entry only if the incoming burst is
 		// larger: heavy decoy rows can pin the table, which is the
 		// sampler weakness Blacksmith-class patterns exploit (§2.5).
+		// The min scan is slot-order Range, but the tie-break below is a
+		// total order, so the result is iteration-order independent.
 		minRow, minC := -1, 0.0
-		for r, rc := range bs.trrTable {
+		bs.trrTable.Range(func(r int, rc float64) bool {
 			if minRow == -1 || rc < minC || (rc == minC && r < minRow) {
 				minRow, minC = r, rc
 			}
-		}
+			return true
+		})
 		if c > minC {
-			delete(bs.trrTable, minRow)
-			bs.trrTable[mediaRow] = c
+			bs.trrTable.Delete(minRow)
+			bs.trrTable.Add(mediaRow, c)
 		}
 	}
 	bs.trrActs += count
@@ -349,8 +358,8 @@ func (m *Module) trrObserve(bs *bankState, mediaRow, count int) {
 func (m *Module) trrFire(bs *bankState) {
 	blast := m.prof.BlastRadius
 	sub := m.g.RowsPerSubarray
-	for mediaRow := range bs.trrTable {
-		for _, side := range []addr.Side{addr.SideA, addr.SideB} {
+	bs.trrTable.Range(func(mediaRow int, _ float64) bool {
+		for _, side := range [...]addr.Side{addr.SideA, addr.SideB} {
 			_, anchor := m.internalTarget(bs, mediaRow, side)
 			aggSub := anchor / sub
 			for off := -blast; off <= blast; off++ {
@@ -358,14 +367,17 @@ func (m *Module) trrFire(bs *bankState) {
 				if pos < 0 || pos >= m.g.RowsPerBank || pos/sub != aggSub {
 					continue
 				}
-				delete(bs.disturb[side], pos)
-				for _, sp := range bs.sparesAtAnchor[pos] {
-					delete(bs.disturb[side], sp.virt)
+				bs.disturb[side].Delete(pos)
+				if bs.hasSpares {
+					for _, sp := range bs.sparesAtAnchor[pos] {
+						bs.disturb[side].Delete(sp.virt)
+					}
 				}
 			}
 		}
-	}
-	bs.trrTable = make(map[int]float64, m.prof.TRRTableSize)
+		return true
+	})
+	bs.trrTable.Reset()
 	bs.trrActs = 0
 }
 
@@ -374,9 +386,13 @@ func (m *Module) trrFire(bs *bankState) {
 // already committed persist in storage.
 func (m *Module) Refresh() {
 	for _, bs := range m.banks {
-		bs.disturb = [2]map[int]float64{make(map[int]float64), make(map[int]float64)}
+		if bs == nil {
+			continue
+		}
+		bs.disturb[0].Reset()
+		bs.disturb[1].Reset()
 		bs.acts = 0
-		bs.trrTable = nil
+		bs.trrTable.Reset()
 		bs.trrActs = 0
 	}
 	m.window++

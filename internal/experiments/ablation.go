@@ -44,11 +44,11 @@ func BankLevelParallelism(ctx context.Context, g geometry.Geometry, ops int) (BL
 		}
 		return ctrl.Result().TotalNs, nil
 	}
-	sky, err := addr.NewSkylakeMapper(g)
+	sky, err := addr.NewMapper(g, addr.KindSkylake)
 	if err != nil {
 		return out, err
 	}
-	lin, err := addr.NewLinearMapper(g)
+	lin, err := addr.NewMapper(g, addr.KindLinear)
 	if err != nil {
 		return out, err
 	}
@@ -204,7 +204,7 @@ func RemapHandling(ctx context.Context) ([]RemapRow, error) {
 		for g.RowsPerBank < 4*nextPow2(rows) {
 			g.RowsPerBank += lcm
 		}
-		mapper, err := addr.NewSkylakeMapper(g)
+		mapper, err := addr.NewMapper(g, addr.KindSkylake)
 		if err != nil {
 			return nil, fmt.Errorf("size %d: %w", rows, err)
 		}

@@ -120,7 +120,7 @@ func DRAMAStudy() ([]DRAMARow, error) {
 	g := geometry.Default()
 	var out []DRAMARow
 
-	shared, err := addr.NewSkylakeMapper(g)
+	shared, err := addr.NewMapper(g, addr.KindSkylake)
 	if err != nil {
 		return nil, err
 	}

@@ -236,7 +236,7 @@ func DDR5Comparison() ([]DDR5Row, error) {
 		for g.RowsPerBank < 4*nextPow2(rows) {
 			g.RowsPerBank += lcm
 		}
-		mapper, err := addr.NewSkylakeMapper(g)
+		mapper, err := addr.NewMapper(g, addr.KindSkylake)
 		if err != nil {
 			return nil, err
 		}

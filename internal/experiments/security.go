@@ -9,6 +9,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/ept"
 	"repro/internal/geometry"
+	"repro/internal/subarray"
 )
 
 // SecurityConfig parameterizes the §7.1 experiments.
@@ -59,91 +60,128 @@ func (t Table3Result) Contained() bool {
 	return true
 }
 
+// table3ShardsPerDIMM is how many bank campaigns Table 3 runs per DIMM
+// profile: banks on both ranks of the DIMM under test (§7.1 observes flips
+// "across ranks and banks in the DIMMs").
+const table3ShardsPerDIMM = 3
+
+// table3BankIndex returns the socket-flat bank index shard bi attacks on
+// the DIMM under test.
+func table3BankIndex(g geometry.Geometry, dimmIdx, bi int) int {
+	dimm := dimmIdx % g.DIMMsPerSocket
+	switch bi {
+	case 0:
+		return dimm * g.BanksPerDIMM() // rank 0, bank 0
+	case 1:
+		return dimm*g.BanksPerDIMM() + g.BanksPerRank // rank 1, bank 0
+	default:
+		return dimm*g.BanksPerDIMM() + g.BanksPerRank/2 // rank 0, mid bank
+	}
+}
+
 // Table3Containment runs the §7.1 hammering-containment experiment: on each
 // of the six DIMM profiles, a Blacksmith campaign is pinned to one Siloz
 // subarray group; every resulting flip is classified as inside or outside
-// the group. DIMMs fan out onto the pool — each boots its own hypervisor
-// and seeds its fuzzer from its DIMM index, so the per-DIMM rows are
-// scheduling-independent.
+// the group.
+//
+// The campaign is sharded per (DIMM, bank) — DIMMs × table3ShardsPerDIMM
+// independent units on one pool.Map — rather than per DIMM, so a wide pool
+// keeps every worker busy instead of serializing the three bank campaigns
+// inside each DIMM. Each shard boots its own hypervisor; because simulated
+// disturbance is per-bank and the shards attack distinct banks, the flips a
+// shard produces are identical to those the same campaign produces on a
+// shared image, and the fixed-order merge below reassembles per-DIMM rows
+// byte-identically at any pool width (seeds are cfg.Seed + dimmIdx*17 + bi,
+// unchanged from the per-DIMM formulation).
 func Table3Containment(ctx context.Context, pool *Pool, cfg SecurityConfig) (Table3Result, error) {
 	profiles := dram.EvaluationProfiles()
-	rows := make([]DIMMContainment, len(profiles))
-	err := pool.Map(ctx, len(profiles), func(dimmIdx int) error {
-		row, err := table3DIMM(cfg, dimmIdx, profiles[dimmIdx])
-		if err != nil {
-			return err
-		}
-		rows[dimmIdx] = row
-		return nil
-	})
-	return Table3Result{Rows: rows}, err
-}
-
-// table3DIMM runs the containment campaign against one DIMM profile.
-func table3DIMM(cfg SecurityConfig, dimmIdx int, prof dram.Profile) (DIMMContainment, error) {
-	row := DIMMContainment{DIMM: prof.Name}
-	h, err := core.Boot(core.Config{
-		Geometry:      cfg.Geometry,
-		Profiles:      []dram.Profile{prof},
-		EPTProtection: ept.GuardRows,
-	}, core.ModeSiloz)
-	if err != nil {
-		return row, err
-	}
-	mem := h.Memory()
-	// Pin the fuzzer to one guest subarray group, targeting a bank
-	// on the DIMM under test.
-	grp := h.Layout().Group(0, 1+dimmIdx%(h.Layout().GroupsPerSocket()-1))
-	var ranges []attack.PhysRange
-	for _, r := range grp.Ranges {
-		ranges = append(ranges, attack.PhysRange{Start: r.Start, End: r.End})
-	}
-	// Attack banks on both ranks of the DIMM under test (§7.1
-	// observes flips "across ranks and banks in the DIMMs").
 	g := cfg.Geometry
-	dimm := dimmIdx % g.DIMMsPerSocket
-	bankIdxs := []int{
-		dimm * g.BanksPerDIMM(),                  // rank 0, bank 0
-		dimm*g.BanksPerDIMM() + g.BanksPerRank,   // rank 1, bank 0
-		dimm*g.BanksPerDIMM() + g.BanksPerRank/2, // rank 0, mid bank
+
+	shards := make([]attack.BankShard, 0, len(profiles)*table3ShardsPerDIMM)
+	for dimmIdx, prof := range profiles {
+		for bi := 0; bi < table3ShardsPerDIMM; bi++ {
+			shards = append(shards, attack.BankShard{
+				Tag:              prof.Name,
+				BankIndex:        table3BankIndex(g, dimmIdx, bi),
+				Seed:             cfg.Seed + int64(dimmIdx)*17 + int64(bi),
+				MaxActsPerWindow: prof.MaxActsPerWindow * 9 / 10,
+			})
+		}
 	}
-	for bi, bankIdx := range bankIdxs {
-		target := &attack.PhysTarget{
-			Mem:       mem,
+
+	// Per-shard machine state, filled by newTarget and read back for flip
+	// classification after the campaigns finish.
+	type shardMachine struct {
+		mem *dram.Memory
+		grp *subarray.Group
+	}
+	machines := make([]shardMachine, len(shards))
+
+	newTarget := func(i int, s attack.BankShard) (attack.Target, error) {
+		dimmIdx := i / table3ShardsPerDIMM
+		h, err := core.Boot(core.Config{
+			Geometry:      g,
+			Profiles:      []dram.Profile{profiles[dimmIdx]},
+			EPTProtection: ept.GuardRows,
+		}, core.ModeSiloz)
+		if err != nil {
+			return nil, err
+		}
+		// Pin the fuzzer to one guest subarray group, targeting a bank
+		// on the DIMM under test.
+		grp := h.Layout().Group(0, 1+dimmIdx%(h.Layout().GroupsPerSocket()-1))
+		var ranges []attack.PhysRange
+		for _, r := range grp.Ranges {
+			ranges = append(ranges, attack.PhysRange{Start: r.Start, End: r.End})
+		}
+		machines[i] = shardMachine{mem: h.Memory(), grp: grp}
+		return &attack.PhysTarget{
+			Mem:       h.Memory(),
 			Ranges:    ranges,
-			BankIndex: bankIdx,
-		}
-		fz := attack.NewFuzzer(attack.FuzzerConfig{
-			Patterns:          cfg.Patterns,
-			WindowsPerPattern: cfg.Windows,
-			MaxActsPerWindow:  prof.MaxActsPerWindow * 9 / 10,
-			FillPattern:       0xAA,
-			Seed:              cfg.Seed + int64(dimmIdx)*17 + int64(bi),
-		})
-		rep, err := fz.Run(target)
-		if err != nil {
-			return row, err
-		}
-		row.AttackerObserved += len(rep.Corruptions)
+			BankIndex: s.BankIndex,
+		}, nil
 	}
-	ranksHit := map[int]bool{}
-	banksHit := map[geometry.BankID]bool{}
-	for _, f := range mem.Flips() {
-		pa, err := mem.FlipPhys(f)
-		if err != nil {
-			return row, err
-		}
-		if grp.Contains(pa) {
-			row.FlipsInside++
-			ranksHit[f.Bank.Rank] = true
-			banksHit[f.Bank] = true
-		} else {
-			row.FlipsOutside++
-		}
+
+	campaign := attack.FuzzerConfig{
+		Patterns:          cfg.Patterns,
+		WindowsPerPattern: cfg.Windows,
+		FillPattern:       0xAA,
 	}
-	row.RanksWithFlips = len(ranksHit)
-	row.BanksWithFlips = len(banksHit)
-	return row, nil
+	reports, err := attack.RunSharded(ctx, campaign, shards, newTarget, pool.Map)
+	if err != nil {
+		return Table3Result{}, err
+	}
+
+	// Fixed-order merge: shard order is (dimm, bank) lexicographic, so the
+	// per-DIMM rows come out identical regardless of scheduling.
+	rows := make([]DIMMContainment, len(profiles))
+	for dimmIdx, prof := range profiles {
+		row := DIMMContainment{DIMM: prof.Name}
+		ranksHit := map[int]bool{}
+		banksHit := map[geometry.BankID]bool{}
+		for bi := 0; bi < table3ShardsPerDIMM; bi++ {
+			i := dimmIdx*table3ShardsPerDIMM + bi
+			row.AttackerObserved += len(reports[i].Report.Corruptions)
+			m := machines[i]
+			for _, f := range m.mem.Flips() {
+				pa, err := m.mem.FlipPhys(f)
+				if err != nil {
+					return Table3Result{}, err
+				}
+				if m.grp.Contains(pa) {
+					row.FlipsInside++
+					ranksHit[f.Bank.Rank] = true
+					banksHit[f.Bank] = true
+				} else {
+					row.FlipsOutside++
+				}
+			}
+		}
+		row.RanksWithFlips = len(ranksHit)
+		row.BanksWithFlips = len(banksHit)
+		rows[dimmIdx] = row
+	}
+	return Table3Result{Rows: rows}, nil
 }
 
 // table3Exp is the "table3" experiment: per-DIMM bit-flip containment.

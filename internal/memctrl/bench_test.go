@@ -36,3 +36,26 @@ func BenchmarkCacheAccess(b *testing.B) {
 		c.Access(uint64(i%100000) * geometry.CacheLineSize)
 	}
 }
+
+// BenchmarkControllerTracked exercises the miss-heavy hammering profile the
+// security experiments run: activation tracking on, ping-ponging rows so
+// every access is an activation feeding the per-bank row tables.
+func BenchmarkControllerTracked(b *testing.B) {
+	g := geometry.Default()
+	m, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 10, TrackActivations: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rowStride := uint64(g.RowGroupBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa := uint64(i%16) * rowStride
+		if _, err := c.Do(Access{PA: pa}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/rowcount"
 )
 
 // Timing holds DDR4 timing parameters in nanoseconds (DDR4-2933 defaults).
@@ -150,6 +151,13 @@ func (r Result) String() string {
 }
 
 // Controller simulates one run; create a fresh one (or call Reset) per run.
+//
+// Everything the per-access path needs is flattened into scalars and dense
+// slices at Reset: geometry dimensions (so no Geometry struct is copied per
+// access), latency sums (so no Timing fields are re-added per access), a
+// bank->rank table (so the miss path does no division), and per-bank
+// activation tables with O(1) generation reset (so refresh windows do not
+// reallocate).
 type Controller struct {
 	cfg Config
 
@@ -158,6 +166,7 @@ type Controller struct {
 	faw      [][4]float64 // per rank: times of the last four activations
 	fawPos   []int
 	lastAct  []float64 // per rank: time of the last activation (tRRD)
+	rankOf   []int32   // per flat bank: rank index
 	ring     []float64 // completion times of the last MLPWindow requests
 	ringPos  int
 	now      float64 // issue clock
@@ -166,9 +175,29 @@ type Controller struct {
 	rng      *rand.Rand
 	runScale float64 // per-run latency scale (thermal/frequency noise)
 
-	// Activation tracking (Config.TrackActivations).
+	// Per-access decode: the mapper's col-free fast path when it has one
+	// (feature-detected once at Reset), else an adapter over Decode.
+	bankDec addr.BankDecoder
+
+	// Cached geometry dimensions for BankID flattening.
+	dimms, ranks, banksPerRank int
+	homeSocket                 int
+
+	// Cached timing sums (same addition order as Timing.hitLatency and
+	// Timing.missLatency, so results are bit-identical to per-call sums).
+	hitLat, missLat  float64
+	hitOcc, missOcc  float64
+	trefi, trfc      float64
+	trrd, tfaw       float64
+	remote           float64
+	refreshModel     bool
+	trackActivations bool
+
+	// Activation tracking (Config.TrackActivations): one bounded row table
+	// per flat bank, all invalidated in O(1) per table when the refresh
+	// window turns over — no per-window reallocation.
 	actWindow int64
-	actCounts map[[2]int]int // (bank, row) -> ACTs in the current window
+	actTables []rowcount.Table[int32]
 	peakActs  int
 }
 
@@ -204,13 +233,47 @@ func (c *Controller) Reset() {
 		}
 		c.lastAct[r] = -1e18
 	}
+	c.rankOf = make([]int32, n)
+	for b := range c.rankOf {
+		c.rankOf[b] = int32(b / g.BanksPerRank)
+	}
 	c.ring = make([]float64, c.cfg.MLPWindow)
 	c.ringPos = 0
 	c.now = 0
 	c.last = 0
 	c.res = Result{}
+
+	c.dimms = g.DIMMsPerSocket
+	c.ranks = g.RanksPerDIMM
+	c.banksPerRank = g.BanksPerRank
+	c.homeSocket = c.cfg.HomeSocket
+	if bd, ok := c.cfg.Mapper.(addr.BankDecoder); ok {
+		c.bankDec = bd
+	} else {
+		c.bankDec = bankAdapter{m: c.cfg.Mapper, dimms: c.dimms, ranks: c.ranks, banksPerRank: c.banksPerRank}
+	}
+	tm := c.cfg.Timing
+	c.hitLat = tm.hitLatency()
+	c.missLat = tm.missLatency()
+	c.hitOcc = tm.TBurst
+	c.missOcc = tm.TRP + tm.TRCD + tm.TBurst
+	c.trefi, c.trfc = tm.TREFI, tm.TRFC
+	c.trrd, c.tfaw = tm.TRRD, tm.TFAW
+	c.remote = tm.RemotePenalty
+	c.refreshModel = tm.TREFI > 0 && tm.TRFC > 0
+	c.trackActivations = c.cfg.TrackActivations
+
 	c.actWindow = -1
-	c.actCounts = nil
+	switch {
+	case !c.trackActivations:
+		c.actTables = nil
+	case len(c.actTables) == n: // reuse table capacity across runs
+		for i := range c.actTables {
+			c.actTables[i].Reset()
+		}
+	default:
+		c.actTables = make([]rowcount.Table[int32], n)
+	}
 	c.peakActs = 0
 	c.runScale = 1
 	if c.cfg.JitterSeed != 0 {
@@ -234,12 +297,10 @@ func (c *Controller) Do(a Access) (float64, error) {
 // was ready to issue. The observable latency includes bank queueing delay —
 // the contention signal DRAM timing side channels measure (§8.4).
 func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
-	ma, err := c.cfg.Mapper.Decode(a.PA)
+	bank, row, socket, err := c.bankDec.DecodeBank(a.PA)
 	if err != nil {
 		return 0, 0, err
 	}
-	g := c.cfg.Mapper.Geometry()
-	bank := ma.Bank.Flat(g)
 
 	// Core-side issue: think time plus the MLP window constraint (the
 	// oldest outstanding request must have completed).
@@ -254,41 +315,40 @@ func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
 		start = bf
 	}
 	var latency, occupancy float64
-	if c.openRow[bank] == ma.Row {
-		latency = c.cfg.Timing.hitLatency()
-		occupancy = c.cfg.Timing.TBurst
+	if c.openRow[bank] == row {
+		latency = c.hitLat
+		occupancy = c.hitOcc
 		c.res.RowHits++
 	} else {
 		// A row miss needs an activation, subject to the rank's
 		// refresh, tRRD and tFAW constraints.
-		rank := bank / g.BanksPerRank
-		tm := c.cfg.Timing
-		if tm.TREFI > 0 && tm.TRFC > 0 {
-			refStart := float64(int64(start/tm.TREFI)) * tm.TREFI
-			if start < refStart+tm.TRFC {
-				start = refStart + tm.TRFC
+		rank := c.rankOf[bank]
+		if c.refreshModel {
+			refStart := float64(int64(start/c.trefi)) * c.trefi
+			if start < refStart+c.trfc {
+				start = refStart + c.trfc
 			}
 		}
-		if t := c.lastAct[rank] + tm.TRRD; t > start {
+		if t := c.lastAct[rank] + c.trrd; t > start {
 			start = t
 		}
-		if t := c.faw[rank][c.fawPos[rank]] + tm.TFAW; t > start {
+		if t := c.faw[rank][c.fawPos[rank]] + c.tfaw; t > start {
 			start = t
 		}
 		c.faw[rank][c.fawPos[rank]] = start
-		c.fawPos[rank] = (c.fawPos[rank] + 1) % 4
+		c.fawPos[rank] = (c.fawPos[rank] + 1) & 3
 		c.lastAct[rank] = start
 
-		latency = tm.missLatency()
-		occupancy = tm.TRP + tm.TRCD + tm.TBurst
+		latency = c.missLat
+		occupancy = c.missOcc
 		c.res.RowMisses++
-		c.openRow[bank] = ma.Row
-		if c.cfg.TrackActivations {
-			c.trackActivation(bank, ma.Row, start)
+		c.openRow[bank] = row
+		if c.trackActivations {
+			c.trackActivation(bank, row, start)
 		}
 	}
-	if ma.Bank.Socket != c.cfg.HomeSocket {
-		latency += c.cfg.Timing.RemotePenalty
+	if socket != c.homeSocket {
+		latency += c.remote
 	}
 	if c.rng != nil {
 		latency *= c.runScale * (1 + (c.rng.Float64()-0.5)*0.02)
@@ -296,7 +356,9 @@ func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
 	c.bankFree[bank] = start + occupancy*c.runScale
 	done = start + latency
 	c.ring[c.ringPos] = done
-	c.ringPos = (c.ringPos + 1) % len(c.ring)
+	if c.ringPos++; c.ringPos == len(c.ring) {
+		c.ringPos = 0
+	}
 	if done > c.last {
 		c.last = done
 	}
@@ -312,17 +374,20 @@ func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
 }
 
 // trackActivation counts one row activation toward the current refresh
-// window's per-row totals.
+// window's per-row totals. Any window change — in either direction, since
+// per-bank start times are not globally monotone — invalidates every bank's
+// table via its generation counter, exactly as the old implementation
+// discarded its whole (bank,row) map.
 func (c *Controller) trackActivation(bank, row int, at float64) {
 	w := int64(at / refreshWindowNs)
-	if w != c.actWindow || c.actCounts == nil {
+	if w != c.actWindow {
 		c.actWindow = w
-		c.actCounts = make(map[[2]int]int)
+		for i := range c.actTables {
+			c.actTables[i].Reset()
+		}
 	}
-	key := [2]int{bank, row}
-	c.actCounts[key]++
-	if c.actCounts[key] > c.peakActs {
-		c.peakActs = c.actCounts[key]
+	if n := int(c.actTables[bank].Add(row, 1)); n > c.peakActs {
+		c.peakActs = n
 	}
 }
 
@@ -341,4 +406,21 @@ func (c *Controller) Result() Result {
 	r.TotalNs = c.last
 	r.PeakRowACTs = c.peakActs
 	return r
+}
+
+// bankAdapter derives DecodeBank from a plain Mapper for mappers without
+// the fast path.
+type bankAdapter struct {
+	m                          addr.Mapper
+	dimms, ranks, banksPerRank int
+}
+
+func (a bankAdapter) DecodeBank(pa uint64) (bank, row, socket int, err error) {
+	ma, err := a.m.Decode(pa)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b := ma.Bank
+	bank = ((b.Socket*a.dimms+b.DIMM)*a.ranks+b.Rank)*a.banksPerRank + b.Bank
+	return bank, ma.Row, b.Socket, nil
 }

@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/addr"
@@ -317,5 +318,74 @@ func TestActivationTracking(t *testing.T) {
 	}
 	if c2.Result().PeakRowACTs != 0 {
 		t.Error("untracked controller reported activations")
+	}
+}
+
+// TestActivationTrackingMatchesMapReference drives trackActivation with a
+// randomized stream — many banks, colliding rows, window advances AND
+// regressions (per-bank start times are not globally monotone) — and checks
+// the flat generation-reset tables report the same per-window counts and
+// running peak as the (bank,row)-keyed map the old implementation used.
+func TestActivationTrackingMatchesMapReference(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 4, TrackActivations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the retired implementation, verbatim.
+	refWindow := int64(-1)
+	var refCounts map[[2]int]int
+	refPeak := 0
+	refTrack := func(bank, row int, at float64) {
+		w := int64(at / refreshWindowNs)
+		if w != refWindow || refCounts == nil {
+			refWindow = w
+			refCounts = make(map[[2]int]int)
+		}
+		key := [2]int{bank, row}
+		refCounts[key]++
+		if refCounts[key] > refPeak {
+			refPeak = refCounts[key]
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	banks := g.TotalBanks()
+	at := 0.0
+	for i := 0; i < 300_000; i++ {
+		bank := rng.Intn(banks)
+		row := rng.Intn(64) // small row space forces collisions and growth
+		switch rng.Intn(100) {
+		case 0: // jump forward a whole window
+			at += refreshWindowNs
+		case 1: // regress: an earlier bank's stream lags behind
+			at -= refreshWindowNs / 2
+			if at < 0 {
+				at = 0
+			}
+		default:
+			at += rng.Float64() * 100
+		}
+		c.trackActivation(bank, row, at)
+		refTrack(bank, row, at)
+		if c.peakActs != refPeak {
+			t.Fatalf("step %d: peak = %d, reference %d", i, c.peakActs, refPeak)
+		}
+	}
+	// Final per-(bank,row) counts of the live window must agree exactly.
+	total := 0
+	for bank := range c.actTables {
+		c.actTables[bank].Range(func(row int, v int32) bool {
+			if want := refCounts[[2]int{bank, row}]; int(v) != want {
+				t.Fatalf("bank %d row %d: count %d, reference %d", bank, row, v, want)
+			}
+			total++
+			return true
+		})
+	}
+	if total != len(refCounts) {
+		t.Fatalf("tables hold %d live rows, reference %d", total, len(refCounts))
 	}
 }

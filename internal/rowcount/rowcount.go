@@ -1,0 +1,206 @@
+// Package rowcount provides the per-bank row-accumulator table the
+// simulation hot paths share: an open-addressed hash table from a DRAM row
+// index to a numeric accumulator (activation counts for the memory
+// controller, weighted disturbance for the DRAM model), laid out as flat
+// parallel arrays and reset in O(1) by bumping a generation counter.
+//
+// The design mirrors how cycle-accurate simulators lay out their Rowhammer
+// counter tables (one flat table per rank*banks+bank instead of a
+// map keyed by (bank, row)): per-bank tables are embedded in flat slices
+// indexed by the dense bank index, and a refresh window ends by invalidating
+// every entry at once — no per-window reallocation, no rehashing, no
+// garbage. Tables are not safe for concurrent use; the simulation shards by
+// bank, and each bank's table is touched by exactly one goroutine.
+package rowcount
+
+import "math/bits"
+
+// Value is the accumulator payload a Table can carry. int32 covers
+// activation counts (bounded by per-window activation budgets); float64
+// covers weighted disturbance accumulation.
+type Value interface {
+	~int32 | ~int64 | ~float64
+}
+
+// minCapacity is the initial slot count of a table's first allocation.
+// Workload streams touch a handful of rows per bank per refresh window;
+// hammering campaigns grow the table on demand.
+const minCapacity = 64
+
+// maxGen is the largest generation before tags wrap; on wrap the tag array
+// is cleared so stale entries from 2^31 windows ago cannot resurrect.
+const maxGen = 1<<31 - 1
+
+// Table accumulates values per row with O(1) whole-table reset.
+//
+// Slot states are encoded in meta: a slot is live when meta == gen<<1|1,
+// a tombstone (deleted this generation) when meta == gen<<1, and free
+// otherwise — so Reset invalidates every slot by incrementing gen. The
+// zero Table is empty and ready to use; it allocates on first Add.
+type Table[V Value] struct {
+	keys []int32
+	meta []uint32
+	vals []V
+	mask uint32
+	live int // entries visible to Get/Range
+	used int // live + tombstones: bounds probe length, triggers growth
+	gen  uint32
+}
+
+// hash spreads a row index over the table's slots.
+func hash(row int32) uint32 {
+	h := uint32(row) * 2654435769 // Fibonacci hashing
+	return h ^ h>>16
+}
+
+// Reset empties the table in O(1). Capacity is retained, so a table reused
+// across refresh windows settles at its high-water size and stops
+// allocating.
+func (t *Table[V]) Reset() {
+	if t.gen >= maxGen {
+		clear(t.meta)
+		t.gen = 0
+	}
+	t.gen++
+	t.live = 0
+	t.used = 0
+}
+
+// Len returns the number of live rows.
+func (t *Table[V]) Len() int { return t.live }
+
+// Add accumulates delta into row's entry, creating it at delta if absent,
+// and returns the new value.
+func (t *Table[V]) Add(row int, delta V) V {
+	if t.keys == nil {
+		t.init(minCapacity)
+	} else if (t.used+1)*4 > len(t.keys)*3 {
+		t.grow()
+	}
+	liveTag := t.gen<<1 | 1
+	tombTag := t.gen << 1
+	i := hash(int32(row)) & t.mask
+	firstTomb := int32(-1)
+	for {
+		switch m := t.meta[i]; {
+		case m == liveTag && t.keys[i] == int32(row):
+			t.vals[i] += delta
+			return t.vals[i]
+		case m == tombTag:
+			if firstTomb < 0 {
+				firstTomb = int32(i)
+			}
+		case m != liveTag: // free slot: row is absent
+			if firstTomb >= 0 {
+				i = uint32(firstTomb) // reuse the tombstone; used unchanged
+			} else {
+				t.used++
+			}
+			t.keys[i] = int32(row)
+			t.meta[i] = liveTag
+			t.vals[i] = delta
+			t.live++
+			return delta
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Get returns row's value and whether it is present.
+func (t *Table[V]) Get(row int) (V, bool) {
+	if t.live == 0 {
+		var zero V
+		return zero, false
+	}
+	liveTag := t.gen<<1 | 1
+	tombTag := t.gen << 1
+	i := hash(int32(row)) & t.mask
+	for {
+		switch m := t.meta[i]; {
+		case m == liveTag && t.keys[i] == int32(row):
+			return t.vals[i], true
+		case m != liveTag && m != tombTag: // free slot ends the probe
+			var zero V
+			return zero, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Delete removes row's entry if present.
+func (t *Table[V]) Delete(row int) {
+	if t.live == 0 {
+		return
+	}
+	liveTag := t.gen<<1 | 1
+	tombTag := t.gen << 1
+	i := hash(int32(row)) & t.mask
+	for {
+		switch m := t.meta[i]; {
+		case m == liveTag && t.keys[i] == int32(row):
+			t.meta[i] = tombTag
+			t.live--
+			return
+		case m != liveTag && m != tombTag:
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Range calls fn for every live (row, value) pair in slot order until fn
+// returns false. Slot order is an implementation detail: callers must only
+// perform order-independent work (sums, min/max with total tie-breaks,
+// deletions in other tables).
+func (t *Table[V]) Range(fn func(row int, v V) bool) {
+	if t.live == 0 {
+		return
+	}
+	liveTag := t.gen<<1 | 1
+	for i, m := range t.meta {
+		if m == liveTag && !fn(int(t.keys[i]), t.vals[i]) {
+			return
+		}
+	}
+}
+
+// init allocates the backing arrays at a power-of-two capacity.
+func (t *Table[V]) init(capacity int) {
+	capacity = 1 << bits.Len(uint(capacity-1))
+	t.keys = make([]int32, capacity)
+	t.meta = make([]uint32, capacity)
+	t.vals = make([]V, capacity)
+	t.mask = uint32(capacity - 1)
+	if t.gen == 0 {
+		t.gen = 1 // zeroed meta must read as free
+	}
+}
+
+// grow rehashes live entries into a table twice the size, shedding
+// tombstones.
+func (t *Table[V]) grow() {
+	old := *t
+	newCap := len(old.keys) * 2
+	if old.live*4 <= len(old.keys) {
+		newCap = len(old.keys) // tombstone-dominated: rehash in place
+	}
+	t.init(newCap)
+	t.live = 0
+	t.used = 0
+	liveTag := old.gen<<1 | 1
+	newLive := t.gen<<1 | 1
+	for i, m := range old.meta {
+		if m != liveTag {
+			continue
+		}
+		j := hash(old.keys[i]) & t.mask
+		for t.meta[j] == newLive {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = old.keys[i]
+		t.meta[j] = newLive
+		t.vals[j] = old.vals[i]
+		t.live++
+		t.used++
+	}
+}

@@ -1,0 +1,144 @@
+package rowcount
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialAgainstMap drives a Table and a plain map through the
+// same randomized operation stream — adds, deletes, resets, lookups — and
+// demands identical contents after every step. This is the golden
+// equivalence the hot paths rely on: the flat table must be observationally
+// identical to the (bank,row)-keyed maps it replaced.
+func TestDifferentialAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tab Table[float64]
+	ref := map[int]float64{}
+	check := func(step int) {
+		t.Helper()
+		if tab.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, map has %d", step, tab.Len(), len(ref))
+		}
+		seen := 0
+		tab.Range(func(row int, v float64) bool {
+			want, ok := ref[row]
+			if !ok || want != v {
+				t.Fatalf("step %d: row %d = %v, map has %v (present=%v)", step, row, v, want, ok)
+			}
+			seen++
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("step %d: Range visited %d rows, map has %d", step, seen, len(ref))
+		}
+	}
+	for step := 0; step < 200_000; step++ {
+		row := rng.Intn(3000)
+		switch op := rng.Intn(100); {
+		case op < 55: // accumulate
+			delta := rng.Float64()
+			got := tab.Add(row, delta)
+			ref[row] += delta
+			if got != ref[row] {
+				t.Fatalf("step %d: Add(%d) = %v, want %v", step, row, got, ref[row])
+			}
+		case op < 80: // lookup
+			got, ok := tab.Get(row)
+			want, wok := ref[row]
+			if ok != wok || got != want {
+				t.Fatalf("step %d: Get(%d) = (%v,%v), want (%v,%v)", step, row, got, ok, want, wok)
+			}
+		case op < 97: // delete
+			tab.Delete(row)
+			delete(ref, row)
+		default: // end of refresh window
+			tab.Reset()
+			ref = map[int]float64{}
+		}
+		if step%4096 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+}
+
+// TestResetIsCheapAndComplete: a reset must hide every prior entry without
+// shrinking capacity, and re-adding after reset must start from zero.
+func TestResetIsCheapAndComplete(t *testing.T) {
+	var tab Table[int32]
+	for i := 0; i < 10_000; i++ {
+		tab.Add(i, 1)
+	}
+	capBefore := len(tab.keys)
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", tab.Len())
+	}
+	if _, ok := tab.Get(5); ok {
+		t.Fatal("entry visible after Reset")
+	}
+	if got := tab.Add(5, 3); got != 3 {
+		t.Fatalf("Add after Reset = %d, want fresh 3", got)
+	}
+	if len(tab.keys) != capBefore {
+		t.Fatalf("Reset reallocated: cap %d -> %d", capBefore, len(tab.keys))
+	}
+}
+
+// TestTombstoneReuse: delete/re-add cycles on a full-ish table must not
+// grow it unboundedly (tombstones are reused and shed on rehash).
+func TestTombstoneReuse(t *testing.T) {
+	var tab Table[int32]
+	for i := 0; i < 48; i++ {
+		tab.Add(i, 1)
+	}
+	for cycle := 0; cycle < 10_000; cycle++ {
+		row := cycle % 48
+		tab.Delete(row)
+		tab.Add(row, int32(cycle))
+	}
+	if tab.Len() != 48 {
+		t.Fatalf("Len = %d, want 48", tab.Len())
+	}
+	if len(tab.keys) > 1024 {
+		t.Fatalf("table grew to %d slots under churn", len(tab.keys))
+	}
+}
+
+// TestGenerationWrap forces the generation counter past its wrap point and
+// checks entries do not resurrect.
+func TestGenerationWrap(t *testing.T) {
+	var tab Table[int32]
+	tab.Add(7, 9)
+	tab.gen = maxGen // simulate 2^31-1 refresh windows
+	tab.Reset()
+	if _, ok := tab.Get(7); ok {
+		t.Fatal("entry survived generation wrap")
+	}
+	tab.Add(7, 1)
+	if v, ok := tab.Get(7); !ok || v != 1 {
+		t.Fatalf("post-wrap Add: got (%d,%v)", v, ok)
+	}
+}
+
+func BenchmarkTableAdd(b *testing.B) {
+	var tab Table[float64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Add(i&1023, 1)
+		if i&8191 == 8191 {
+			tab.Reset()
+		}
+	}
+}
+
+func BenchmarkMapAdd(b *testing.B) {
+	m := map[int]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m[i&1023]++
+		if i&8191 == 8191 {
+			m = map[int]float64{}
+		}
+	}
+}
