@@ -39,11 +39,12 @@ race-quick:
 	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink' ./internal/core
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 	$(GO) test -race -run 'TestEPTRelocationProperty' ./internal/migrate
+	$(GO) test -race -run 'TestConcurrentFleetChurn' ./internal/fleet
 
 # Packages with substrate microbenchmarks (address decode, the memory
 # controller, the DRAM module) — the hot paths the BENCH_*.json baseline
 # tracks. The registry benches in the repo root ride along.
-BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount
+BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount ./internal/fleet
 BENCH_DATE := $(shell date +%F)
 # Latest committed baseline by date-sorted filename.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
@@ -86,8 +87,10 @@ tools:
 
 check: build vet fmt-check test
 
-# Pre-commit gate: everything `check` runs, as one target.
+# Pre-commit gate: everything `check` runs, plus a quick fleet-churn
+# end-to-end smoke through the real CLI.
 verify: build vet fmt-check test
+	$(GO) run ./cmd/siloz-fleet -quick >/dev/null
 
 clean:
 	$(GO) clean ./...

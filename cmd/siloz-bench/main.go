@@ -64,11 +64,13 @@ func main() {
 	bal := experiments.DefaultBalloonConfig()
 	hot := experiments.DefaultHotplugConfig()
 	rel := experiments.DefaultEPTRelocConfig()
+	fl := experiments.DefaultFleetConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
 		bal = experiments.QuickBalloonConfig()
 		hot = experiments.QuickHotplugConfig()
 		rel = experiments.QuickEPTRelocConfig()
+		fl = experiments.QuickFleetConfig()
 	}
 	// The security, migration, ballooning and hotplug campaigns keep their
 	// own default seeds unless -seed is given explicitly, so default outputs
@@ -80,6 +82,7 @@ func main() {
 			bal.Seed = common.Seed
 			hot.Seed = common.Seed
 			rel.Seed = common.Seed
+			fl.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -115,6 +118,7 @@ func main() {
 		Balloon:   bal,
 		Hotplug:   hot,
 		EPTReloc:  rel,
+		Fleet:     fl,
 		Pool:      experiments.NewPool(common.Workers()),
 	}
 

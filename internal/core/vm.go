@@ -424,6 +424,22 @@ func (vm *VM) RAMPages() []uint64 {
 	return out
 }
 
+// TouchedPages returns the sorted GPA page indexes (2 MiB units) that are
+// both resident and have ever been written. Cross-host migration copies only
+// these: never-written pages hold no data and read as zeros on any host.
+func (vm *VM) TouchedPages() []int {
+	vm.dirtyMu.Lock()
+	defer vm.dirtyMu.Unlock()
+	out := make([]int, 0, len(vm.touched))
+	for p := range vm.touched {
+		if p >= 0 && p < len(vm.ram) && vm.ram[p] != hpaNone {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // BalloonedBytes returns how much of the VM's RAM the balloon currently
 // holds (surrendered to the host).
 func (vm *VM) BalloonedBytes() uint64 {

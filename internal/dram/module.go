@@ -88,9 +88,9 @@ type Module struct {
 	socket  int
 	dimm    int
 
-	banks  []*bankState      // indexed rank*BanksPerRank+bank, nil until touched
-	rowsMu sync.Mutex        // guards rows: EPT walks from parallel reps share it
-	rows   map[[3]int][]byte // (rank, bank, mediaRow) -> row bytes
+	banks  []*bankState // indexed rank*BanksPerRank+bank, nil until touched
+	rowsMu sync.Mutex   // guards rows: EPT walks from parallel reps share it
+	rows   *rowStore    // slab arena of materialized row data
 	window int
 	flips  []Flip
 }
@@ -111,7 +111,7 @@ func NewModule(g geometry.Geometry, prof Profile, socket, dimm int, repairs *add
 		socket:  socket,
 		dimm:    dimm,
 		banks:   make([]*bankState, g.BanksPerDIMM()),
-		rows:    make(map[[3]int][]byte),
+		rows:    newRowStore(g),
 	}
 	return m, nil
 }
@@ -411,13 +411,7 @@ func (m *Module) ResetFlips() { m.flips = nil }
 // rowLocked returns the backing storage of a media row, allocating zeroed
 // bytes on first touch. Caller holds rowsMu.
 func (m *Module) rowLocked(b geometry.BankID, mediaRow int) []byte {
-	key := [3]int{b.Rank, b.Bank, mediaRow}
-	r := m.rows[key]
-	if r == nil {
-		r = make([]byte, m.g.RowBytes)
-		m.rows[key] = r
-	}
-	return r
+	return m.rows.rowAlloc(m.rows.bankIndex(b.Rank, b.Bank), mediaRow)
 }
 
 // WriteRow stores data into a row starting at column col. The copy itself
@@ -446,9 +440,8 @@ func (m *Module) ReadRow(b geometry.BankID, mediaRow, col int, buf []byte) error
 	if col < 0 || col+len(buf) > m.g.RowBytes {
 		return fmt.Errorf("dram: read [%d,%d) outside row", col, col+len(buf))
 	}
-	key := [3]int{b.Rank, b.Bank, mediaRow}
 	m.rowsMu.Lock()
-	if r := m.rows[key]; r != nil {
+	if r := m.rows.row(m.rows.bankIndex(b.Rank, b.Bank), mediaRow); r != nil {
 		copy(buf, r[col:])
 	} else {
 		for i := range buf {
@@ -471,11 +464,11 @@ func (m *Module) ScrubRow(b geometry.BankID, mediaRow, col, n int) error {
 	if col < 0 || n < 0 || col+n > m.g.RowBytes {
 		return fmt.Errorf("dram: scrub [%d,%d) outside row", col, col+n)
 	}
-	key := [3]int{b.Rank, b.Bank, mediaRow}
 	m.rowsMu.Lock()
-	if r := m.rows[key]; r != nil {
+	bankIdx := m.rows.bankIndex(b.Rank, b.Bank)
+	if r := m.rows.row(bankIdx, mediaRow); r != nil {
 		if col == 0 && n == m.g.RowBytes {
-			delete(m.rows, key)
+			m.rows.release(bankIdx, mediaRow)
 		} else {
 			for i := col; i < col+n; i++ {
 				r[i] = 0

@@ -39,6 +39,9 @@ type Config struct {
 	// EPTReloc parameterizes the EPT-table relocation experiment. A zero
 	// value falls back to DefaultEPTRelocConfig.
 	EPTReloc EPTRelocConfig
+	// Fleet parameterizes the fleet-churn experiment. A zero value falls
+	// back to DefaultFleetConfig.
+	Fleet FleetConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

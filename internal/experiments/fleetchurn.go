@@ -1,0 +1,433 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/fleet"
+	"repro/internal/geometry"
+)
+
+// round2 rounds to two decimals so rendered tables stay readable; the
+// rounding is deterministic, so JSON output remains byte-stable.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// FleetConfig parameterizes the "fleet-churn" experiment: a multi-host
+// fleet under a traced churn workload — thousands of VM arrivals, resizes,
+// and departures — once per placement policy, reporting capacity,
+// migration-downtime, and stranded-capacity metrics at fleet scale.
+type FleetConfig struct {
+	// Hosts is the simulated machine count.
+	Hosts int
+	// Geometry of each host; zero value = the fleet lab box (8 subarray
+	// groups of 64 MiB per socket: 14 guest nodes, 896 MiB per host).
+	Geometry geometry.Geometry
+	// Policies are the placement policies compared; empty = all built-ins.
+	Policies []string
+	// Rounds / ArrivalsPerRound shape the trace.
+	Rounds           int
+	ArrivalsPerRound int
+	// VMSizes are the guest RAM sizes drawn uniformly.
+	VMSizes []uint64
+	// MinLifetime/MaxLifetime bound VM stays, in rounds.
+	MinLifetime, MaxLifetime int
+	// ResizeProb is the chance of one mid-life resize.
+	ResizeProb float64
+	// TouchPages is how many 2 MiB pages each VM stamps at admission
+	// (the data migrations must carry).
+	TouchPages int
+	// CopyGiBps converts downtime bytes to modeled milliseconds.
+	CopyGiBps float64
+	// Seed drives the trace and every injected guest write.
+	Seed int64
+}
+
+// fleetLabGeometry is the per-host box: 8 subarray groups of 64 MiB per
+// socket so each socket carves into 1 host + 1 EPT + 7 guest nodes.
+func fleetLabGeometry() geometry.Geometry {
+	g := migrationLabGeometry()
+	g.RowsPerBank = 4096
+	return g
+}
+
+// DefaultFleetConfig runs ≥1000 arrivals across 8 hosts (7 GiB of guest
+// capacity fleet-wide) with the trace sized to oversubscribe it, so every
+// policy takes real rejections and the scheduler has hot hosts to drain.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		Hosts:            8,
+		Rounds:           42,
+		ArrivalsPerRound: 24,
+		VMSizes: []uint64{
+			64 * geometry.MiB, 96 * geometry.MiB,
+			128 * geometry.MiB, 192 * geometry.MiB,
+		},
+		MinLifetime: 1,
+		MaxLifetime: 3,
+		ResizeProb:  0.25,
+		TouchPages:  2,
+		CopyGiBps:   12,
+		Seed:        29,
+	}
+}
+
+// QuickFleetConfig trims hosts and trace for smoke runs.
+func QuickFleetConfig() FleetConfig {
+	cfg := DefaultFleetConfig()
+	cfg.Hosts = 3
+	cfg.Rounds = 5
+	cfg.ArrivalsPerRound = 8
+	cfg.Policies = []string{"first-fit", "siloz-aware"}
+	return cfg
+}
+
+func (cfg *FleetConfig) normalize() {
+	def := DefaultFleetConfig()
+	if cfg.Hosts == 0 {
+		cfg.Hosts = def.Hosts
+	}
+	if cfg.Geometry == (geometry.Geometry{}) {
+		cfg.Geometry = fleetLabGeometry()
+	}
+	if len(cfg.Policies) == 0 {
+		for _, p := range fleet.Policies() {
+			cfg.Policies = append(cfg.Policies, p.Name())
+		}
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = def.Rounds
+	}
+	if cfg.ArrivalsPerRound == 0 {
+		cfg.ArrivalsPerRound = def.ArrivalsPerRound
+	}
+	if len(cfg.VMSizes) == 0 {
+		cfg.VMSizes = def.VMSizes
+	}
+	if cfg.MinLifetime == 0 {
+		cfg.MinLifetime = def.MinLifetime
+	}
+	if cfg.MaxLifetime == 0 {
+		cfg.MaxLifetime = def.MaxLifetime
+	}
+	if cfg.TouchPages == 0 {
+		cfg.TouchPages = def.TouchPages
+	}
+	if cfg.CopyGiBps == 0 {
+		cfg.CopyGiBps = def.CopyGiBps
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+}
+
+// fleetPolicyResult is one policy's complete churn run, index-addressed
+// for the pool.
+type fleetPolicyResult struct {
+	policy        string
+	arrivals      int
+	admitted      int
+	rejected      int
+	resizeOK      int
+	resizeDenied  int
+	untypedReject int // rejections NOT matching fleet.ErrNoPlacement
+	peakUtil      float64
+	peakStranded  float64 // fraction of guest capacity
+	finalStranded float64
+	crossMoves    int
+	defragMoves   int
+	migratedMiB   float64
+	downtimeMs    float64
+	auditRounds   int
+	auditErr      error
+	leftoverNodes int // owned guest nodes after the final drain
+}
+
+type fleetChurnExp struct{}
+
+func (fleetChurnExp) Name() string { return "fleet-churn" }
+
+func (fleetChurnExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	fc := cfg.Fleet
+	fc.normalize()
+
+	trace := fleet.GenerateTrace(fleet.TraceConfig{
+		Seed:             fc.Seed,
+		Rounds:           fc.Rounds,
+		ArrivalsPerRound: fc.ArrivalsPerRound,
+		VMSizes:          fc.VMSizes,
+		MinLifetime:      fc.MinLifetime,
+		MaxLifetime:      fc.MaxLifetime,
+		ResizeProb:       fc.ResizeProb,
+	})
+
+	results := make([]*fleetPolicyResult, len(fc.Policies))
+	err := cfg.Pool.Map(ctx, len(fc.Policies), func(i int) error {
+		r, err := runFleetPolicy(ctx, fc, fc.Policies[i], trace)
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", fc.Policies[i], err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:  "fleet-churn",
+		Title: "Fleet churn: admission, rebalancing and stranded capacity across placement policies",
+		Columns: []string{
+			"policy", "admitted", "rejected", "peak util", "peak stranded",
+			"final stranded", "cross moves", "defrag moves", "migrated", "downtime", "audits",
+		},
+		Units: []string{
+			"", "VMs", "VMs", "%", "%", "%", "", "", "MiB", "ms", "rounds",
+		},
+		Metadata: map[string]string{
+			"hosts":    fmt.Sprintf("%d", fc.Hosts),
+			"arrivals": fmt.Sprintf("%d", len(trace)),
+			"geometry": fc.Geometry.String(),
+			"seed":     fmt.Sprintf("%d", fc.Seed),
+		},
+	}
+
+	auditsOK, traceOK, typedOK, conservedOK := true, true, true, true
+	admittedTotal := 0
+	for _, r := range results {
+		res.Rows = append(res.Rows, Row{Label: r.policy, Cells: []any{
+			r.policy, r.admitted, r.rejected,
+			round2(r.peakUtil * 100), round2(r.peakStranded * 100),
+			round2(r.finalStranded * 100),
+			r.crossMoves, r.defragMoves, round2(r.migratedMiB), round2(r.downtimeMs),
+			r.auditRounds,
+		}})
+		res.scalar("fleet_admitted_"+r.policy, float64(r.admitted))
+		res.scalar("fleet_rejected_"+r.policy, float64(r.rejected))
+		res.scalar("fleet_peak_util_pct_"+r.policy, round2(r.peakUtil*100))
+		res.scalar("fleet_peak_stranded_pct_"+r.policy, round2(r.peakStranded*100))
+		res.scalar("fleet_cross_moves_"+r.policy, float64(r.crossMoves))
+		res.scalar("fleet_downtime_ms_"+r.policy, round2(r.downtimeMs))
+
+		if r.auditErr != nil {
+			auditsOK = false
+			res.Notes = append(res.Notes, fmt.Sprintf("%s audit failure: %v", r.policy, r.auditErr))
+		}
+		if r.admitted+r.rejected != r.arrivals {
+			traceOK = false
+		}
+		if r.untypedReject > 0 {
+			typedOK = false
+		}
+		if r.leftoverNodes != 0 {
+			conservedOK = false
+		}
+		admittedTotal += r.admitted
+	}
+	res.check("audits_passed", auditsOK,
+		fmt.Sprintf("fleet-wide isolation audit after every churn round (%d rounds x %d policies)",
+			results[0].auditRounds, len(results)))
+	res.check("trace_complete", traceOK,
+		fmt.Sprintf("every traced arrival admitted or rejected (%d arrivals per policy)", len(trace)))
+	res.check("typed_rejections", typedOK,
+		"every admission rejection matches fleet.ErrNoPlacement via errors.Is")
+	res.check("capacity_conserved", conservedOK,
+		"all guest nodes return to the free pool after the final drain")
+	res.check("churn_nonvacuous", admittedTotal > 0 && len(trace) >= fc.Rounds*fc.ArrivalsPerRound,
+		fmt.Sprintf("%d VMs admitted across %d policies", admittedTotal, len(results)))
+
+	if len(results) > 1 {
+		base, last := results[0], results[len(results)-1]
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s admitted %d vs %s %d at peak stranded %.1f%% vs %.1f%% — node-granular "+
+				"exclusivity is the isolation rent; placement policy sets the price",
+			last.policy, last.admitted, base.policy, base.admitted,
+			last.peakStranded*100, base.peakStranded*100))
+	}
+	return res, nil
+}
+
+// runFleetPolicy drives the full trace through one fresh cluster. The
+// driver is single-threaded and quiesces between phases; hosts run
+// single-worker event loops — determinism by construction, parallelism
+// only across policies (via the caller's pool).
+func runFleetPolicy(ctx context.Context, fc FleetConfig, policyName string, trace []fleet.Arrival) (*fleetPolicyResult, error) {
+	policy, err := fleet.PolicyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := fleet.New(fleet.Config{
+		Hosts: fc.Hosts,
+		Core: core.Config{
+			Geometry: fc.Geometry,
+			Profiles: []dram.Profile{fleetLabProfile()},
+		},
+		Policy:    policy,
+		CopyGiBps: fc.CopyGiBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	sched := fleet.NewScheduler(cluster, fleet.SchedulerConfig{Seed: fc.Seed})
+	proc := core.Process{CGroup: "kvm", KVMPrivileged: true}
+
+	res := &fleetPolicyResult{policy: policyName, arrivals: len(trace)}
+	arrivalsAt := map[int][]fleet.Arrival{}
+	for _, a := range trace {
+		arrivalsAt[a.Round] = append(arrivalsAt[a.Round], a)
+	}
+	departAt := map[int][]string{}
+	resizeAt := map[int][]fleet.Arrival{}
+	stampRng := rand.New(rand.NewSource(fc.Seed + 1))
+	stamp := make([]byte, 128)
+
+	lastRound := fc.Rounds + fc.MaxLifetime
+	for round := 0; round <= lastRound; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Phase 1: departures scheduled for this round, submitted async.
+		var departOps []*fleet.Op
+		for _, name := range departAt[round] {
+			op, err := cluster.SubmitDepart(name)
+			if err != nil {
+				return nil, fmt.Errorf("round %d depart %s: %w", round, name, err)
+			}
+			departOps = append(departOps, op)
+		}
+		if err := cluster.Quiesce(ctx); err != nil {
+			return nil, err
+		}
+		for _, op := range departOps {
+			if err := op.Err(); err != nil {
+				return nil, fmt.Errorf("round %d depart: %w", round, err)
+			}
+		}
+
+		// Phase 2: arrivals, synchronous in trace order.
+		for _, a := range arrivalsAt[round] {
+			hostName, err := cluster.Admit(ctx, proc, core.VMSpec{
+				Name:           a.Name,
+				MemoryBytes:    a.Bytes,
+				MinMemoryBytes: a.MinBytes,
+				VCPUs:          1,
+			})
+			if err != nil {
+				res.rejected++
+				if !errors.Is(err, fleet.ErrNoPlacement) {
+					res.untypedReject++
+				}
+				continue
+			}
+			res.admitted++
+			departAt[a.DepartRound] = append(departAt[a.DepartRound], a.Name)
+			if a.ResizeRound >= 0 {
+				resizeAt[a.ResizeRound] = append(resizeAt[a.ResizeRound], a)
+			}
+			// Stamp guest pages so migrations carry real data.
+			h, err := cluster.Host(hostName)
+			if err != nil {
+				return nil, err
+			}
+			if vm, ok := h.Hypervisor().VM(a.Name); ok {
+				pages := int(a.Bytes / geometry.PageSize2M)
+				for p := 0; p < fc.TouchPages && p < pages; p++ {
+					stampRng.Read(stamp)
+					if err := vm.WriteGuest(uint64(p)*geometry.PageSize2M, stamp); err != nil {
+						return nil, fmt.Errorf("stamp %s: %w", a.Name, err)
+					}
+				}
+			}
+		}
+
+		// Phase 3: scheduled resizes, async then quiesced. A denied
+		// resize (no adoptable capacity) is a legitimate outcome under
+		// load, not an experiment failure.
+		var resizeOps []*fleet.Op
+		for _, a := range resizeAt[round] {
+			op, err := cluster.SubmitResize(a.Name, a.ResizeBytes)
+			if err != nil {
+				res.resizeDenied++
+				continue
+			}
+			resizeOps = append(resizeOps, op)
+		}
+		if err := cluster.Quiesce(ctx); err != nil {
+			return nil, err
+		}
+		for _, op := range resizeOps {
+			if op.Err() != nil {
+				res.resizeDenied++
+			} else {
+				res.resizeOK++
+			}
+		}
+
+		// Phase 4: the migration scheduler's rebalancing round.
+		rep, err := sched.Round(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("round %d rebalance: %w", round, err)
+		}
+		res.crossMoves += rep.CrossMoves
+		res.defragMoves += rep.DefragMoves
+
+		// Phase 5: fleet-wide isolation audit and metrics sample.
+		if err := cluster.AuditIsolation(); err != nil {
+			res.auditErr = fmt.Errorf("round %d: %w", round, err)
+			return res, nil
+		}
+		res.auditRounds++
+		m, err := cluster.Metrics()
+		if err != nil {
+			return nil, err
+		}
+		if u := m.Utilization(); u > res.peakUtil {
+			res.peakUtil = u
+		}
+		if s := m.StrandedFraction(); s > res.peakStranded {
+			res.peakStranded = s
+		}
+		res.finalStranded = m.StrandedFraction()
+	}
+
+	// Final drain: every surviving VM departs; capacity must return.
+	var drainOps []*fleet.Op
+	for _, name := range cluster.VMs() {
+		op, err := cluster.SubmitDepart(name)
+		if err != nil {
+			return nil, err
+		}
+		drainOps = append(drainOps, op)
+	}
+	if err := cluster.Quiesce(ctx); err != nil {
+		return nil, err
+	}
+	for _, op := range drainOps {
+		if err := op.Err(); err != nil {
+			return nil, fmt.Errorf("final drain: %w", err)
+		}
+	}
+	if err := cluster.AuditIsolation(); err != nil {
+		res.auditErr = fmt.Errorf("final drain: %w", err)
+		return res, nil
+	}
+	m, err := cluster.Metrics()
+	if err != nil {
+		return nil, err
+	}
+	res.leftoverNodes = m.OwnedNodes
+
+	stats := cluster.Stats()
+	res.migratedMiB = float64(stats.MigratedBytes) / float64(geometry.MiB)
+	res.downtimeMs = stats.DowntimeMs(fc.CopyGiBps)
+	return res, nil
+}
+
+// fleetLabProfile strips DRAM transforms (grouping without padding), same
+// as the migration lab.
+func fleetLabProfile() dram.Profile { return migrationLabProfile() }

@@ -25,6 +25,7 @@ var registry = []Experiment{
 	actRatesExp{},
 	zebramExp{},
 	eptRelocExp{},
+	fleetChurnExp{},
 }
 
 // All returns every registered experiment in canonical order.

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/migrate"
+)
+
+// AuditIsolation verifies the fleet-wide isolation invariants:
+//
+//  1. every host passes the single-host audit (exclusive node ownership,
+//     RAM inside the owner's domain, EPT pages in the right socket pool,
+//     mediated pages host-reserved) — migrate.AuditIsolation per shard;
+//  2. no VM name is live on two hosts, except a VM mid-move (whose domain
+//     legitimately spans source and destination until the source copy is
+//     destroyed);
+//  3. the routing table matches reality: every routed VM exists on its
+//     recorded host, every live VM is routed.
+//
+// Call it between quiesced phases; a mid-op audit can observe legitimate
+// transients.
+func (c *Cluster) AuditIsolation() error {
+	c.mu.Lock()
+	vmHost := make(map[string]string, len(c.vmHost))
+	for k, v := range c.vmHost {
+		vmHost[k] = v
+	}
+	moving := make(map[string]bool, len(c.moving))
+	for k := range c.moving {
+		moving[k] = true
+	}
+	c.mu.Unlock()
+
+	seen := map[string]string{} // vm -> first host observed on
+	live := map[string]string{} // vm -> a host it lives on (for routing check)
+	for _, h := range c.hosts {
+		if err := migrate.AuditIsolation(h.Hypervisor()); err != nil {
+			return fmt.Errorf("fleet: host %s: %w", h.Name(), err)
+		}
+		for _, vm := range h.Hypervisor().VMs() {
+			name := vm.Name()
+			if prev, dup := seen[name]; dup && !moving[name] {
+				return fmt.Errorf("fleet: VM %q live on both %s and %s", name, prev, h.Name())
+			}
+			if _, dup := seen[name]; !dup {
+				seen[name] = h.Name()
+			}
+			live[name] = h.Name()
+			if _, routed := vmHost[name]; !routed {
+				return fmt.Errorf("fleet: VM %q live on %s but not in the routing table", name, h.Name())
+			}
+		}
+	}
+	for name, hostName := range vmHost {
+		if moving[name] {
+			continue // routing may point at the move's destination early
+		}
+		h, ok := c.byName[hostName]
+		if !ok {
+			return fmt.Errorf("fleet: VM %q routed to unknown host %q", name, hostName)
+		}
+		if _, ok := h.Hypervisor().VM(name); !ok {
+			return fmt.Errorf("fleet: VM %q routed to %s but not live there (live on %q)",
+				name, hostName, live[name])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TraceConfig parameterizes the deterministic churn-trace generator. The
+// whole trace is a pure function of the config — same config, same trace,
+// byte for byte — so experiment output is reproducible at any parallelism.
+type TraceConfig struct {
+	// Seed drives every random draw.
+	Seed int64
+	// Rounds is the trace length in scheduler rounds.
+	Rounds int
+	// ArrivalsPerRound is how many VMs arrive each round.
+	ArrivalsPerRound int
+	// VMSizes are the guest RAM sizes drawn uniformly.
+	VMSizes []uint64
+	// MinLifetime/MaxLifetime bound a VM's stay, in rounds (inclusive).
+	MinLifetime, MaxLifetime int
+	// ResizeProb is the chance a VM schedules one mid-life resize to a
+	// different size from VMSizes.
+	ResizeProb float64
+}
+
+// Arrival is one traced VM: when it arrives, how big it is, when it
+// departs, and an optional mid-life resize.
+type Arrival struct {
+	// Round is the arrival round.
+	Round int
+	// Name is the VM's fleet-unique name.
+	Name string
+	// Bytes is the requested guest RAM; MinBytes the balloon floor.
+	Bytes    uint64
+	MinBytes uint64
+	// DepartRound is when the VM leaves (after that round's arrivals).
+	DepartRound int
+	// ResizeRound, when >= 0, schedules a resize to ResizeBytes.
+	ResizeRound int
+	ResizeBytes uint64
+}
+
+// GenerateTrace precomputes the full churn trace from the config.
+func GenerateTrace(cfg TraceConfig) []Arrival {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MinLifetime <= 0 {
+		cfg.MinLifetime = 1
+	}
+	if cfg.MaxLifetime < cfg.MinLifetime {
+		cfg.MaxLifetime = cfg.MinLifetime
+	}
+	var out []Arrival
+	id := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < cfg.ArrivalsPerRound; i++ {
+			size := cfg.VMSizes[rng.Intn(len(cfg.VMSizes))]
+			life := cfg.MinLifetime + rng.Intn(cfg.MaxLifetime-cfg.MinLifetime+1)
+			a := Arrival{
+				Round:       round,
+				Name:        fmt.Sprintf("vm-%05d", id),
+				Bytes:       size,
+				MinBytes:    minSize(cfg.VMSizes),
+				DepartRound: round + life,
+				ResizeRound: -1,
+			}
+			if cfg.ResizeProb > 0 && rng.Float64() < cfg.ResizeProb && life > 1 {
+				target := cfg.VMSizes[rng.Intn(len(cfg.VMSizes))]
+				if target != size {
+					a.ResizeRound = round + 1 + rng.Intn(life-1)
+					a.ResizeBytes = target
+				}
+			}
+			out = append(out, a)
+			id++
+		}
+	}
+	return out
+}
+
+func minSize(sizes []uint64) uint64 {
+	m := sizes[0]
+	for _, s := range sizes[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}

@@ -137,6 +137,11 @@ func (p *Planner) EPTOccupancy() ([]EPTNodeOccupancy, error) {
 	return out, nil
 }
 
+// GuestBytes is the capacity a spec demands from guest-reserved nodes: RAM
+// plus every unmediated region (mirrors the admission check). Fleet placement
+// sizes bin-packing requests with it.
+func GuestBytes(spec core.VMSpec) uint64 { return specGuestBytes(spec) }
+
 // specGuestBytes is the capacity a spec demands from guest-reserved nodes:
 // RAM plus every unmediated region (mirrors the admission check).
 func specGuestBytes(spec core.VMSpec) uint64 {
