@@ -36,7 +36,7 @@ race:
 # from concurrent VMs.
 race-quick:
 	$(GO) test -race -run 'TestParallelDeterminism|TestRunAll|TestPoolMap|TestCancellation|TestRepSeed|TestRegistry|TestRenderers' ./internal/experiments
-	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink' ./internal/core
+	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink|TestConcurrentHammerResize' ./internal/core
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 	$(GO) test -race -run 'TestEPTRelocationProperty' ./internal/migrate
 	$(GO) test -race -run 'TestConcurrentFleetChurn' ./internal/fleet
@@ -78,6 +78,7 @@ examples:
 	$(GO) run ./examples/addressing
 	$(GO) run ./examples/tracereplay
 	$(GO) run ./examples/migration
+	$(GO) run ./examples/lifecycleattack
 
 tools:
 	$(GO) run ./cmd/siloz-topology
@@ -87,10 +88,11 @@ tools:
 
 check: build vet fmt-check test
 
-# Pre-commit gate: everything `check` runs, plus a quick fleet-churn
-# end-to-end smoke through the real CLI.
+# Pre-commit gate: everything `check` runs, plus quick fleet-churn and
+# lifecycle-attack end-to-end smokes through the real CLIs.
 verify: build vet fmt-check test
 	$(GO) run ./cmd/siloz-fleet -quick >/dev/null
+	$(GO) run ./cmd/siloz-bench -exp lifecycle-attack -quick >/dev/null
 
 clean:
 	$(GO) clean ./...

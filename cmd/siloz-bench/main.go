@@ -65,12 +65,14 @@ func main() {
 	hot := experiments.DefaultHotplugConfig()
 	rel := experiments.DefaultEPTRelocConfig()
 	fl := experiments.DefaultFleetConfig()
+	lca := experiments.DefaultLifecycleAttackConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
 		bal = experiments.QuickBalloonConfig()
 		hot = experiments.QuickHotplugConfig()
 		rel = experiments.QuickEPTRelocConfig()
 		fl = experiments.QuickFleetConfig()
+		lca = experiments.QuickLifecycleAttackConfig()
 	}
 	// The security, migration, ballooning and hotplug campaigns keep their
 	// own default seeds unless -seed is given explicitly, so default outputs
@@ -83,6 +85,7 @@ func main() {
 			hot.Seed = common.Seed
 			rel.Seed = common.Seed
 			fl.Seed = common.Seed
+			lca.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -119,6 +122,7 @@ func main() {
 		Hotplug:   hot,
 		EPTReloc:  rel,
 		Fleet:     fl,
+		Lifecycle: lca,
 		Pool:      experiments.NewPool(common.Workers()),
 	}
 

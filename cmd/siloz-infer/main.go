@@ -4,15 +4,23 @@
 // its multiples — the methodology Siloz's deployment relies on when DRAM
 // vendors do not share subarray sizes.
 //
+// With -adjacency the command instead runs the attacker-side DRAMDig-style
+// row-adjacency probe that precedes every lifecycle campaign: hammer a row
+// believed to sit between two others and confirm the disturbance lands on
+// exactly the predicted neighbors. Subarray-size inference needs boundary-
+// spanning runs and is host-only; adjacency is what an in-VM attacker can
+// confirm.
+//
 // The common flags are spelled as in every siloz command: -quick probes the
 // minimum two boundaries per candidate, -ops overrides activations per
 // aggressor, and
 // -reps re-runs the inference on -parallel-pooled independent DIMMs (the
-// probe itself is deterministic, so -seed is accepted but has no effect).
+// size probe is deterministic, so -seed only varies -adjacency sampling).
 //
 // Usage:
 //
-//	siloz-infer [-true-size N] [-dimm A..F] [-quick] [-ops N] [-reps N] [-parallel N]
+//	siloz-infer [-true-size N] [-dimm A..F] [-adjacency] [-pairs N]
+//	            [-quick] [-ops N] [-reps N] [-seed N] [-parallel N]
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 	log.SetPrefix("siloz-infer: ")
 	trueSize := flag.Int("true-size", 1024, "actual rows per subarray of the simulated DIMM")
 	dimm := flag.String("dimm", "A", "DIMM profile (A-F)")
+	adjacency := flag.Bool("adjacency", false, "run attacker-side row-adjacency inference instead of subarray size")
+	pairs := flag.Int("pairs", 8, "aggressor triples to probe per rep in -adjacency mode")
 	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -77,6 +87,57 @@ func main() {
 	if err := g.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	if *adjacency {
+		acts := int(4 * prof.HammerThreshold)
+		if common.Ops > 0 {
+			acts = common.Ops
+		}
+		reps := 1
+		if common.Reps > 0 {
+			reps = common.Reps
+		}
+		fmt.Printf("probing DIMM %s row adjacency (%d triples/rep, %d acts)...\n",
+			prof.Name, *pairs, acts)
+		reports := make([]*attack.AdjacencyReport, reps)
+		pool := experiments.NewPool(common.Workers())
+		err := pool.Map(context.Background(), reps, func(i int) error {
+			mapper, err := addr.NewMapper(g, addr.KindSkylake)
+			if err != nil {
+				return err
+			}
+			mem, err := dram.NewMemory(g, mapper, []dram.Profile{prof}, nil)
+			if err != nil {
+				return err
+			}
+			target := &attack.PhysTarget{
+				Mem:    mem,
+				Ranges: []attack.PhysRange{{Start: 0, End: uint64(g.SocketBytes())}},
+			}
+			rep, err := attack.InferAdjacency(target, acts, *pairs, 0xAA, attack.CampaignSeed(common.Seed, i))
+			if err != nil {
+				return err
+			}
+			reports[i] = rep
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		confirmed := true
+		for i, rep := range reports {
+			fmt.Printf("rep %d: %d/%d neighbor pairs disturbed, row pitch %d\n",
+				i, rep.Confirmed, rep.Probed, rep.RowPitch)
+			confirmed = confirmed && rep.Confirmed > 0
+		}
+		if confirmed {
+			fmt.Println("RESULT: adjacency confirmed — the mapping hypothesis places neighbors correctly")
+		} else {
+			fmt.Println("RESULT: adjacency NOT confirmed")
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := attack.DefaultInferenceConfig()
 	if prof.TRRTableSize == 0 {
 		cfg.Decoys = 0

@@ -1,0 +1,89 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DRAMDig-style row-adjacency inference: before mounting a lifecycle
+// campaign the attacker verifies, from inside its own domain, that its
+// reverse-engineered address mapping really places rows where it thinks —
+// hammering a row it believes sits between two others must disturb exactly
+// those neighbors. Subarray-SIZE inference (InferSubarraySize) needs runs
+// that span subarray boundaries and therefore only works host-side; a Siloz
+// guest never spans a boundary, so adjacency is all an in-VM attacker can
+// (and needs to) confirm.
+
+// AdjacencyReport summarizes one inference pass.
+type AdjacencyReport struct {
+	// Probed counts aggressor/victim neighbor pairs tested.
+	Probed int
+	// Confirmed counts pairs where hammering the aggressor disturbed the
+	// predicted neighbor.
+	Confirmed int
+	// RowPitch is the confirmed physical distance between consecutive
+	// attacker-visible rows (1 when adjacency holds; 0 if nothing
+	// confirmed, i.e. the mapping hypothesis failed).
+	RowPitch int
+}
+
+// ErrNoAdjacentRows reports a target without three consecutive rows to
+// probe.
+var ErrNoAdjacentRows = errors.New("attack: target exposes no run of 3+ consecutive rows")
+
+// InferAdjacency probes up to pairs aggressor-centered triples of
+// consecutive rows: fill both predicted neighbors with pat, hammer the
+// middle row with acts activations, close the refresh window, and check the
+// neighbors for disturbance. Probed triples are chosen by the seeded RNG so
+// repeated runs sample different parts of the target deterministically.
+// Victim rows are restored (refilled) after each probe.
+func InferAdjacency(t Target, acts, pairs int, pat byte, seed int64) (*AdjacencyReport, error) {
+	var triples [][3]RowRef
+	for _, run := range runs(t.Rows()) {
+		for i := 1; i+1 < len(run); i++ {
+			triples = append(triples, [3]RowRef{run[i-1], run[i], run[i+1]})
+		}
+	}
+	if len(triples) == 0 {
+		return nil, ErrNoAdjacentRows
+	}
+	rng := rngFrom(seed)
+	rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+	if pairs > 0 && pairs < len(triples) {
+		triples = triples[:pairs]
+	}
+
+	rep := &AdjacencyReport{}
+	for _, tr := range triples {
+		lo, agg, hi := tr[0], tr[1], tr[2]
+		for _, v := range []RowRef{lo, hi} {
+			if err := t.FillRow(v, pat); err != nil {
+				return nil, fmt.Errorf("attack: filling victim row %d: %w", v.Row, err)
+			}
+		}
+		if err := t.FillRow(agg, ^pat); err != nil {
+			return nil, fmt.Errorf("attack: filling aggressor row %d: %w", agg.Row, err)
+		}
+		if err := t.Hammer(agg, acts, 0); err != nil {
+			return nil, fmt.Errorf("attack: hammering row %d: %w", agg.Row, err)
+		}
+		t.EndWindow()
+		for _, v := range []RowRef{lo, hi} {
+			rep.Probed++
+			c, err := t.CheckRow(v, pat)
+			if err != nil {
+				return nil, fmt.Errorf("attack: checking victim row %d: %w", v.Row, err)
+			}
+			if len(c) > 0 {
+				rep.Confirmed++
+			}
+			if err := t.FillRow(v, pat); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if rep.Confirmed > 0 {
+		rep.RowPitch = 1
+	}
+	return rep, nil
+}

@@ -150,11 +150,20 @@ func (h *Hypervisor) balloonInflate(vm *VM, n int, rep *BalloonReport) error {
 	}
 	// The guest is paused across the unmap+free so no store can race the
 	// EPT edit (the same stop-the-world window a real balloon's
-	// MADV_DONTNEED takes, just coarser).
+	// MADV_DONTNEED takes, just coarser). Hammer and device DMA hold the
+	// same gate, so no stale-translation activation can land mid-drain.
 	vm.Pause()
 	defer vm.Resume()
 
-	freed := make(map[int][]uint64) // node ID -> freed HPAs
+	// Phase 1: unmap every surrendered leaf and drop the device IOMMU
+	// entries. After this the ranges are unreachable architecturally —
+	// the frames still hold guest data but only physical access remains.
+	type drainPage struct {
+		hpa         uint64
+		node        int
+		dataBearing bool
+	}
+	drains := make([]drainPage, 0, len(victims))
 	for _, p := range victims {
 		gpa := uint64(p) * geometry.PageSize2M
 		if err := vm.tables.Unmap(gpa); err != nil {
@@ -165,15 +174,9 @@ func (h *Hypervisor) balloonInflate(vm *VM, n int, rep *BalloonReport) error {
 		_, dataBearing := vm.touched[p]
 		delete(vm.touched, p)
 		vm.dirtyMu.Unlock()
-		if dataBearing {
-			if err := h.mem.ScrubPhys(hpa, geometry.PageSize2M); err != nil {
-				return err
-			}
-			rep.ScrubbedBytes += geometry.PageSize2M
-		}
 		node := vm.ramNode[hpa]
 		delete(vm.ramNode, hpa)
-		freed[node] = append(freed[node], hpa)
+		drains = append(drains, drainPage{hpa: hpa, node: node, dataBearing: dataBearing})
 		vm.ram[p] = hpaNone
 		if vm.ballooned == nil {
 			vm.ballooned = make(map[int]struct{})
@@ -182,6 +185,24 @@ func (h *Hypervisor) balloonInflate(vm *VM, n int, rep *BalloonReport) error {
 		rep.InflatedPages++
 	}
 	vm.InvalidateTLB()
+	if err := vm.syncDeviceTables(); err != nil {
+		return err
+	}
+	h.probe(ProbeBalloonUnmapped, vm)
+
+	// Phase 2: scrub the data-bearing frames, then return them to their
+	// nodes' buddy allocators. Scrub strictly precedes free: from the
+	// instant a frame is back in the pool it may be handed to any tenant.
+	freed := make(map[int][]uint64) // node ID -> freed HPAs
+	for _, d := range drains {
+		if d.dataBearing {
+			if err := h.mem.ScrubPhys(d.hpa, geometry.PageSize2M); err != nil {
+				return err
+			}
+			rep.ScrubbedBytes += geometry.PageSize2M
+		}
+		freed[d.node] = append(freed[d.node], d.hpa)
+	}
 	for node, pages := range freed {
 		a, err := h.Allocator(node)
 		if err != nil {
@@ -191,6 +212,10 @@ func (h *Hypervisor) balloonInflate(vm *VM, n int, rep *BalloonReport) error {
 			return err
 		}
 	}
+	h.probe(ProbeBalloonDrained, vm)
+
+	// Phase 3: drained whole nodes leave the control group and return to
+	// the admission pool.
 	if h.mode == ModeSiloz {
 		released, err := h.releaseDrainedNodes(vm)
 		if err != nil {
@@ -263,6 +288,10 @@ func (h *Hypervisor) balloonDeflate(vm *VM, n int, rep *BalloonReport) error {
 		vm.ramNode[frames[i]] = nodes[i]
 		delete(vm.ballooned, p)
 		rep.DeflatedPages++
+	}
+	vm.InvalidateTLB()
+	if err := vm.syncDeviceTables(); err != nil {
+		return err
 	}
 	rep.AdoptedNodes = adopted
 	return nil

@@ -14,6 +14,13 @@ import (
 // the guarded EPT row-group block — because a flipped IOMMU entry would let
 // the device DMA (and hammer) outside the guest's subarray groups.
 //
+// The IOMMU mappings are live state, not a snapshot: every RAM-layout
+// change (live migration, balloon inflate/deflate, memory hotplug) re-syncs
+// them through VM.syncDeviceTables, and VM teardown tears them down before
+// the frames return to the free pools. DMA writes participate in the
+// touched-page ledger and the dirty-page log (IOMMU dirty-bit harvesting),
+// so scrub-before-free and pre-copy both see device stores.
+//
 // The default virtio path needs none of this: the hypervisor performs DMAs
 // on the guest's behalf and can rate-limit them (§5.1), which the VM model
 // expresses by refusing Hammer on mediated pages.
@@ -21,11 +28,16 @@ type Device struct {
 	name   string
 	vm     *VM
 	tables *ept.Tables // IOMMU page tables (IOVA -> HPA)
+	// view is the RAM layout the tables were last synced to (HPA per 2 MiB
+	// page index, hpaNone for unmapped slots); resync diffs against it.
+	view []uint64
 }
 
 // AttachDevice creates a passthrough device for a VM, building IOMMU
 // mappings IOVA==GPA over the VM's RAM. Table pages are allocated from the
 // same pool as EPT pages (GFP_EPT under Siloz with guard-row protection).
+// The device is registered with the VM so lifecycle operations keep its
+// mappings in sync with the RAM layout.
 func (h *Hypervisor) AttachDevice(vm *VM, name string) (*Device, error) {
 	if vm.tables == nil {
 		return nil, fmt.Errorf("core: VM %q has been destroyed", vm.spec.Name)
@@ -44,12 +56,20 @@ func (h *Hypervisor) AttachDevice(vm *VM, name string) (*Device, error) {
 	}
 	d := &Device{name: name, vm: vm, tables: tables}
 	for i, hpa := range vm.ram {
+		if hpa == hpaNone {
+			d.view = append(d.view, hpaNone)
+			continue
+		}
 		iova := uint64(i) * geometry.PageSize2M
 		if err := tables.Map2M(iova, hpa); err != nil {
 			tables.Destroy()
 			return nil, err
 		}
+		d.view = append(d.view, hpa)
 	}
+	vm.devMu.Lock()
+	vm.devices = append(vm.devices, d)
+	vm.devMu.Unlock()
 	return d, nil
 }
 
@@ -59,12 +79,70 @@ func (d *Device) Name() string { return d.name }
 // Tables exposes the device's IOMMU page tables (for protection audits).
 func (d *Device) Tables() *ept.Tables { return d.tables }
 
-// Detach releases the IOMMU tables.
+// Detach releases the IOMMU tables and unregisters the device from its VM.
 func (d *Device) Detach() {
+	vm := d.vm
+	vm.devMu.Lock()
+	for i, o := range vm.devices {
+		if o == d {
+			vm.devices = append(vm.devices[:i], vm.devices[i+1:]...)
+			break
+		}
+	}
+	vm.devMu.Unlock()
+	d.detachTables()
+}
+
+// detachTables destroys the IOMMU tables without touching the VM's device
+// list — VM teardown uses it after clearing the list itself.
+func (d *Device) detachTables() {
 	if d.tables != nil {
 		d.tables.Destroy()
 		d.tables = nil
 	}
+	d.view = nil
+}
+
+// resync diffs the IOMMU mappings against the VM's current RAM layout and
+// remaps / unmaps / maps whatever changed. Caller holds the vCPU gate
+// exclusively (no DMA in flight).
+func (d *Device) resync(ram []uint64) error {
+	if d.tables == nil {
+		return nil
+	}
+	n := len(d.view)
+	if len(ram) > n {
+		n = len(ram)
+	}
+	for i := 0; i < n; i++ {
+		old, cur := hpaNone, hpaNone
+		if i < len(d.view) {
+			old = d.view[i]
+		}
+		if i < len(ram) {
+			cur = ram[i]
+		}
+		if old == cur {
+			continue
+		}
+		iova := uint64(i) * geometry.PageSize2M
+		switch {
+		case cur == hpaNone:
+			if err := d.tables.Unmap(iova); err != nil {
+				return fmt.Errorf("core: device %q iommu unmap iova %#x: %w", d.name, iova, err)
+			}
+		case old == hpaNone:
+			if err := d.tables.Map2M(iova, cur); err != nil {
+				return fmt.Errorf("core: device %q iommu map iova %#x: %w", d.name, iova, err)
+			}
+		default:
+			if err := d.tables.Remap2M(iova, cur); err != nil {
+				return fmt.Errorf("core: device %q iommu remap iova %#x: %w", d.name, iova, err)
+			}
+		}
+	}
+	d.view = append(d.view[:0], ram...)
+	return nil
 }
 
 // translate resolves an IOVA through the IOMMU.
@@ -76,15 +154,22 @@ func (d *Device) translate(iova uint64) (uint64, error) {
 }
 
 // DMAWrite stores data at an IOVA, as the device's unmediated DMA engine
-// would.
+// would. It holds the vCPU gate shared — the hypervisor quiesces DMA across
+// stop-the-world windows exactly as it quiesces vCPUs — and every written
+// page lands in the VM's touched ledger and (while armed) dirty log.
 func (d *Device) DMAWrite(iova uint64, data []byte) error {
+	d.vm.pauseMu.RLock()
+	defer d.vm.pauseMu.RUnlock()
 	return d.dmaIter(iova, len(data), func(hpa uint64, off, n int) error {
+		d.vm.noteDMAWrite(iova + uint64(off))
 		return d.vm.hv.mem.WritePhys(hpa, data[off:off+n])
 	})
 }
 
 // DMARead loads len(buf) bytes from an IOVA.
 func (d *Device) DMARead(iova uint64, buf []byte) error {
+	d.vm.pauseMu.RLock()
+	defer d.vm.pauseMu.RUnlock()
 	return d.dmaIter(iova, len(buf), func(hpa uint64, off, n int) error {
 		return d.vm.hv.mem.ReadPhys(hpa, buf[off:off+n])
 	})
@@ -113,8 +198,12 @@ func (d *Device) dmaIter(iova uint64, n int, fn func(hpa uint64, off, n int) err
 
 // HammerDMA activates the row backing an IOVA repeatedly — DMA-based
 // Rowhammer (GuardION-style). The IOMMU confines it to the VM's own
-// subarray groups exactly as EPTs confine CPU-side hammering.
+// subarray groups exactly as EPTs confine CPU-side hammering, and the vCPU
+// gate confines it in time: no DMA activation can land inside a
+// stop-the-world window where the frame may be changing owners.
 func (d *Device) HammerDMA(iova uint64, count int, openNs int64) error {
+	d.vm.pauseMu.RLock()
+	defer d.vm.pauseMu.RUnlock()
 	hpa, err := d.translate(iova)
 	if err != nil {
 		return fmt.Errorf("core: device %q DMA blocked: %w", d.name, err)

@@ -113,6 +113,11 @@ func (h *Hypervisor) hotplugGrow(vm *VM, addBytes uint64) (*HotplugReport, error
 		VM: name, AddedBytes: addBytes, AddedPages: n,
 		BaseGPA: vm.spec.MemoryBytes, AdoptedNodes: adopted,
 	}
+	// The adoption window is open: the frames (and any adopted nodes) now
+	// belong to this VM's domain but are not yet scrubbed or mapped. An
+	// attacker cannot reach them through any translation path — only the
+	// registry transfer has happened.
+	h.probe(ProbeHotplugAdopted, vm)
 	// Scrub before mapping: the guest must only ever observe zeros in the
 	// hot-added range, whatever the frames held before.
 	for _, hpa := range frames {
@@ -145,6 +150,9 @@ func (h *Hypervisor) hotplugGrow(vm *VM, addBytes uint64) (*HotplugReport, error
 	vm.spec.MemoryBytes += addBytes
 	rep.NewMemoryBytes = vm.spec.MemoryBytes
 	vm.InvalidateTLB()
+	if serr := vm.syncDeviceTables(); serr != nil {
+		return nil, fmt.Errorf("core: syncing device tables after hotplug of VM %q: %w", name, serr)
+	}
 	h.logf("hotplug VM %q: +%d MiB at gpa %#x (%d pages, adopted nodes %v, %d bytes scrubbed), now %d MiB",
 		name, addBytes>>20, rep.BaseGPA, n, adopted, rep.ScrubbedBytes, vm.spec.MemoryBytes>>20)
 	return rep, nil

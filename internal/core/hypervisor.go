@@ -40,6 +40,48 @@ type Hypervisor struct {
 	// live migration proceed concurrently with lifecycle operations.
 	mu  sync.Mutex
 	vms map[string]*VM
+
+	// lifecycleProbe, when set, observes the transient windows inside
+	// lifecycle operations (see the Probe* event constants). Deterministic
+	// adversarial campaigns hook it to attack an operation mid-flight
+	// without racing real goroutines against it.
+	lifecycleProbe func(event string, vm *VM)
+}
+
+// Lifecycle-probe events, fired at the sensitive instants adversarial
+// campaigns target. Probes run on the lifecycle operation's own goroutine
+// — often with h.mu and/or the vCPU gate held exclusively — so they must
+// restrict themselves to non-blocking introspection (TranslateUncached,
+// Memory() reads/activations) or hand work to other goroutines without
+// waiting on them.
+const (
+	// ProbeBalloonUnmapped fires during a balloon inflate after the
+	// surrendered EPT leaves are unmapped (and device IOMMU entries
+	// dropped) but before the backing frames are scrubbed and freed. The
+	// guest is paused; the frames still hold its data but are only
+	// reachable physically.
+	ProbeBalloonUnmapped = "balloon.unmapped"
+	// ProbeBalloonDrained fires after the surrendered frames have been
+	// scrubbed and returned to their node's allocator, before drained
+	// nodes leave the VM's control group.
+	ProbeBalloonDrained = "balloon.drained"
+	// ProbeHotplugAdopted fires during a memory hotplug after destination
+	// frames are allocated (possibly from freshly-adopted subarray-group
+	// nodes) but before the scrub-before-map pass. The guest is running
+	// but the new range is not yet mapped.
+	ProbeHotplugAdopted = "hotplug.adopted"
+)
+
+// SetLifecycleProbe installs (or clears, with nil) the lifecycle probe.
+// Install it before the operations of interest start; the hook is read
+// without synchronization on the lifecycle paths.
+func (h *Hypervisor) SetLifecycleProbe(p func(event string, vm *VM)) { h.lifecycleProbe = p }
+
+// probe fires the lifecycle probe, if installed.
+func (h *Hypervisor) probe(event string, vm *VM) {
+	if h.lifecycleProbe != nil {
+		h.lifecycleProbe(event, vm)
+	}
 }
 
 // Boot initializes a hypervisor in the given mode. It performs Siloz's

@@ -371,11 +371,21 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	}
 	vm.ramNode = newRamNode
 	vm.InvalidateTLB()
+	// The guest is paused, so the touched ledger is final for the source
+	// frames: snapshot it as the source scrub ledger before folding the
+	// engine's own writes in. A page the guest (or a device DMA) dirtied
+	// between the final TakeDirty round and stop-and-copy is in this
+	// ledger even when the engine's zero-page heuristic never wrote the
+	// destination frame — step 4 must scrub its source frame regardless.
+	srcTouched := make(map[int]struct{})
 	vm.dirtyMu.Lock()
 	vm.tracking = false
 	vm.dirty = nil
 	if vm.touched == nil {
 		vm.touched = make(map[int]struct{})
+	}
+	for p := range vm.touched {
+		srcTouched[p] = struct{}{}
 	}
 	for p, w := range written {
 		if w {
@@ -385,6 +395,13 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 		}
 	}
 	vm.dirtyMu.Unlock()
+	// Re-sync passthrough-device IOMMU tables onto the destination frames
+	// before the source frames are freed: a stale IOMMU entry would keep
+	// routing the device's DMAs into frames the next tenant may own.
+	if err := vm.syncDeviceTables(); err != nil {
+		vm.Resume()
+		return nil, fmt.Errorf("core: migrating VM %q: %w", name, err)
+	}
 
 	// Still paused: pull the EPT tables onto the destination socket when the
 	// migration crossed sockets, so the guard-block placement argument (§5.4)
@@ -413,11 +430,20 @@ func (h *Hypervisor) MigrateVM(ctx context.Context, name string, destNodeIDs []i
 	// frames, free them, and shrink the domain. Only after the vacated
 	// groups have left the VM's control group does the guest resume, so at
 	// no instant can a tenant access memory outside its domain.
+	//
+	// A source frame is data-bearing when the engine copied data off it
+	// (written) OR the touched ledger says the guest ever stored to it
+	// (srcTouched). The union matters: the engine's zero-page heuristic
+	// skips pages whose content it read as zero, yet an attacker-timed
+	// store landing between the final TakeDirty round and the paused
+	// residual copy can leave bytes the heuristic never saw — freeing such
+	// a frame unscrubbed would hand the next tenant the attacker's data.
 	for p, hpa := range srcRAM {
 		if hpa == hpaNone {
 			continue
 		}
-		if written[p] {
+		_, touched := srcTouched[p]
+		if written[p] || touched {
 			_ = h.mem.ScrubPhys(hpa, geometry.PageSize2M)
 		}
 		if a, aerr := h.Allocator(srcRamNode[hpa]); aerr == nil {

@@ -84,6 +84,11 @@ type VM struct {
 	exits     uint64         // VM exits taken for mediated accesses
 	pinned    []int          // exclusively-pinned logical cores
 
+	// devMu guards devices: the passthrough devices whose IOMMU tables
+	// must track every RAM-layout change (migration, balloon, hotplug).
+	devMu   sync.Mutex
+	devices []*Device
+
 	// pauseMu is the vCPU gate: guest accesses hold it shared, Pause takes
 	// it exclusively (the stop-and-copy window of a live migration).
 	pauseMu sync.RWMutex
@@ -341,6 +346,17 @@ func (h *Hypervisor) DestroyVM(name string) error {
 // skipped, keeping teardown of large sparse guests cheap. Caller holds h.mu.
 func (vm *VM) teardown() {
 	h := vm.hv
+	// Detach passthrough devices first: once the RAM frames return to the
+	// free pools, a live IOMMU mapping would let the device DMA into (and
+	// hammer) memory the next tenant may already own — the double-ownership
+	// window CATTmew-style attacks exploit.
+	vm.devMu.Lock()
+	devices := vm.devices
+	vm.devices = nil
+	vm.devMu.Unlock()
+	for _, d := range devices {
+		d.detachTables()
+	}
 	vm.scrubRAM()
 	for _, hpa := range vm.ram {
 		if hpa == hpaNone {
@@ -733,7 +749,15 @@ func (vm *VM) Throttled() uint64 { return vm.throttled }
 // physical address, holding the row open openNs per activation — the
 // unmediated access a malicious guest uses for Rowhammer. Mediated pages
 // cannot be hammered: the required VM exits let the host rate-limit (§5.1).
+//
+// Like every other guest access, Hammer holds the vCPU gate shared: a
+// paused VM (stop-and-copy, balloon drain, hotplug map) blocks here until
+// Resume. Without the gate a hammer loop could translate through a stale
+// TLB entry and keep activating a frame the balloon had already freed —
+// possibly re-owned by the next tenant by the time the activation lands.
 func (vm *VM) Hammer(gpa uint64, count int, openNs int64) error {
+	vm.pauseMu.RLock()
+	defer vm.pauseMu.RUnlock()
 	if vm.isMediatedGPA(gpa) {
 		return fmt.Errorf("%w: gpa %#x", ErrMediated, gpa)
 	}
@@ -760,4 +784,46 @@ func (vm *VM) InDomain(pa uint64) bool {
 		}
 	}
 	return false
+}
+
+// syncDeviceTables re-syncs every attached passthrough device's IOMMU
+// mappings to the VM's current RAM layout. Every RAM-layout mutation
+// (migration commit, balloon inflate/deflate, memory hotplug) must call it
+// before the old frames become reachable by anyone else: a stale IOMMU
+// entry would keep translating the device's DMAs to frames the VM no
+// longer owns. Callers hold the vCPU gate exclusively (Pause), which also
+// excludes in-flight DMA — DMAs hold the gate shared.
+func (vm *VM) syncDeviceTables() error {
+	vm.devMu.Lock()
+	devices := append([]*Device(nil), vm.devices...)
+	vm.devMu.Unlock()
+	for _, d := range devices {
+		if err := d.resync(vm.ram); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteDMAWrite folds one device store into the VM's write-tracking state,
+// the software model of IOMMU dirty-bit harvesting: the touched-page
+// ledger (so teardown/balloon/migration scrub the frame) and — while
+// dirty logging is armed — the dirty-page log (so live migration re-copies
+// the page). Without this, a DMA between the final TakeDirty round and
+// stop-and-copy would leave a poisoned source frame that step 4 frees
+// unscrubbed and a destination copy missing the DMA'd bytes.
+func (vm *VM) noteDMAWrite(gpa uint64) {
+	if !vm.isRAMGPA(gpa) {
+		return
+	}
+	pageBase := gpa &^ uint64(geometry.PageSize2M-1)
+	vm.dirtyMu.Lock()
+	defer vm.dirtyMu.Unlock()
+	if vm.touched == nil {
+		vm.touched = make(map[int]struct{})
+	}
+	vm.touched[int(pageBase/geometry.PageSize2M)] = struct{}{}
+	if vm.tracking {
+		vm.dirty[pageBase] = true
+	}
 }

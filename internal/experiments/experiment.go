@@ -42,6 +42,9 @@ type Config struct {
 	// Fleet parameterizes the fleet-churn experiment. A zero value falls
 	// back to DefaultFleetConfig.
 	Fleet FleetConfig
+	// Lifecycle parameterizes the lifecycle-attack experiment. A zero value
+	// falls back to DefaultLifecycleAttackConfig.
+	Lifecycle LifecycleAttackConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

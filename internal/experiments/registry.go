@@ -26,6 +26,7 @@ var registry = []Experiment{
 	zebramExp{},
 	eptRelocExp{},
 	fleetChurnExp{},
+	lifecycleAttackExp{},
 }
 
 // All returns every registered experiment in canonical order.

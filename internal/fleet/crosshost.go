@@ -61,7 +61,7 @@ func (c *Cluster) MoveVM(ctx context.Context, name, destHost string, destSocket 
 		return nil, fmt.Errorf("move %q to %q: %w", name, destHost, ErrUnknownHost)
 	}
 	proc := c.procs[name]
-	c.moving[name] = destHost
+	c.moving[name] = moveWindow{Src: srcName, Dst: destHost}
 	c.mu.Unlock()
 
 	src := c.byName[srcName]
@@ -187,17 +187,20 @@ func (c *Cluster) MoveVM(ctx context.Context, name, destHost string, destSocket 
 		unmove()
 		return nil, fmt.Errorf("fleet: move %q: source copy: %w", name, err)
 	}
+	c.probeMove("copied", name)
 
 	// Commit: route to the destination, then tear the source down (its
 	// pages scrub and its nodes release under the source's own queue).
 	// The VM stays marked moving until the source copy is gone — the
-	// cross-host audit tolerates the name on two hosts only then.
+	// cross-host audit tolerates the name on exactly {source, destination}
+	// only then.
 	c.mu.Lock()
 	c.vmHost[name] = destHost
 	c.stats.CrossMoves++
 	c.stats.MigratedBytes += rep.BytesCopied
 	c.stats.DowntimeBytes += rep.DowntimeBytes
 	c.mu.Unlock()
+	c.probeMove("committed", name)
 	dropOp, err := src.Submit(name, "destroy", func() error {
 		return src.Hypervisor().DestroyVM(name)
 	})

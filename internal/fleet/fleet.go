@@ -72,9 +72,37 @@ type Cluster struct {
 	mu     sync.Mutex
 	vmHost map[string]string       // routing table
 	procs  map[string]core.Process // creating process, kept for re-creation on move
-	moving map[string]string       // vm -> destination host while a cross-host move runs
+	moving map[string]moveWindow   // vm -> open cross-host move window
 	stats  Stats
 	closed bool
+
+	// moveProbe, when set, is invoked at named points inside MoveVM (see
+	// SetMoveProbe). Test/experiment hook; nil in production.
+	moveProbe func(stage, vm string)
+}
+
+// moveWindow records the two hosts a mid-move VM may legitimately span: the
+// source (whose copy still exists until the post-commit destroy) and the
+// destination (whose twin exists from the moment it boots). The audit uses
+// it to bound double-ownership to exactly this pair — a mid-move VM
+// observed anywhere else is a containment failure, not a transient.
+type moveWindow struct {
+	Src string
+	Dst string
+}
+
+// SetMoveProbe installs a hook invoked synchronously at named points inside
+// MoveVM: "copied" after the source pre-copy completes (routing still
+// points at the source), and "committed" after the routing table flips to
+// the destination but before the source copy is destroyed — the
+// double-ownership window. The probe runs on the caller's goroutine with no
+// cluster locks held, so it may submit ops and audit freely.
+func (c *Cluster) SetMoveProbe(p func(stage, vm string)) { c.moveProbe = p }
+
+func (c *Cluster) probeMove(stage, vm string) {
+	if c.moveProbe != nil {
+		c.moveProbe(stage, vm)
+	}
 }
 
 // New boots cfg.Hosts identical hosts and starts their event loops. Only
@@ -102,7 +130,7 @@ func New(cfg Config) (*Cluster, error) {
 		policy: cfg.Policy,
 		vmHost: make(map[string]string),
 		procs:  make(map[string]core.Process),
-		moving: make(map[string]string),
+		moving: make(map[string]moveWindow),
 	}
 	opt := HostOptions{Workers: cfg.Workers, MigrateOpt: cfg.MigrateOpt}
 	var layout bytes.Buffer

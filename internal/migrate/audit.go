@@ -17,6 +17,10 @@ import (
 //   - every RAM page lies inside its VM's domain;
 //   - no guest node appears in two VMs' domains (no cross-tenant InDomain
 //     overlap);
+//   - no host frame backs two VMs' RAM at once (frame-level double
+//     ownership — a strictly finer check than node exclusivity, catching a
+//     frame handed out twice within one node or leaked across a lifecycle
+//     operation);
 //   - EPT table pages live in the pool of the VM's *current* EPT socket —
 //     the guard-protected EPT row-group block under guard-rows protection,
 //     that socket's host-reserved memory otherwise (§5.4). Relocation keeps
@@ -32,6 +36,7 @@ func AuditIsolation(h *core.Hypervisor) error {
 	reg := h.Registry()
 	topo := h.Topology()
 	nodeOwner := map[int]string{}
+	frameOwner := map[uint64]string{}
 	for _, vm := range h.VMs() {
 		want := "vm:" + vm.Name()
 		nodes := vm.Nodes()
@@ -54,6 +59,10 @@ func AuditIsolation(h *core.Hypervisor) error {
 			if !vm.InDomain(hpa) {
 				return fmt.Errorf("migrate: VM %q RAM page %#x outside its domain", vm.Name(), hpa)
 			}
+			if prev, dup := frameOwner[hpa]; dup {
+				return fmt.Errorf("migrate: frame %#x backs RAM of both %q and %q", hpa, prev, vm.Name())
+			}
+			frameOwner[hpa] = vm.Name()
 		}
 		if vm.Tables().Mode() == ept.GuardRows {
 			eptNode, err := h.EPTNode(vm.EPTSocket())
