@@ -36,7 +36,7 @@ race:
 # from concurrent VMs.
 race-quick:
 	$(GO) test -race -run 'TestParallelDeterminism|TestRunAll|TestPoolMap|TestCancellation|TestRepSeed|TestRegistry|TestRenderers' ./internal/experiments
-	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink|TestConcurrentHammerResize' ./internal/core
+	$(GO) test -race -run 'TestConcurrentBalloonLifecycle|TestConcurrentResizeGrowShrink|TestConcurrentHammerResize|TestConcurrentMitigationHammerResize' ./internal/core
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 	$(GO) test -race -run 'TestEPTRelocationProperty' ./internal/migrate
 	$(GO) test -race -run 'TestConcurrentFleetChurn' ./internal/fleet
@@ -44,7 +44,7 @@ race-quick:
 # Packages with substrate microbenchmarks (address decode, the memory
 # controller, the DRAM module) — the hot paths the BENCH_*.json baseline
 # tracks. The registry benches in the repo root ride along.
-BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount ./internal/fleet
+BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount ./internal/fleet ./internal/mitigation
 BENCH_DATE := $(shell date +%F)
 # Latest committed baseline by date-sorted filename.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
@@ -88,11 +88,13 @@ tools:
 
 check: build vet fmt-check test
 
-# Pre-commit gate: everything `check` runs, plus quick fleet-churn and
-# lifecycle-attack end-to-end smokes through the real CLIs.
+# Pre-commit gate: everything `check` runs, plus quick fleet-churn,
+# lifecycle-attack and mitigation-matrix end-to-end smokes through the real
+# CLIs.
 verify: build vet fmt-check test
 	$(GO) run ./cmd/siloz-fleet -quick >/dev/null
 	$(GO) run ./cmd/siloz-bench -exp lifecycle-attack -quick >/dev/null
+	$(GO) run ./cmd/siloz-bench -exp mitigation-matrix -quick >/dev/null
 
 clean:
 	$(GO) clean ./...

@@ -66,6 +66,7 @@ func main() {
 	rel := experiments.DefaultEPTRelocConfig()
 	fl := experiments.DefaultFleetConfig()
 	lca := experiments.DefaultLifecycleAttackConfig()
+	mat := experiments.DefaultMitigationMatrixConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
 		bal = experiments.QuickBalloonConfig()
@@ -73,6 +74,7 @@ func main() {
 		rel = experiments.QuickEPTRelocConfig()
 		fl = experiments.QuickFleetConfig()
 		lca = experiments.QuickLifecycleAttackConfig()
+		mat = experiments.QuickMitigationMatrixConfig()
 	}
 	// The security, migration, ballooning and hotplug campaigns keep their
 	// own default seeds unless -seed is given explicitly, so default outputs
@@ -86,6 +88,7 @@ func main() {
 			rel.Seed = common.Seed
 			fl.Seed = common.Seed
 			lca.Seed = common.Seed
+			mat.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -123,6 +126,7 @@ func main() {
 		EPTReloc:  rel,
 		Fleet:     fl,
 		Lifecycle: lca,
+		Matrix:    mat,
 		Pool:      experiments.NewPool(common.Workers()),
 	}
 

@@ -215,6 +215,45 @@ func (a *Allocator) Alloc(order int) (uint64, error) {
 	return pa, nil
 }
 
+// AllocAt claims the specific order-sized block at pa, which must be
+// naturally aligned. The containing free block (of this order or larger)
+// is split down keeping the half that covers pa, exactly inverting Free's
+// coalescing. It wraps ErrNoMemory when pa is offline, already allocated,
+// or outside the managed ranges — callers placing guard bands around
+// tenant extents (CATT) treat that as "this side already guarded".
+func (a *Allocator) AllocAt(pa uint64, order int) error {
+	if order < 0 || order > MaxOrder {
+		return fmt.Errorf("alloc: invalid order %d", order)
+	}
+	if pa%OrderBytes(order) != 0 {
+		return fmt.Errorf("alloc: pa %#x not aligned to order %d", pa, order)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for o := order; o <= MaxOrder; o++ {
+		block := pa &^ (OrderBytes(o) - 1)
+		if !a.free[o].remove(block) {
+			continue
+		}
+		// Split down to the requested order, keeping the half that
+		// contains pa and freeing the other.
+		for o > order {
+			o--
+			half := block + OrderBytes(o)
+			if pa >= half {
+				a.free[o].push(block)
+				block = half
+			} else {
+				a.free[o].push(half)
+			}
+		}
+		a.used += OrderBytes(order)
+		a.version++
+		return nil
+	}
+	return fmt.Errorf("alloc: block %#x order %d not free: %w", pa, order, ErrNoMemory)
+}
+
 // Free returns a block to the allocator, coalescing with free buddies.
 func (a *Allocator) Free(pa uint64, order int) error {
 	if order < 0 || order > MaxOrder {

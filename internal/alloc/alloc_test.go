@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -397,5 +398,75 @@ func TestFreePages(t *testing.T) {
 	}
 	if err := a.FreePages(Order2M, []uint64{12345}); err == nil {
 		t.Error("misaligned batch free accepted")
+	}
+}
+
+func TestAllocAtClaimsSpecificBlock(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 16<<20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := uint64(6 << 20) // mid-range 2M page inside a larger free block
+	if err := a.AllocAt(target, Order2M); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.UsedBytes(); got != OrderBytes(Order2M) {
+		t.Fatalf("used = %d, want one 2M page", got)
+	}
+	// Claiming the same block again must fail with ErrNoMemory.
+	if err := a.AllocAt(target, Order2M); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("double AllocAt error = %v, want ErrNoMemory", err)
+	}
+	// The rest of the range is still allocatable: draining everything
+	// else must succeed and never hand out the claimed page.
+	seen := map[uint64]bool{}
+	for {
+		pa, err := a.Alloc(Order2M)
+		if err != nil {
+			break
+		}
+		if pa == target {
+			t.Fatalf("Alloc handed out the claimed page %#x", pa)
+		}
+		if seen[pa] {
+			t.Fatalf("Alloc handed out %#x twice", pa)
+		}
+		seen[pa] = true
+	}
+	if len(seen) != (16<<20)/(2<<20)-1 {
+		t.Fatalf("drained %d pages, want %d", len(seen), (16<<20)/(2<<20)-1)
+	}
+	// Freeing the claimed page restores full coalescing.
+	for pa := range seen {
+		if err := a.Free(pa, Order2M); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Free(target, Order2M); err != nil {
+		t.Fatal(err)
+	}
+	if a.LargestFreeOrder() < Order2M+3 {
+		t.Fatalf("coalescing after AllocAt broke: largest order %d", a.LargestFreeOrder())
+	}
+}
+
+func TestAllocAtRejectsInvalid(t *testing.T) {
+	a, err := New([]subarray.Range{mkRange(0, 4<<20)}, []subarray.Range{mkRange(1<<20, 1<<20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AllocAt(1<<20, Order2M); err == nil {
+		t.Fatal("unaligned AllocAt accepted")
+	}
+	// Offlined memory is not free: the claim must wrap ErrNoMemory.
+	if err := a.AllocAt(1<<20, 8); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("offline AllocAt error = %v, want ErrNoMemory", err)
+	}
+	// Outside the managed ranges entirely.
+	if err := a.AllocAt(1<<30, Order2M); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("out-of-range AllocAt error = %v, want ErrNoMemory", err)
+	}
+	if err := a.AllocAt(0, -1); err == nil {
+		t.Fatal("negative order accepted")
 	}
 }

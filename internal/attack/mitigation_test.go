@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/mitigation"
+)
+
+func trialConfig(k mitigation.Kind, seed int64) MitigationTrialConfig {
+	cfg := campaignLabConfig()
+	cfg.Mitigation = mitigation.Spec{Kind: k, Seed: seed}
+	return MitigationTrialConfig{Core: cfg, Seed: seed, FuzzPatterns: 4, ChurnRounds: 1}
+}
+
+// TestMitigationTrialDifferentiatesDefenses is the heart of the matrix:
+// the identical seeded campaign must corrupt the victim on the undefended
+// machine and be contained by every real defense — each through its own
+// mechanism, visible in the ledger.
+func TestMitigationTrialDifferentiatesDefenses(t *testing.T) {
+	run := func(k mitigation.Kind) *MitigationTrialResult {
+		t.Helper()
+		r, err := RunMitigationTrial(trialConfig(k, 7))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if r.HammerBursts == 0 {
+			t.Fatalf("%v: no bursts landed; trial vacuous", k)
+		}
+		return r
+	}
+
+	none := run(mitigation.KindNone)
+	if none.Escapes() == 0 {
+		t.Errorf("undefended trial contained the attack (escapes = 0); matrix has no baseline signal")
+	}
+	if none.Refreshes != 0 {
+		t.Errorf("undefended trial injected %d refreshes", none.Refreshes)
+	}
+
+	sb := run(mitigation.KindSilverBullet)
+	if sb.Escapes() != 0 {
+		t.Errorf("silver-bullet let %d flips escape (victim %d, stray %d)",
+			sb.Escapes(), sb.VictimFlips, sb.StrayFlips)
+	}
+	if sb.Refreshes == 0 {
+		t.Errorf("silver-bullet recorded no proactive refreshes")
+	}
+
+	catt := run(mitigation.KindCATT)
+	if catt.Escapes() != 0 {
+		t.Errorf("catt let %d flips escape (victim %d, stray %d)",
+			catt.Escapes(), catt.VictimFlips, catt.StrayFlips)
+	}
+	if catt.BlockedBytes == 0 {
+		t.Errorf("catt blocked no capacity")
+	}
+
+	siloz := run(mitigation.KindSiloz)
+	if siloz.Escapes() != 0 {
+		t.Errorf("siloz let %d flips escape (victim %d, stray %d)",
+			siloz.Escapes(), siloz.VictimFlips, siloz.StrayFlips)
+	}
+	if siloz.VictimCorruptions != 0 {
+		t.Errorf("siloz victim lost %d stamped bytes", siloz.VictimCorruptions)
+	}
+
+	para := run(mitigation.KindPARA)
+	if para.Refreshes == 0 {
+		t.Errorf("para recorded no probabilistic refreshes")
+	}
+	t.Logf("none: %+v", none)
+	t.Logf("para: %+v", para)
+	t.Logf("sb:   %+v", sb)
+	t.Logf("catt: %+v", catt)
+	t.Logf("siloz:%+v", siloz)
+}
+
+// TestMitigationTrialDeterministic: a fixed seed reproduces the whole
+// scorecard, which is what lets the matrix run its cells in parallel.
+func TestMitigationTrialDeterministic(t *testing.T) {
+	a, err := RunMitigationTrial(trialConfig(mitigation.KindPARA, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMitigationTrial(trialConfig(mitigation.KindPARA, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed, different scorecards:\n%+v\n%+v", *a, *b)
+	}
+}

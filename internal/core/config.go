@@ -19,6 +19,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/ept"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 )
 
 // Mode selects the hypervisor configuration under test.
@@ -87,6 +88,13 @@ type Config struct {
 	// host rows through VM exits. 0 uses DefaultMediatedAccessLimit;
 	// negative disables the limiter (for demonstrating the threat).
 	MediatedAccessLimit int
+	// Mitigation selects the Rowhammer defense this boot deploys. The
+	// zero value (KindNone) runs undefended. Activation-plane kinds
+	// (PARA, Silver Bullet) attach one instance per DRAM module;
+	// allocation-plane kinds constrain placement: KindCATT reserves guard
+	// bands around each VM's RAM extents at create time, KindSiloz
+	// requires ModeSiloz (BootMitigated derives the mode automatically).
+	Mitigation mitigation.Spec
 }
 
 // DefaultMediatedAccessLimit keeps per-window host accesses on a guest's
@@ -121,6 +129,10 @@ func (c *Config) normalize() error {
 	}
 	if c.MediatedAccessLimit == 0 {
 		c.MediatedAccessLimit = DefaultMediatedAccessLimit
+	}
+	c.Mitigation = c.Mitigation.WithDefaults()
+	if err := c.Mitigation.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/dram"
 	"repro/internal/ept"
+	"repro/internal/mitigation"
 	"repro/internal/numa"
 	"repro/internal/subarray"
 )
@@ -28,6 +29,7 @@ type Hypervisor struct {
 	allocators map[int]*alloc.Allocator // node ID -> allocator
 	eptNodes   map[int]int              // socket -> EPT node ID (Siloz)
 	offlined   []subarray.Range
+	guardBytes uint64 // CATT guard-band capacity currently reserved (under mu)
 	stats      *statCache
 	log        io.Writer
 	logMu      sync.Mutex
@@ -93,9 +95,25 @@ func Boot(cfg Config, mode Mode) (*Hypervisor, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	if cfg.Mitigation.IsolatesSubarrayGroups() && mode != ModeSiloz {
+		return nil, fmt.Errorf("core: mitigation %q requires ModeSiloz, got %s",
+			cfg.Mitigation.Name(), mode)
+	}
 	mem, err := dram.NewMemory(cfg.Geometry, cfg.Mapper, cfg.Profiles, cfg.Repairs)
 	if err != nil {
 		return nil, err
+	}
+	if spec := cfg.Mitigation; spec.HasRowDefense() {
+		// One defense instance per DRAM module, each with its own seeded
+		// RNG stream — per-DIMM hardware state, deterministic per scope.
+		dimms := cfg.Geometry.DIMMsPerSocket
+		mem.AttachDefense(func(socket, dimm, banks int) mitigation.Mitigation {
+			d, derr := spec.RowDefense(banks, mitigation.ScopeSeed(spec.Seed, socket*dimms+dimm))
+			if derr != nil {
+				return nil // unreachable post-Validate; leave undefended
+			}
+			return d
+		})
 	}
 	h := &Hypervisor{
 		cfg:        cfg,
@@ -141,6 +159,19 @@ func Boot(cfg Config, mode Mode) (*Hypervisor, error) {
 		len(h.topo.Nodes()), h.layout.RowsPerGroup(),
 		float64(h.layout.GroupBytes())/(1<<30), offlinedBytes)
 	return h, nil
+}
+
+// BootMitigated boots with the mode the configured mitigation implies:
+// KindSiloz runs the Siloz hypervisor, every other kind runs the baseline
+// (PARA/Silver Bullet act at the DRAM layer, CATT at allocation, none is
+// the undefended control). It is the single entry point head-to-head
+// evaluations use so each matrix row gets the topology its defense assumes.
+func BootMitigated(cfg Config) (*Hypervisor, error) {
+	mode := ModeBaseline
+	if cfg.Mitigation.IsolatesSubarrayGroups() {
+		mode = ModeSiloz
+	}
+	return Boot(cfg, mode)
 }
 
 // bootSiloz builds the logical node topology with isolation enabled.
@@ -339,6 +370,21 @@ func (h *Hypervisor) Allocator(nodeID int) (*alloc.Allocator, error) {
 // memory at boot (EPT guards, artificial-boundary guards, repaired rows).
 func (h *Hypervisor) OfflinedRanges() []subarray.Range {
 	return subarray.Coalesce(h.offlined)
+}
+
+// MitigationBlockedBytes returns the capacity the deployed mitigation makes
+// unallocatable: boot-time offlining (Siloz guard rows, repairs) plus
+// currently-reserved CATT guard bands. It is the blocked-capacity axis of
+// the protection-vs-overhead matrix.
+func (h *Hypervisor) MitigationBlockedBytes() uint64 {
+	var total uint64
+	for _, r := range h.OfflinedRanges() {
+		total += r.Bytes()
+	}
+	h.mu.Lock()
+	total += h.guardBytes
+	h.mu.Unlock()
+	return total
 }
 
 // EPTNode returns the socket's EPT-reserved node (Siloz only).

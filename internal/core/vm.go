@@ -78,6 +78,12 @@ type VM struct {
 	lifecycle string
 	mediated  []uint64 // HPA of each 4 KiB mediated page, GPA order
 	regions   []regionInfo
+	// CATT guard bands (Config.Mitigation KindCATT): 2 MiB pages reserved
+	// on both sides of each RAM extent so no other tenant can be placed
+	// within the blast radius. guardNode maps each guard HPA to the node
+	// allocator it came from.
+	guards    []uint64
+	guardNode map[uint64]int
 	tlbMu     sync.Mutex // guards tlb: reps of one benchmark VM translate concurrently
 	tlb       map[uint64]uint64
 	ramNode   map[uint64]int // 2M HPA -> node ID (accounting)
@@ -197,6 +203,9 @@ func (h *Hypervisor) CreateVM(proc Process, spec VMSpec) (*VM, error) {
 		vm.teardown()
 		return nil, err
 	}
+	if h.cfg.Mitigation.GuardsAllocations() {
+		h.reserveDomainGuards(vm)
+	}
 	h.vms[spec.Name] = vm
 	nodeIDs := make([]int, len(vm.nodes))
 	for i, n := range vm.nodes {
@@ -299,6 +308,101 @@ func (h *Hypervisor) allocGuestRAM(vm *VM) error {
 	return nil
 }
 
+// reserveDomainGuards implements the CATT allocation policy (software-only
+// isolation): claim the 2 MiB pages holding every media row within the
+// modelled blast radius of the VM's rows, so no later allocation — another
+// tenant's RAM — can land where this VM's hammering reaches. The band is
+// computed in DRAM row space through the mapper, not in physical-address
+// space: under interleaved mappings the rows adjacent to a tenant's extent
+// can live at physical addresses far from the extent itself, and a band of
+// PA-contiguous flanking pages would guard the wrong memory. Claims that
+// fail are skipped silently: the neighbour row is outside managed memory,
+// offlined, or already claimed (by this VM's own RAM, or another tenant's
+// guard band — adjacent tenants share one band, which is the policy's
+// intent). Caller holds h.mu.
+func (h *Hypervisor) reserveDomainGuards(vm *VM) {
+	g := h.cfg.Geometry
+	band := h.cfg.Mitigation.CATTGuardRows
+	if band <= 0 || len(vm.ram) == 0 {
+		return
+	}
+	mapper := h.mem.Mapper()
+	vm.guardNode = make(map[uint64]int)
+	claim := func(pa uint64) {
+		pa &^= uint64(geometry.PageSize2M - 1)
+		node, a := h.allocatorContaining(pa)
+		if a == nil {
+			return
+		}
+		if err := a.AllocAt(pa, alloc.Order2M); err != nil {
+			return
+		}
+		vm.guards = append(vm.guards, pa)
+		vm.guardNode[pa] = node
+		h.guardBytes += geometry.PageSize2M
+	}
+	// The VM's row footprint: one row group holds one row index across
+	// every bank of a socket, so decoding each 2 MiB page's group bases
+	// maps the RAM onto media rows.
+	type socketRow struct{ socket, row int }
+	groupBytes := uint64(g.RowGroupBytes())
+	owned := map[socketRow]geometry.MediaAddr{}
+	for _, page := range vm.ram {
+		for off := uint64(0); off < geometry.PageSize2M; off += groupBytes {
+			ma, err := mapper.Decode(page + off)
+			if err != nil {
+				continue
+			}
+			owned[socketRow{ma.Bank.Socket, ma.Row}] = ma
+		}
+	}
+	// Claim the pages holding each non-owned row within band distance of
+	// an owned row. Iteration is sorted so the guard list — and therefore
+	// the allocator state downstream — is deterministic.
+	keys := make([]socketRow, 0, len(owned))
+	for k := range owned {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].socket != keys[j].socket {
+			return keys[i].socket < keys[j].socket
+		}
+		return keys[i].row < keys[j].row
+	})
+	for _, k := range keys {
+		for d := 1; d <= band; d++ {
+			for _, n := range [2]int{k.row - d, k.row + d} {
+				if n < 0 || n >= g.RowsPerBank {
+					continue
+				}
+				if _, ok := owned[socketRow{k.socket, n}]; ok {
+					continue
+				}
+				ma := owned[k]
+				ma.Row = n
+				ma.Col = 0
+				pa, err := mapper.Encode(ma)
+				if err != nil {
+					continue
+				}
+				claim(pa)
+			}
+		}
+	}
+	h.logf("reserved %d guard pages (%d MiB) covering rows within %d of VM %q rows",
+		len(vm.guards), uint64(len(vm.guards))*geometry.PageSize2M>>20, band, vm.spec.Name)
+}
+
+// allocatorContaining finds the node allocator whose ranges cover pa.
+func (h *Hypervisor) allocatorContaining(pa uint64) (int, *alloc.Allocator) {
+	for _, n := range h.topo.Nodes() {
+		if n.Contains(pa) {
+			return n.ID, h.allocators[n.ID]
+		}
+	}
+	return 0, nil
+}
+
 // allocMediated backs mediated regions with host-reserved 4 KiB pages and
 // maps them at MediatedBase.
 func (h *Hypervisor) allocMediated(vm *VM) error {
@@ -368,6 +472,15 @@ func (vm *VM) teardown() {
 	}
 	vm.ram = nil
 	vm.ballooned = nil
+	for _, pa := range vm.guards {
+		if a, err := h.Allocator(vm.guardNode[pa]); err == nil {
+			if a.Free(pa, alloc.Order2M) == nil {
+				h.guardBytes -= geometry.PageSize2M
+			}
+		}
+	}
+	vm.guards = nil
+	vm.guardNode = nil
 	if len(vm.mediated) > 0 {
 		for _, hpa := range vm.mediated {
 			_ = h.mem.ScrubPhys(hpa, geometry.PageSize4K)
@@ -766,6 +879,17 @@ func (vm *VM) Hammer(gpa uint64, count int, openNs int64) error {
 		return err
 	}
 	return vm.hv.mem.ActivatePhys(hpa, count, openNs)
+}
+
+// GuardPages returns the HPAs of the VM's CATT guard-band 2 MiB pages
+// (empty unless the boot deployed KindCATT). A flip landing in a guard
+// page corrupted memory no tenant owns — contained by construction.
+func (vm *VM) GuardPages() []uint64 {
+	vm.hv.mu.Lock()
+	defer vm.hv.mu.Unlock()
+	out := make([]uint64, len(vm.guards))
+	copy(out, vm.guards)
+	return out
 }
 
 // OwnsHPA reports whether a host physical address belongs to the VM's RAM.

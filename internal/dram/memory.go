@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 )
 
 // Memory is the whole server's DRAM: one Module per DIMM, plus the memory
@@ -122,6 +123,53 @@ func (m *Memory) ActivatePhys(pa uint64, count int, openNs int64) error {
 		return err
 	}
 	return mod.ActivateRow(ma.Bank, ma.Row, count, openNs)
+}
+
+// AttachDefense attaches one mitigation instance per module, built by
+// build(socket, dimm, banks). Each module gets its own instance — defense
+// state is per-scope, mirroring per-DIMM hardware — so build must derive
+// any RNG seed from (socket, dimm) (see mitigation.ScopeSeed). A nil
+// return from build leaves that module undefended.
+func (m *Memory) AttachDefense(build func(socket, dimm, banks int) mitigation.Mitigation) {
+	for s, socket := range m.modules {
+		for d, mod := range socket {
+			mod.AttachDefense(build(s, d, m.g.BanksPerDIMM()))
+		}
+	}
+}
+
+// DefenseOverhead sums attached-defense overhead across all modules.
+func (m *Memory) DefenseOverhead() mitigation.Overhead {
+	var o mitigation.Overhead
+	for _, socket := range m.modules {
+		for _, mod := range socket {
+			o.Add(mod.DefenseOverhead())
+		}
+	}
+	return o
+}
+
+// DefenseHealth reports the first degraded defense across modules.
+func (m *Memory) DefenseHealth() error {
+	for _, socket := range m.modules {
+		for _, mod := range socket {
+			if err := mod.DefenseHealth(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TotalActivations sums observed activations across all modules.
+func (m *Memory) TotalActivations() int64 {
+	var n int64
+	for _, socket := range m.modules {
+		for _, mod := range socket {
+			n += mod.TotalActivations()
+		}
+	}
+	return n
 }
 
 // Refresh ends the current refresh window on every module.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 	"repro/internal/rowcount"
 )
 
@@ -48,23 +49,24 @@ type spare struct {
 	anchor int // physical position it is adjacent to
 }
 
-// bankState is the per-bank disturbance bookkeeping. Disturbance and TRR
+// bankState is the per-bank disturbance bookkeeping. Disturbance
 // accumulators are flat generation-reset row tables (rowcount.Table), not
 // maps: a refresh window ends with an O(1) invalidation per table instead
 // of reallocating, and the per-activation accrue path runs on open
 // addressing instead of map buckets.
 type bankState struct {
-	id geometry.BankID
+	id  geometry.BankID
+	idx int // dense index rank*BanksPerRank+bank (mitigation scope)
 
 	// disturb[side] accumulates weighted aggressor activations per
 	// victim internal (virtual) row index within the current window.
 	disturb [2]rowcount.Table[float64]
 	// acts is the bank's activation count this window (budget check).
 	acts int
-
-	// TRR sampler state.
-	trrTable rowcount.Table[float64] // media row -> observed activations
-	trrActs  int                     // activations since last TRR event
+	// totalActs tallies the bank's lifetime activations, defenses or not.
+	// Kept per bank — like every other hot-path accumulator — so parallel
+	// bank-disjoint traffic never shares a counter word.
+	totalActs int64
 
 	// Repairs affecting this bank. hasSpares gates every spare lookup on
 	// the hot path: most banks have no repairs, and the per-neighbour
@@ -74,8 +76,8 @@ type bankState struct {
 	sparesAtAnchor map[int][]*spare
 }
 
-func newBankState(id geometry.BankID) *bankState {
-	return &bankState{id: id}
+func newBankState(id geometry.BankID, idx int) *bankState {
+	return &bankState{id: id, idx: idx}
 }
 
 // Module models one DIMM: data storage plus the disturbance state of its
@@ -88,11 +90,25 @@ type Module struct {
 	socket  int
 	dimm    int
 
+	// actMu serializes the activation plane: bank disturbance state, the
+	// flip log, the refresh window, and the defense chain (PARA draws from
+	// one per-module coin stream). Concurrent hammering threads — the
+	// inter-VM attack model — contend here the way real DDR commands
+	// contend on the module's command bus.
+	actMu  sync.Mutex
 	banks  []*bankState // indexed rank*BanksPerRank+bank, nil until touched
 	rowsMu sync.Mutex   // guards rows: EPT walks from parallel reps share it
 	rows   *rowStore    // slab arena of materialized row data
 	window int
 	flips  []Flip
+
+	// defenses observe every activation burst. The profile's in-DRAM TRR
+	// sampler (when TRRTableSize > 0) is the first member; AttachDefense
+	// appends controller- or hypervisor-provided mitigations. refreshFn is
+	// the pre-bound victim-refresh sink handed to every OnActivate call,
+	// so the hot path never allocates a closure.
+	defenses  mitigation.Chain
+	refreshFn mitigation.RefreshFn
 }
 
 // NewModule builds a DIMM with the given profile. repairs may be nil.
@@ -113,7 +129,50 @@ func NewModule(g geometry.Geometry, prof Profile, socket, dimm int, repairs *add
 		banks:   make([]*bankState, g.BanksPerDIMM()),
 		rows:    newRowStore(g),
 	}
+	m.refreshFn = m.refreshNeighbourhood
+	if prof.TRRTableSize > 0 {
+		m.defenses = append(m.defenses, mitigation.NewTRR(g.BanksPerDIMM(), prof.TRRTableSize, prof.TRRInterval))
+	}
 	return m, nil
+}
+
+// AttachDefense adds a mitigation to the module's observation chain. It
+// fires on every activation burst alongside any profile-provided TRR
+// sampler; injected refreshes clear accumulated disturbance around the
+// target row. Attach before traffic starts — the chain is not locked.
+func (m *Module) AttachDefense(d mitigation.Mitigation) {
+	if d != nil {
+		m.defenses = append(m.defenses, d)
+	}
+}
+
+// DefenseOverhead sums the overhead of every attached defense.
+func (m *Module) DefenseOverhead() mitigation.Overhead {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
+	return m.defenses.Overhead()
+}
+
+// DefenseHealth reports the first degraded defense, nil when all intact.
+func (m *Module) DefenseHealth() error {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
+	return m.defenses.Health()
+}
+
+// TotalActivations returns the count of activations observed over the
+// module's lifetime, independent of any defense being attached; the
+// mitigation matrix normalizes refresh energy against it.
+func (m *Module) TotalActivations() int64 {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
+	var n int64
+	for _, bs := range m.banks {
+		if bs != nil {
+			n += bs.totalActs
+		}
+	}
+	return n
 }
 
 // Profile returns the module's disturbance profile.
@@ -135,7 +194,7 @@ func (m *Module) bank(b geometry.BankID) *bankState {
 	idx := b.Rank*m.g.BanksPerRank + b.Bank
 	bs := m.banks[idx]
 	if bs == nil {
-		bs = newBankState(b)
+		bs = newBankState(b, idx)
 		m.loadRepairs(bs)
 		m.banks[idx] = bs
 	}
@@ -217,6 +276,8 @@ func (m *Module) ActivateRow(b geometry.BankID, mediaRow, count int, openNs int6
 	if count <= 0 {
 		return fmt.Errorf("dram: activation count must be positive, got %d", count)
 	}
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
 	bs := m.bank(b)
 	if bs.acts+count > m.prof.MaxActsPerWindow {
 		return fmt.Errorf("dram: bank %v over activation budget (%d+%d > %d per window)",
@@ -234,7 +295,7 @@ func (m *Module) ActivateRow(b geometry.BankID, mediaRow, count int, openNs int6
 		m.disturbNeighbours(bs, side, virt, anchor, eff, mediaRow)
 	}
 
-	m.trrObserve(bs, mediaRow, count)
+	m.observe(bs, mediaRow, count, openNs)
 	return nil
 }
 
@@ -320,71 +381,57 @@ func (m *Module) commitFlips(bs *bankState, side addr.Side, virt int, aggMediaRo
 	}
 }
 
-// trrObserve feeds the bank's TRR sampler and fires refresh events.
-func (m *Module) trrObserve(bs *bankState, mediaRow, count int) {
-	if m.prof.TRRTableSize == 0 {
+// observe tallies an activation burst and feeds it to the defense chain.
+// The tally advances even with an empty chain (a TRRTableSize of 0 used to
+// short-circuit this path entirely, silently starving attached defenses
+// and the activation ledger on TRR-less profiles).
+func (m *Module) observe(bs *bankState, mediaRow, count int, openNs int64) {
+	bs.totalActs += int64(count)
+	if len(m.defenses) == 0 {
 		return
 	}
-	c := float64(count)
-	if _, ok := bs.trrTable.Get(mediaRow); ok {
-		bs.trrTable.Add(mediaRow, c)
-	} else if bs.trrTable.Len() < m.prof.TRRTableSize {
-		bs.trrTable.Add(mediaRow, c)
-	} else {
-		// Replace the lowest-count entry only if the incoming burst is
-		// larger: heavy decoy rows can pin the table, which is the
-		// sampler weakness Blacksmith-class patterns exploit (§2.5).
-		// The min scan is slot-order Range, but the tie-break below is a
-		// total order, so the result is iteration-order independent.
-		minRow, minC := -1, 0.0
-		bs.trrTable.Range(func(r int, rc float64) bool {
-			if minRow == -1 || rc < minC || (rc == minC && r < minRow) {
-				minRow, minC = r, rc
-			}
-			return true
-		})
-		if c > minC {
-			bs.trrTable.Delete(minRow)
-			bs.trrTable.Add(mediaRow, c)
-		}
-	}
-	bs.trrActs += count
-	if bs.trrActs >= m.prof.TRRInterval {
-		m.trrFire(bs)
-	}
+	m.defenses.OnActivate(mitigation.Activation{
+		Bank: bs.idx, Row: mediaRow, Count: count, OpenNs: openNs,
+	}, m.refreshFn)
 }
 
-// trrFire refreshes the sampled aggressors' neighbours and clears the table.
-func (m *Module) trrFire(bs *bankState) {
+// refreshNeighbourhood restores the charge of every row in the blast
+// radius of mediaRow in the bank at flat index bankIdx — the victim-refresh
+// sink for defense-injected directives. Clearing both internal sides'
+// neighbourhoods (including spares overlaying them) matches what a
+// row-granularity refresh does in hardware.
+func (m *Module) refreshNeighbourhood(bankIdx, mediaRow int) {
+	bs := m.banks[bankIdx]
+	if bs == nil || mediaRow < 0 || mediaRow >= m.g.RowsPerBank {
+		return
+	}
 	blast := m.prof.BlastRadius
 	sub := m.g.RowsPerSubarray
-	bs.trrTable.Range(func(mediaRow int, _ float64) bool {
-		for _, side := range [...]addr.Side{addr.SideA, addr.SideB} {
-			_, anchor := m.internalTarget(bs, mediaRow, side)
-			aggSub := anchor / sub
-			for off := -blast; off <= blast; off++ {
-				pos := anchor + off
-				if pos < 0 || pos >= m.g.RowsPerBank || pos/sub != aggSub {
-					continue
-				}
-				bs.disturb[side].Delete(pos)
-				if bs.hasSpares {
-					for _, sp := range bs.sparesAtAnchor[pos] {
-						bs.disturb[side].Delete(sp.virt)
-					}
+	for _, side := range [...]addr.Side{addr.SideA, addr.SideB} {
+		_, anchor := m.internalTarget(bs, mediaRow, side)
+		aggSub := anchor / sub
+		for off := -blast; off <= blast; off++ {
+			pos := anchor + off
+			if pos < 0 || pos >= m.g.RowsPerBank || pos/sub != aggSub {
+				continue
+			}
+			bs.disturb[side].Delete(pos)
+			if bs.hasSpares {
+				for _, sp := range bs.sparesAtAnchor[pos] {
+					bs.disturb[side].Delete(sp.virt)
 				}
 			}
 		}
-		return true
-	})
-	bs.trrTable.Reset()
-	bs.trrActs = 0
+	}
 }
 
 // Refresh ends the current 64 ms refresh window: every row's charge is
-// restored, activation counters reset, and TRR state cleared. Flips that
-// already committed persist in storage.
+// restored, activation counters reset, and defense per-window state
+// (sampler tables, refresh budgets) cleared. Flips that already committed
+// persist in storage.
 func (m *Module) Refresh() {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
 	for _, bs := range m.banks {
 		if bs == nil {
 			continue
@@ -392,21 +439,26 @@ func (m *Module) Refresh() {
 		bs.disturb[0].Reset()
 		bs.disturb[1].Reset()
 		bs.acts = 0
-		bs.trrTable.Reset()
-		bs.trrActs = 0
 	}
+	m.defenses.OnWindowEnd()
 	m.window++
 }
 
 // Flips returns all flips committed so far.
 func (m *Module) Flips() []Flip {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
 	out := make([]Flip, len(m.flips))
 	copy(out, m.flips)
 	return out
 }
 
 // ResetFlips clears the flip log (storage corruption remains).
-func (m *Module) ResetFlips() { m.flips = nil }
+func (m *Module) ResetFlips() {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
+	m.flips = nil
+}
 
 // rowLocked returns the backing storage of a media row, allocating zeroed
 // bytes on first touch. Caller holds rowsMu.

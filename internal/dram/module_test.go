@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 )
 
 func tinyGeometry() geometry.Geometry {
@@ -470,5 +471,56 @@ func TestActivationCountsAreWindowScoped(t *testing.T) {
 	}
 	if flips := m.Flips(); len(flips) != 0 {
 		t.Fatalf("sub-threshold windows accumulated into flips: %v", flips)
+	}
+}
+
+func TestNoTRRStillFeedsAttachedDefense(t *testing.T) {
+	// Regression: observe() used to early-return when the profile had
+	// TRRTableSize == 0, so on TRR-less DIMMs an attached defense never
+	// saw a single activation and the module's activation ledger stayed
+	// frozen at zero. The observation path must run regardless of whether
+	// the profile ships a built-in sampler.
+	prof := testProfile() // TRRTableSize == 0
+	m := testModule(t, prof)
+	b := bank0()
+	m.AttachDefense(mitigation.NewTRR(tinyGeometry().BanksPerDIMM(), 4, 600))
+
+	agg := 1000
+	fillRows(t, m, b, []int{agg - 1, agg + 1}, 0xAA)
+	// 600 activations: below the 1000 threshold, but enough to fire the
+	// attached sampler, which refreshes the aggressor's neighbourhood and
+	// decays the accumulated disturbance.
+	if err := m.ActivateRow(b, agg, 600, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Another 599: only above threshold if the earlier decay was skipped.
+	if err := m.ActivateRow(b, agg, 599, 0); err != nil {
+		t.Fatal(err)
+	}
+	if flips := m.Flips(); len(flips) != 0 {
+		t.Fatalf("attached defense on TRR-less profile did not observe activations: %v", flips)
+	}
+	if got := m.TotalActivations(); got != 1199 {
+		t.Fatalf("TotalActivations = %d, want 1199", got)
+	}
+	if n := m.DefenseOverhead().NeighborRefreshes; n == 0 {
+		t.Fatal("attached defense recorded no refreshes")
+	}
+
+	// Control: the same traffic with no defense attached must flip — the
+	// regression fix must not have weakened the undefended baseline.
+	ctl := testModule(t, prof)
+	fillRows(t, ctl, b, []int{agg - 1, agg + 1}, 0xAA)
+	if err := ctl.ActivateRow(b, agg, 600, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.ActivateRow(b, agg, 599, 0); err != nil {
+		t.Fatal(err)
+	}
+	if flips := ctl.Flips(); len(flips) == 0 {
+		t.Fatal("undefended control did not flip at 1199 activations")
+	}
+	if got := ctl.TotalActivations(); got != 1199 {
+		t.Fatalf("undefended TotalActivations = %d, want 1199", got)
 	}
 }

@@ -45,6 +45,9 @@ type Config struct {
 	// Lifecycle parameterizes the lifecycle-attack experiment. A zero value
 	// falls back to DefaultLifecycleAttackConfig.
 	Lifecycle LifecycleAttackConfig
+	// Matrix parameterizes the mitigation-matrix experiment. A zero value
+	// falls back to DefaultMitigationMatrixConfig.
+	Matrix MitigationMatrixConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ept"
 	"repro/internal/geometry"
 	"repro/internal/memctrl"
+	"repro/internal/mitigation"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -116,18 +117,31 @@ func jitterSeed(cfg PerfConfig, name string, rep int) int64 {
 // scheduling-independent. Workloads run behind a last-level cache model
 // unless they declare themselves cache-bypassing (Intel MLC).
 func measure(ctx context.Context, pool *Pool, cfg PerfConfig, vm *core.VM, w workload.Workload, metric func(memctrl.Result) float64) (stats.Sample, error) {
+	return measureDefended(ctx, pool, cfg, vm, w, metric, nil)
+}
+
+// measureDefended is measure with an activation-plane defense on the
+// controller: defense(rep) builds the rep's instance (fresh per rep — a
+// mitigation is scoped to one controller run). A nil defense, or one
+// returning nil, measures undefended.
+func measureDefended(ctx context.Context, pool *Pool, cfg PerfConfig, vm *core.VM, w workload.Workload, metric func(memctrl.Result) float64, defense func(rep int) mitigation.Mitigation) (stats.Sample, error) {
 	s := stats.Sample{Name: w.Name(), Values: make([]float64, cfg.Reps)}
 	bypass := false
 	if b, ok := w.(interface{ BypassesCache() bool }); ok {
 		bypass = b.BypassesCache()
 	}
 	err := pool.Map(ctx, cfg.Reps, func(rep int) error {
+		var mit mitigation.Mitigation
+		if defense != nil {
+			mit = defense(rep)
+		}
 		ctrl, err := memctrl.New(memctrl.Config{
 			Mapper:     vm.Hypervisor().Memory().Mapper(),
 			Timing:     memctrl.DDR4_2933(),
 			MLPWindow:  cfg.MLPWindow,
 			HomeSocket: vm.Spec().Socket,
 			JitterSeed: jitterSeed(cfg, w.Name(), rep),
+			Mitigation: mit,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/mitigation"
+	"repro/internal/workload"
+)
+
+// MitigationMatrixConfig parameterizes the "mitigation-matrix" experiment:
+// every deployable Rowhammer defense — PARA, Silver Bullet, CATT guard
+// bands, Siloz — plus the undefended control faces the identical seeded
+// attack campaign (edge hammering, Blacksmith fuzzing, lifecycle churn)
+// and the identical workload suite. The result is one row per defense:
+// protection (flips contained) against overhead (refresh energy, blocked
+// capacity, workload slowdown), with Siloz as one row among equals.
+type MitigationMatrixConfig struct {
+	// Kinds selects the defense rows; empty = every mitigation kind in
+	// canonical order (none, para, silver-bullet, catt, siloz).
+	Kinds []string
+	// Reps repeats each kind's attack trial with salt-spaced seeds.
+	Reps int
+	// FuzzPatterns and ChurnRounds shape each trial's Blacksmith and
+	// churn phases (attack.MitigationTrialConfig).
+	FuzzPatterns int
+	ChurnRounds  int
+	// Ops and WorkloadReps shape the slowdown half: each workload runs
+	// WorkloadReps times at Ops operations per defended controller.
+	Ops          int
+	WorkloadReps int
+	// Seed drives both halves.
+	Seed int64
+}
+
+// DefaultMitigationMatrixConfig runs the full matrix: every kind, two
+// attack trials each, the full three-phase campaign.
+func DefaultMitigationMatrixConfig() MitigationMatrixConfig {
+	return MitigationMatrixConfig{
+		Reps:         2,
+		FuzzPatterns: 6,
+		ChurnRounds:  2,
+		Ops:          30_000,
+		WorkloadReps: 3,
+		Seed:         53,
+	}
+}
+
+// QuickMitigationMatrixConfig trims to one trial per kind and a shorter
+// campaign — still every defense row.
+func QuickMitigationMatrixConfig() MitigationMatrixConfig {
+	cfg := DefaultMitigationMatrixConfig()
+	cfg.Reps = 1
+	cfg.FuzzPatterns = 3
+	cfg.ChurnRounds = 1
+	cfg.Ops = 8_000
+	cfg.WorkloadReps = 2
+	return cfg
+}
+
+func (cfg *MitigationMatrixConfig) normalize() {
+	def := DefaultMitigationMatrixConfig()
+	if len(cfg.Kinds) == 0 {
+		for _, k := range mitigation.Kinds() {
+			cfg.Kinds = append(cfg.Kinds, k.String())
+		}
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = def.Reps
+	}
+	if cfg.FuzzPatterns == 0 {
+		cfg.FuzzPatterns = def.FuzzPatterns
+	}
+	if cfg.ChurnRounds == 0 {
+		cfg.ChurnRounds = def.ChurnRounds
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = def.Ops
+	}
+	if cfg.WorkloadReps == 0 {
+		cfg.WorkloadReps = def.WorkloadReps
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+}
+
+// matrixWorkloads is the slowdown suite: a random-access key-value server
+// and an OLTP mix — row-miss-heavy streams, so a defense that occupies
+// banks with injected refreshes pays visibly.
+func matrixWorkloads() []workload.Workload {
+	return []workload.Workload{workload.Memcached{}, workload.Sysbench{}}
+}
+
+type mitigationMatrixExp struct{}
+
+func (mitigationMatrixExp) Name() string { return "mitigation-matrix" }
+
+func (mitigationMatrixExp) Run(ctx context.Context, cfg Config) (*Result, error) {
+	mm := cfg.Matrix
+	mm.normalize()
+
+	kinds := make([]mitigation.Kind, len(mm.Kinds))
+	for i, s := range mm.Kinds {
+		k, err := mitigation.ParseKind(s)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+	}
+
+	// Phase 1: attack trials — kind x rep cells fan out on the pool; each
+	// cell's seed derives from its index alone, so parallel and serial
+	// schedules produce identical matrices.
+	type trialAgg struct {
+		trials                                 int
+		escapes, attackerFlips, guardFlips     int
+		victimFlips, strayFlips, corruptions   int
+		bursts, denied, refreshes, exhaustions int
+		blockedBytes                           uint64
+		activations                            int64
+		health                                 map[string]bool
+	}
+	cells := len(kinds) * mm.Reps
+	trials := make([]*attack.MitigationTrialResult, cells)
+	err := cfg.Pool.Map(ctx, cells, func(i int) error {
+		k := kinds[i/mm.Reps]
+		seed := repSeed(mm.Seed, i)
+		lab := lifecycleLabConfig()
+		lab.Mitigation = mitigation.Spec{Kind: k, Seed: seed}
+		r, err := attack.RunMitigationTrial(attack.MitigationTrialConfig{
+			Core:         lab,
+			Seed:         seed,
+			FuzzPatterns: mm.FuzzPatterns,
+			ChurnRounds:  mm.ChurnRounds,
+		})
+		if err != nil {
+			return fmt.Errorf("trial %v rep %d: %w", k, i%mm.Reps, err)
+		}
+		trials[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]trialAgg, len(kinds))
+	for i, r := range trials {
+		a := &aggs[i/mm.Reps]
+		a.trials++
+		a.escapes += r.Escapes()
+		a.attackerFlips += r.AttackerFlips
+		a.guardFlips += r.GuardFlips
+		a.victimFlips += r.VictimFlips
+		a.strayFlips += r.StrayFlips
+		a.corruptions += r.VictimCorruptions
+		a.bursts += r.HammerBursts
+		a.denied += r.Denied
+		a.refreshes += r.Refreshes
+		a.exhaustions += r.Exhaustions
+		a.blockedBytes += r.BlockedBytes
+		a.activations += r.Activations
+		if r.Health != "" {
+			if a.health == nil {
+				a.health = map[string]bool{}
+			}
+			a.health[r.Health] = true
+		}
+	}
+
+	// Phase 2: workload slowdown. Every kind's suite runs on a machine
+	// deploying that defense, with the controller carrying the same
+	// activation-plane instance the machine would; the undefended baseline
+	// is always measured (even when the none row is not selected) so
+	// slowdown is a ratio to it. Identical jitter streams across kinds
+	// make the ratio isolate the defense's own bank occupancy.
+	perf := PerfConfig{
+		Geometry:  migrationLabGeometry(),
+		VMMemory:  64 * geometry.MiB,
+		Ops:       mm.Ops,
+		Reps:      mm.WorkloadReps,
+		MLPWindow: 10,
+		Seed:      mm.Seed,
+	}
+	wls := matrixWorkloads()
+	banks := perf.Geometry.TotalBanks()
+	suiteNs := func(spec mitigation.Spec) ([]float64, error) {
+		lab := lifecycleLabConfig()
+		lab.Mitigation = spec
+		h, err := core.BootMitigated(lab)
+		if err != nil {
+			return nil, err
+		}
+		defer h.Shutdown()
+		vm, err := h.CreateVM(core.Process{KVMPrivileged: true}, core.VMSpec{
+			Name: "bench", Socket: 0, MemoryBytes: perf.VMMemory,
+			VCPUs: perf.Geometry.CoresPerSocket,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var defense func(rep int) mitigation.Mitigation
+		if spec.HasRowDefense() {
+			defense = func(rep int) mitigation.Mitigation {
+				d, derr := spec.RowDefense(banks, mitigation.ScopeSeed(repSeed(spec.Seed, rep), banks))
+				if derr != nil {
+					return nil // unreachable post-Validate
+				}
+				return d
+			}
+		}
+		out := make([]float64, len(wls))
+		for i, w := range wls {
+			s, err := measureDefended(ctx, cfg.Pool, perf, vm, w, execTime, defense)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s.Mean()
+		}
+		return out, nil
+	}
+	baseNs, err := suiteNs(mitigation.Spec{Kind: mitigation.KindNone, Seed: mm.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("baseline suite: %w", err)
+	}
+	slowdown := make([]float64, len(kinds))
+	for ki, k := range kinds {
+		ns := baseNs
+		if k != mitigation.KindNone {
+			if ns, err = suiteNs(mitigation.Spec{Kind: k, Seed: mm.Seed}); err != nil {
+				return nil, fmt.Errorf("%v suite: %w", k, err)
+			}
+		}
+		prod := 1.0
+		for i := range ns {
+			prod *= ns[i] / baseNs[i]
+		}
+		slowdown[ki] = math.Pow(prod, 1/float64(len(ns)))
+	}
+
+	res := &Result{
+		Name: "mitigation-matrix",
+		Title: "Mitigation matrix: every defense vs the same attack campaign and workload " +
+			"suite — protection against refresh energy, blocked capacity, and slowdown",
+		Columns: []string{
+			"defense", "trials", "escapes", "attacker flips", "guard flips",
+			"refreshes", "refresh rate", "blocked", "slowdown", "health",
+		},
+		Units: []string{
+			"", "", "", "", "", "", "per 1k acts", "MiB", "x", "",
+		},
+		Metadata: map[string]string{
+			"geometry":  migrationLabGeometry().String(),
+			"seed":      fmt.Sprintf("%d", mm.Seed),
+			"reps":      fmt.Sprintf("%d", mm.Reps),
+			"workloads": workloadNames(wls),
+		},
+	}
+
+	protection := Series{Name: "escapes", Unit: "flips"}
+	capacity := Series{Name: "blocked-capacity", Unit: "MiB"}
+	slowSeries := Series{Name: "workload-slowdown", Unit: "x"}
+	var keyed = func(name string, ki int) string { return "matrix_" + name + "_" + kinds[ki].String() }
+	for ki := range kinds {
+		a := &aggs[ki]
+		health := "intact"
+		if len(a.health) > 0 {
+			var hs []string
+			for h := range a.health {
+				hs = append(hs, h)
+			}
+			sort.Strings(hs)
+			health = strings.Join(hs, "; ")
+		}
+		refRate := 0.0
+		if a.activations > 0 {
+			refRate = 1000 * float64(a.refreshes) / float64(a.activations)
+		}
+		blockedMiB := float64(a.blockedBytes) / float64(a.trials) / float64(geometry.MiB)
+		name := kinds[ki].String()
+		res.Rows = append(res.Rows, Row{Label: name, Cells: []any{
+			name, a.trials, a.escapes, a.attackerFlips, a.guardFlips,
+			a.refreshes, round3(refRate), round3(blockedMiB), round3(slowdown[ki]), health,
+		}})
+		res.scalar(keyed("escapes", ki), float64(a.escapes))
+		res.scalar(keyed("refreshes", ki), float64(a.refreshes))
+		res.scalar(keyed("blocked_mib", ki), round3(blockedMiB))
+		res.scalar(keyed("slowdown_x", ki), round3(slowdown[ki]))
+		protection.Points = append(protection.Points, Point{Label: name, Value: float64(a.escapes)})
+		capacity.Points = append(capacity.Points, Point{Label: name, Value: round3(blockedMiB)})
+		slowSeries.Points = append(slowSeries.Points, Point{Label: name, Value: round3(slowdown[ki])})
+	}
+	res.Series = append(res.Series, protection, capacity, slowSeries)
+
+	// Checks: the matrix must have a vulnerable baseline, containing
+	// defenses, and costs paid in each defense's own currency.
+	idx := map[mitigation.Kind]int{}
+	for ki, k := range kinds {
+		idx[k] = ki
+	}
+	if ni, ok := idx[mitigation.KindNone]; ok {
+		a := &aggs[ni]
+		res.check("baseline_vulnerable", a.escapes > 0 && a.refreshes == 0,
+			fmt.Sprintf("undefended machine: %d flips escaped the attacker (victim %d, stray %d), zero refreshes",
+				a.escapes, a.victimFlips, a.strayFlips))
+	}
+	contained, nonvacuous := true, true
+	var worst string
+	for ki, k := range kinds {
+		a := &aggs[ki]
+		if a.bursts == 0 {
+			nonvacuous = false
+		}
+		if k == mitigation.KindNone {
+			continue
+		}
+		if a.escapes > 0 {
+			contained = false
+			worst = fmt.Sprintf("%s let %d flips escape", k, a.escapes)
+		}
+	}
+	res.check("defenses_contain", contained,
+		map[bool]string{true: "every deployed defense kept victim and stray flips at zero", false: worst}[contained])
+	res.check("attack_nonvacuous", nonvacuous,
+		"every trial landed hammer bursts against extent-edge rows")
+	for _, k := range []mitigation.Kind{mitigation.KindPARA, mitigation.KindSilverBullet} {
+		if ki, ok := idx[k]; ok {
+			a := &aggs[ki]
+			res.check(k.String()+"_pays_in_energy", a.refreshes > 0 && a.blockedBytes == 0,
+				fmt.Sprintf("%d proactive refreshes, no capacity blocked", a.refreshes))
+		}
+	}
+	for _, k := range []mitigation.Kind{mitigation.KindCATT, mitigation.KindSiloz} {
+		if ki, ok := idx[k]; ok {
+			a := &aggs[ki]
+			res.check(k.String()+"_pays_in_capacity", a.blockedBytes > 0 && a.refreshes == 0,
+				fmt.Sprintf("%.1f MiB blocked, no injected refreshes", float64(a.blockedBytes)/float64(a.trials)/float64(geometry.MiB)))
+		}
+	}
+	if ci, ok := idx[mitigation.KindCATT]; ok {
+		if si, ok := idx[mitigation.KindSiloz]; ok {
+			res.check("siloz_blocks_less_than_catt",
+				aggs[si].blockedBytes < aggs[ci].blockedBytes,
+				fmt.Sprintf("siloz blocks %.1f MiB vs catt's %.1f MiB: row-space guard bands cost pages at every extent edge, subarray-group alignment only at group boundaries",
+					float64(aggs[si].blockedBytes)/float64(aggs[si].trials)/float64(geometry.MiB),
+					float64(aggs[ci].blockedBytes)/float64(aggs[ci].trials)/float64(geometry.MiB)))
+		}
+	}
+
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d attack trials across %d defenses; every defense contained the campaign the undefended "+
+			"machine failed, each paying in its own currency (refresh energy, blocked capacity, or slowdown)",
+		cells, len(kinds)))
+	return res, nil
+}
+
+// workloadNames joins the suite's names for metadata.
+func workloadNames(wls []workload.Workload) string {
+	names := make([]string, len(wls))
+	for i, w := range wls {
+		names[i] = w.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// round3 rounds to three decimals so rendered cells and scalars stay tidy
+// and byte-stable.
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

@@ -27,6 +27,7 @@ var registry = []Experiment{
 	eptRelocExp{},
 	fleetChurnExp{},
 	lifecycleAttackExp{},
+	mitigationMatrixExp{},
 }
 
 // All returns every registered experiment in canonical order.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 )
 
 func BenchmarkControllerStream(b *testing.B) {
@@ -47,6 +48,32 @@ func BenchmarkControllerTracked(b *testing.B) {
 		b.Fatal(err)
 	}
 	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 10, TrackActivations: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rowStride := uint64(g.RowGroupBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa := uint64(i%16) * rowStride
+		if _, err := c.Do(Access{PA: pa}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerWithMitigation guards the miss path with a mitigation
+// attached: every access is a row miss observed by a Silver Bullet
+// instance, the heaviest observer in the framework (counter table probe
+// plus possible safe-eviction scan).
+func BenchmarkControllerWithMitigation(b *testing.B) {
+	g := geometry.Default()
+	m, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb := mitigation.NewSilverBullet(g.TotalBanks(), mitigation.DefaultSBTableSize,
+		mitigation.DefaultSBThreshold, 0)
+	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 10, Mitigation: sb})
 	if err != nil {
 		b.Fatal(err)
 	}

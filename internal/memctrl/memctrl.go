@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 	"repro/internal/rowcount"
 )
 
@@ -86,6 +87,13 @@ type Config struct {
 	// refresh windows, the quantity Rowhammer thresholds are defined
 	// over (§2.5). Costs one map update per row miss.
 	TrackActivations bool
+	// Mitigation, when non-nil, observes every row miss (flat bank index,
+	// media row) and may inject neighbour refreshes; each injected refresh
+	// occupies the target bank for a precharge+activate cycle, which is
+	// how defense refresh energy becomes visible slowdown. The instance is
+	// scoped to this controller run — reuse requires OnWindowEnd between
+	// runs, which Reset performs.
+	Mitigation mitigation.Mitigation
 }
 
 // refreshWindowNs is the DDR4 retention window (64 ms).
@@ -119,6 +127,9 @@ type Result struct {
 	// Rowhammer threshold shows whether the access stream could
 	// disturb neighbours (§1, §2.5).
 	PeakRowACTs int
+	// MitigationRefreshes counts defense-injected neighbour refreshes the
+	// controller charged as bank busy time (needs Config.Mitigation).
+	MitigationRefreshes int
 }
 
 // ThroughputGBs returns achieved bandwidth in GB/s.
@@ -199,6 +210,15 @@ type Controller struct {
 	actWindow int64
 	actTables []rowcount.Table[int32]
 	peakActs  int
+
+	// Mitigation hook (Config.Mitigation). mitSink is the pre-bound
+	// method value handed to OnActivate so the miss path never allocates a
+	// closure; mitOcc is the bank occupancy one injected refresh charges.
+	mit          mitigation.Mitigation
+	mitSink      mitigation.RefreshFn
+	mitWindow    int64
+	mitOcc       float64
+	mitRefreshes int
 }
 
 // New builds a controller.
@@ -275,6 +295,19 @@ func (c *Controller) Reset() {
 		c.actTables = make([]rowcount.Table[int32], n)
 	}
 	c.peakActs = 0
+	c.mit = c.cfg.Mitigation
+	if c.mit != nil {
+		c.mit.OnWindowEnd() // clear per-window state left by a prior run
+		c.mitSink = c.applyMitRefresh
+	} else {
+		c.mitSink = nil
+	}
+	c.mitWindow = 0
+	// One injected neighbour refresh costs a precharge + activate per
+	// victim neighbourhood — the bank cannot serve demand traffic while
+	// its rows are being restored.
+	c.mitOcc = 2 * (tm.TRP + tm.TRCD)
+	c.mitRefreshes = 0
 	c.runScale = 1
 	if c.cfg.JitterSeed != 0 {
 		c.rng = rand.New(rand.NewSource(c.cfg.JitterSeed))
@@ -315,11 +348,13 @@ func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
 		start = bf
 	}
 	var latency, occupancy float64
+	missed := false
 	if c.openRow[bank] == row {
 		latency = c.hitLat
 		occupancy = c.hitOcc
 		c.res.RowHits++
 	} else {
+		missed = true
 		// A row miss needs an activation, subject to the rank's
 		// refresh, tRRD and tFAW constraints.
 		rank := c.rankOf[bank]
@@ -354,6 +389,11 @@ func (c *Controller) DoTimed(a Access) (done, observed float64, err error) {
 		latency *= c.runScale * (1 + (c.rng.Float64()-0.5)*0.02)
 	}
 	c.bankFree[bank] = start + occupancy*c.runScale
+	if c.mit != nil && missed {
+		// After the bankFree write: an injected refresh extends the
+		// bank's busy time on top of this access's own occupancy.
+		c.observeMit(bank, row, start)
+	}
 	done = start + latency
 	c.ring[c.ringPos] = done
 	if c.ringPos++; c.ringPos == len(c.ring) {
@@ -391,6 +431,27 @@ func (c *Controller) trackActivation(bank, row int, at float64) {
 	}
 }
 
+// observeMit feeds one row miss to the attached mitigation, turning the
+// refresh window over first when the activation's start time crossed a
+// 64 ms boundary (per-window defense state — counters, budgets — resets
+// exactly as the DRAM model's Refresh does).
+func (c *Controller) observeMit(bank, row int, at float64) {
+	if w := int64(at / refreshWindowNs); w != c.mitWindow {
+		c.mitWindow = w
+		c.mit.OnWindowEnd()
+	}
+	c.mit.OnActivate(mitigation.Activation{Bank: bank, Row: row, Count: 1}, c.mitSink)
+}
+
+// applyMitRefresh charges one defense-injected neighbour refresh to the
+// target bank as busy time. The controller has no DRAM disturbance state
+// of its own, so charge accounting is the whole effect here; protection
+// legs observe the same mitigation attached at the DRAM module scope.
+func (c *Controller) applyMitRefresh(bank, _ int) {
+	c.bankFree[bank] += c.mitOcc
+	c.mitRefreshes++
+}
+
 // Idle advances the core's clock by think-only time (e.g. trailing cache
 // hits) with no DRAM access.
 func (c *Controller) Idle(ns float64) {
@@ -405,6 +466,7 @@ func (c *Controller) Result() Result {
 	r := c.res
 	r.TotalNs = c.last
 	r.PeakRowACTs = c.peakActs
+	r.MitigationRefreshes = c.mitRefreshes
 	return r
 }
 

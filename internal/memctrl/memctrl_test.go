@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/geometry"
+	"repro/internal/mitigation"
 )
 
 func tinyGeometry() geometry.Geometry {
@@ -387,5 +388,77 @@ func TestActivationTrackingMatchesMapReference(t *testing.T) {
 	}
 	if total != len(refCounts) {
 		t.Fatalf("tables hold %d live rows, reference %d", total, len(refCounts))
+	}
+}
+
+func TestMitigationHookChargesBankTime(t *testing.T) {
+	g := tinyGeometry()
+	m, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PARA at p=1 injects one refresh per miss — maximal, fully
+	// deterministic charging.
+	para := mitigation.NewPARA(1, 1)
+	c, err := New(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 1, Mitigation: para})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newCtrl(t, m, 1)
+	rowStride := uint64(g.RowGroupBytes())
+	var mitRes, baseRes Result
+	for i := 0; i < 64; i++ {
+		pa := uint64(i%4) * rowStride // ping-pong: all misses, one bank group
+		if _, err := c.Do(Access{PA: pa}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := base.Do(Access{PA: pa}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mitRes, baseRes = c.Result(), base.Result()
+	if mitRes.MitigationRefreshes != mitRes.RowMisses {
+		t.Fatalf("refreshes = %d, want one per miss (%d)", mitRes.MitigationRefreshes, mitRes.RowMisses)
+	}
+	if baseRes.MitigationRefreshes != 0 {
+		t.Fatalf("unmitigated run reported %d refreshes", baseRes.MitigationRefreshes)
+	}
+	if mitRes.TotalNs <= baseRes.TotalNs {
+		t.Fatalf("mitigated run not slower: %v <= %v ns", mitRes.TotalNs, baseRes.TotalNs)
+	}
+	if para.Overhead().NeighborRefreshes != mitRes.MitigationRefreshes {
+		t.Fatalf("mitigation ledger %d != controller ledger %d",
+			para.Overhead().NeighborRefreshes, mitRes.MitigationRefreshes)
+	}
+}
+
+func TestNilMitigationPathUnchanged(t *testing.T) {
+	// The hook must be invisible when no mitigation is configured: results
+	// with a nil Mitigation are bit-identical to the pre-hook behaviour,
+	// which the jitter-seeded comparison pins down to the last float.
+	g := tinyGeometry()
+	m, err := addr.NewSkylakeMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg Config) Result {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		total := uint64(g.TotalBytes())
+		for i := 0; i < 500; i++ {
+			pa := (rng.Uint64() % total) &^ (geometry.CacheLineSize - 1)
+			if _, err := c.Do(Access{PA: pa, ThinkNs: 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Result()
+	}
+	a := run(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 8, JitterSeed: 3})
+	b := run(Config{Mapper: m, Timing: DDR4_2933(), MLPWindow: 8, JitterSeed: 3, Mitigation: nil})
+	if a != b {
+		t.Fatalf("nil-mitigation results diverge:\n%+v\n%+v", a, b)
 	}
 }

@@ -1,0 +1,32 @@
+package mitigation
+
+import "testing"
+
+// The benchmarks drive the observers with burst shapes matching what the
+// memory controller emits on its hot path: single-activation misses
+// spread over a working set of rows, with a nil RefreshFn (accounting
+// only) to isolate observer cost from the caller's refresh handling.
+
+func BenchmarkPARAObserve(b *testing.B) {
+	m := NewPARA(DefaultPARAProbability, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(Activation{Bank: i & 15, Row: i & 1023, Count: 1}, nil)
+	}
+}
+
+func BenchmarkSilverBulletObserve(b *testing.B) {
+	m := NewSilverBullet(16, DefaultSBTableSize, DefaultSBThreshold, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(Activation{Bank: i & 15, Row: i & 1023, Count: 1}, nil)
+	}
+}
+
+func BenchmarkTRRObserve(b *testing.B) {
+	m := NewTRR(16, 4, 800)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(Activation{Bank: i & 15, Row: i & 1023, Count: 1}, nil)
+	}
+}

@@ -1,0 +1,17 @@
+package mitigation
+
+import "errors"
+
+// Sentinel errors, matched with errors.Is (the core/fleet convention):
+// callers branch on the failure class, wrapping sites add context.
+var (
+	// ErrUnsupported reports a mitigation asked to act on a plane it does
+	// not implement — building an activation-plane instance of a pure
+	// allocation-plane defense (CATT, Siloz), or an unknown kind name.
+	ErrUnsupported = errors.New("mitigation: operation unsupported by this mitigation")
+
+	// ErrBudgetExhausted reports that a counter-based defense ran out of
+	// refresh budget inside a window and went blind — the Silver Bullet
+	// security-analysis edge case. Surfaced via Mitigation.Health.
+	ErrBudgetExhausted = errors.New("mitigation: refresh budget exhausted")
+)

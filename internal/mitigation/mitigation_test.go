@@ -1,0 +1,211 @@
+package mitigation
+
+import (
+	"testing"
+)
+
+// record captures refresh directives.
+type record struct {
+	banks, rows []int
+}
+
+func (r *record) fn() RefreshFn {
+	return func(bank, row int) {
+		r.banks = append(r.banks, bank)
+		r.rows = append(r.rows, row)
+	}
+}
+
+func TestPARARefreshRateTracksProbability(t *testing.T) {
+	p := NewPARA(0.01, 7)
+	var rec record
+	const acts = 200_000
+	p.OnActivate(Activation{Bank: 0, Row: 5, Count: acts}, rec.fn())
+	got := p.Overhead().NeighborRefreshes
+	want := int(0.01 * acts)
+	if got < want/2 || got > want*2 {
+		t.Fatalf("PARA refreshes = %d, want ~%d", got, want)
+	}
+	if len(rec.rows) == 0 || rec.rows[0] != 5 || rec.banks[0] != 0 {
+		t.Fatalf("refresh directives = %v/%v, want row 5 bank 0", rec.banks, rec.rows)
+	}
+	if err := p.Health(); err != nil {
+		t.Fatalf("PARA health = %v, want nil", err)
+	}
+}
+
+func TestPARADeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		p := NewPARA(0.005, seed)
+		for i := 0; i < 50; i++ {
+			p.OnActivate(Activation{Bank: i % 4, Row: i, Count: 1000}, nil)
+		}
+		return p.Overhead().NeighborRefreshes
+	}
+	if a, b := run(3), run(3); a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a, b := run(3), run(4); a == b {
+		t.Logf("different seeds coincided at %d (possible but unlikely)", a)
+	}
+}
+
+func TestSilverBulletFiresAtThreshold(t *testing.T) {
+	sb := NewSilverBullet(2, 8, 1000, 0)
+	var rec record
+	sb.OnActivate(Activation{Bank: 1, Row: 40, Count: 999}, rec.fn())
+	if n := sb.Overhead().NeighborRefreshes; n != 0 {
+		t.Fatalf("refresh fired below threshold: %d", n)
+	}
+	sb.OnActivate(Activation{Bank: 1, Row: 40, Count: 1}, rec.fn())
+	if n := sb.Overhead().NeighborRefreshes; n != 1 {
+		t.Fatalf("refreshes = %d, want 1 at threshold", n)
+	}
+	if len(rec.rows) != 1 || rec.rows[0] != 40 || rec.banks[0] != 1 {
+		t.Fatalf("directive = %v/%v, want bank 1 row 40", rec.banks, rec.rows)
+	}
+	// Counter reset after firing: another sub-threshold burst stays quiet.
+	sb.OnActivate(Activation{Bank: 1, Row: 40, Count: 999}, rec.fn())
+	if n := sb.Overhead().NeighborRefreshes; n != 1 {
+		t.Fatalf("counter not reset after fire: refreshes = %d", n)
+	}
+}
+
+func TestSilverBulletSafeEviction(t *testing.T) {
+	sb := NewSilverBullet(1, 2, 10_000, 0)
+	var rec record
+	sb.OnActivate(Activation{Bank: 0, Row: 10, Count: 5}, rec.fn())
+	sb.OnActivate(Activation{Bank: 0, Row: 20, Count: 9}, rec.fn())
+	// Table full; a third aggressor must evict the lowest counter (row
+	// 10) and refresh its neighbourhood first — the safe-eviction rule.
+	sb.OnActivate(Activation{Bank: 0, Row: 30, Count: 1}, rec.fn())
+	if n := sb.Overhead().NeighborRefreshes; n != 1 {
+		t.Fatalf("refreshes = %d, want 1 safe-eviction refresh", n)
+	}
+	if len(rec.rows) != 1 || rec.rows[0] != 10 {
+		t.Fatalf("evicted row = %v, want 10 (lowest counter)", rec.rows)
+	}
+}
+
+func TestSilverBulletBudgetExhaustionGoesBlind(t *testing.T) {
+	sb := NewSilverBullet(1, 8, 100, 1)
+	var rec record
+	sb.OnActivate(Activation{Bank: 0, Row: 1, Count: 100}, rec.fn())
+	sb.OnActivate(Activation{Bank: 0, Row: 2, Count: 100}, rec.fn())
+	sb.OnActivate(Activation{Bank: 0, Row: 3, Count: 100}, rec.fn())
+	ov := sb.Overhead()
+	if ov.NeighborRefreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1 (budget capped)", ov.NeighborRefreshes)
+	}
+	if ov.Exhaustions != 1 {
+		t.Fatalf("exhaustions = %d, want 1 (single event per bank-window)", ov.Exhaustions)
+	}
+	if len(rec.rows) != 1 {
+		t.Fatalf("directives = %v, want only the budgeted one", rec.rows)
+	}
+	// A new window restores the budget but the health record persists.
+	sb.OnWindowEnd()
+	sb.OnActivate(Activation{Bank: 0, Row: 4, Count: 100}, rec.fn())
+	if n := sb.Overhead().NeighborRefreshes; n != 2 {
+		t.Fatalf("refreshes after window reset = %d, want 2", n)
+	}
+	if err := sb.Health(); err == nil {
+		t.Fatal("Health = nil after exhaustion, want wrapped ErrBudgetExhausted")
+	}
+}
+
+func TestTRRFiresAtInterval(t *testing.T) {
+	trr := NewTRR(2, 4, 1000)
+	var rec record
+	trr.OnActivate(Activation{Bank: 1, Row: 7, Count: 999}, rec.fn())
+	if n := trr.Overhead().NeighborRefreshes; n != 0 {
+		t.Fatalf("TRR fired below interval: %d", n)
+	}
+	trr.OnActivate(Activation{Bank: 1, Row: 9, Count: 1}, rec.fn())
+	// Interval reached: both sampled rows refresh.
+	if n := trr.Overhead().NeighborRefreshes; n != 2 {
+		t.Fatalf("refreshes = %d, want 2 (both sampled rows)", n)
+	}
+	for _, b := range rec.banks {
+		if b != 1 {
+			t.Fatalf("directive banks = %v, want all bank 1", rec.banks)
+		}
+	}
+}
+
+func TestTRRDecoyPinning(t *testing.T) {
+	// Heavy decoys fill the table; a later true aggressor with smaller
+	// bursts cannot displace them — the Blacksmith weakness.
+	trr := NewTRR(1, 2, 1_000_000)
+	trr.OnActivate(Activation{Bank: 0, Row: 1, Count: 500}, nil)
+	trr.OnActivate(Activation{Bank: 0, Row: 2, Count: 500}, nil)
+	trr.OnActivate(Activation{Bank: 0, Row: 3, Count: 100}, nil)
+	if _, ok := trr.tables[0].Get(3); ok {
+		t.Fatal("small aggressor displaced a heavier decoy")
+	}
+	trr.OnActivate(Activation{Bank: 0, Row: 4, Count: 900}, nil)
+	if _, ok := trr.tables[0].Get(4); !ok {
+		t.Fatal("larger burst failed to displace the table minimum")
+	}
+	if _, ok := trr.tables[0].Get(1); ok {
+		t.Fatal("displacement evicted the wrong entry")
+	}
+}
+
+func TestChainAggregates(t *testing.T) {
+	ch := Chain{NewPARA(1, 1), NewTRR(1, 2, 10)}
+	var rec record
+	ch.OnActivate(Activation{Bank: 0, Row: 3, Count: 10}, rec.fn())
+	ov := ch.Overhead()
+	// PARA at p=1 wins all 10 flips; TRR fires at interval 10 with one
+	// sampled row.
+	if ov.NeighborRefreshes != 11 {
+		t.Fatalf("chain refreshes = %d, want 11", ov.NeighborRefreshes)
+	}
+	if err := ch.Health(); err != nil {
+		t.Fatalf("chain health = %v, want nil", err)
+	}
+	ch.OnWindowEnd()
+	if got := ch.Name(); got != "chain+para+trr" {
+		t.Fatalf("chain name = %q", got)
+	}
+}
+
+func TestSpecDefaultsAndValidation(t *testing.T) {
+	for _, k := range Kinds() {
+		s := For(k)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("default spec %v invalid: %v", k, err)
+		}
+		parsed, err := ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), parsed, err)
+		}
+	}
+	if err := (Spec{Kind: KindPARA, PARAProbability: 2}).Validate(); err == nil {
+		t.Fatal("probability 2 validated")
+	}
+	if err := (Spec{Kind: KindSilverBullet, SBRefreshBudget: -1}).Validate(); err == nil {
+		t.Fatal("negative budget validated")
+	}
+}
+
+func TestSpecRowDefensePlanes(t *testing.T) {
+	if d, err := For(KindNone).RowDefense(4, 1); d != nil || err != nil {
+		t.Fatalf("none row defense = %v, %v; want nil, nil", d, err)
+	}
+	d, err := For(KindPARA).RowDefense(4, 1)
+	if err != nil || d == nil || d.Name() != "para" {
+		t.Fatalf("para row defense = %v, %v", d, err)
+	}
+	d, err = For(KindSilverBullet).RowDefense(4, 1)
+	if err != nil || d == nil || d.Name() != "silver-bullet" {
+		t.Fatalf("silver-bullet row defense = %v, %v", d, err)
+	}
+}
+
+func TestScopeSeedSpacing(t *testing.T) {
+	if ScopeSeed(10, 0) != 10 || ScopeSeed(10, 2) != 10+2*7919 {
+		t.Fatalf("scope seeds = %d, %d", ScopeSeed(10, 0), ScopeSeed(10, 2))
+	}
+}

@@ -1,0 +1,59 @@
+package mitigation
+
+import "math/rand"
+
+// PARA implements probabilistic adjacent-row activation (Kim et al.,
+// ISCA'14): on every activation, with probability p, the memory controller
+// refreshes the activated row's neighbourhood. PARA is stateless — no
+// counter tables to exhaust — so its protection-vs-energy trade-off is
+// entirely in p: expected refreshes scale linearly with activation volume,
+// and an aggressor slips through only if a threshold-sized run of
+// activations all lose the coin flip ((1-p)^threshold).
+//
+// Unlike the bank-sharded table defenses, PARA draws from one seeded
+// coin-flip stream per instance — that stream is what makes a scope's
+// refresh schedule reproducible — so a PARA instance must be driven from
+// a single goroutine at a time.
+type PARA struct {
+	p   float64
+	rng *rand.Rand
+	ov  Overhead
+}
+
+// NewPARA builds a PARA instance with per-activation probability p. The
+// seed makes the coin-flip stream deterministic per scope.
+func NewPARA(p float64, seed int64) *PARA {
+	return &PARA{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Mitigation.
+func (m *PARA) Name() string { return "para" }
+
+// OnActivate implements Mitigation: one coin flip per activation in the
+// burst. Within a single burst the directives are collapsed to one
+// RefreshFn call — re-refreshing the same neighbourhood back-to-back is
+// idempotent for charge — but every win is counted toward refresh energy.
+func (m *PARA) OnActivate(ev Activation, refresh RefreshFn) {
+	wins := 0
+	for i := 0; i < ev.Count; i++ {
+		if m.rng.Float64() < m.p {
+			wins++
+		}
+	}
+	if wins == 0 {
+		return
+	}
+	m.ov.NeighborRefreshes += wins
+	if refresh != nil {
+		refresh(ev.Bank, ev.Row)
+	}
+}
+
+// OnWindowEnd implements Mitigation; PARA holds no per-window state.
+func (m *PARA) OnWindowEnd() {}
+
+// Overhead implements Mitigation.
+func (m *PARA) Overhead() Overhead { return m.ov }
+
+// Health implements Mitigation; PARA cannot degrade.
+func (m *PARA) Health() error { return nil }
