@@ -40,11 +40,13 @@ race-quick:
 	$(GO) test -race -run 'TestConcurrentExpandShrinkExclusive' ./internal/numa
 	$(GO) test -race -run 'TestEPTRelocationProperty' ./internal/migrate
 	$(GO) test -race -run 'TestConcurrentFleetChurn' ./internal/fleet
+	$(GO) test -race -run 'TestGenerateEarlyStopDeterminism' ./internal/workload
+	$(GO) test -race -run 'TestConcurrentServeResize|TestServeFleetMoveChurn' ./internal/serve
 
 # Packages with substrate microbenchmarks (address decode, the memory
 # controller, the DRAM module) — the hot paths the BENCH_*.json baseline
 # tracks. The registry benches in the repo root ride along.
-BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount ./internal/fleet ./internal/mitigation
+BENCH_PKGS := ./internal/addr ./internal/memctrl ./internal/dram ./internal/rowcount ./internal/fleet ./internal/mitigation ./internal/serve
 BENCH_DATE := $(shell date +%F)
 # Latest committed baseline by date-sorted filename.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
@@ -89,12 +91,13 @@ tools:
 check: build vet fmt-check test
 
 # Pre-commit gate: everything `check` runs, plus quick fleet-churn,
-# lifecycle-attack and mitigation-matrix end-to-end smokes through the real
-# CLIs.
+# lifecycle-attack, mitigation-matrix and serving-slo end-to-end smokes
+# through the real CLIs.
 verify: build vet fmt-check test
 	$(GO) run ./cmd/siloz-fleet -quick >/dev/null
 	$(GO) run ./cmd/siloz-bench -exp lifecycle-attack -quick >/dev/null
 	$(GO) run ./cmd/siloz-bench -exp mitigation-matrix -quick >/dev/null
+	$(GO) run ./cmd/siloz-serve -quick >/dev/null
 
 clean:
 	$(GO) clean ./...

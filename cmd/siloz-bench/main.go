@@ -67,6 +67,7 @@ func main() {
 	fl := experiments.DefaultFleetConfig()
 	lca := experiments.DefaultLifecycleAttackConfig()
 	mat := experiments.DefaultMitigationMatrixConfig()
+	sslo := experiments.DefaultServingSLOConfig()
 	if common.Quick {
 		mig = experiments.QuickMigrationConfig()
 		bal = experiments.QuickBalloonConfig()
@@ -75,6 +76,7 @@ func main() {
 		fl = experiments.QuickFleetConfig()
 		lca = experiments.QuickLifecycleAttackConfig()
 		mat = experiments.QuickMitigationMatrixConfig()
+		sslo = experiments.QuickServingSLOConfig()
 	}
 	// The security, migration, ballooning and hotplug campaigns keep their
 	// own default seeds unless -seed is given explicitly, so default outputs
@@ -89,6 +91,7 @@ func main() {
 			fl.Seed = common.Seed
 			lca.Seed = common.Seed
 			mat.Seed = common.Seed
+			sslo.Seed = common.Seed
 		}
 	})
 	if *patterns > 0 {
@@ -118,16 +121,17 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Perf:      perf,
-		Security:  sec,
-		Migration: mig,
-		Balloon:   bal,
-		Hotplug:   hot,
-		EPTReloc:  rel,
-		Fleet:     fl,
-		Lifecycle: lca,
-		Matrix:    mat,
-		Pool:      experiments.NewPool(common.Workers()),
+		Perf:       perf,
+		Security:   sec,
+		Migration:  mig,
+		Balloon:    bal,
+		Hotplug:    hot,
+		EPTReloc:   rel,
+		Fleet:      fl,
+		Lifecycle:  lca,
+		Matrix:     mat,
+		ServingSLO: sslo,
+		Pool:       experiments.NewPool(common.Workers()),
 	}
 
 	failed := 0

@@ -48,6 +48,9 @@ type Config struct {
 	// Matrix parameterizes the mitigation-matrix experiment. A zero value
 	// falls back to DefaultMitigationMatrixConfig.
 	Matrix MitigationMatrixConfig
+	// ServingSLO parameterizes the serving-slo experiment. A zero value
+	// falls back to DefaultServingSLOConfig.
+	ServingSLO ServingSLOConfig
 	// Pool bounds parallel work. A nil Pool runs everything inline on the
 	// calling goroutine (bit-for-bit identical results either way; results
 	// are always collected by index, never by arrival order).

@@ -28,6 +28,7 @@ var registry = []Experiment{
 	fleetChurnExp{},
 	lifecycleAttackExp{},
 	mitigationMatrixExp{},
+	servingSLOExp{},
 }
 
 // All returns every registered experiment in canonical order.

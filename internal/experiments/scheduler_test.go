@@ -215,8 +215,8 @@ func TestRepSeedScheme(t *testing.T) {
 // TestRegistry pins the registry's contents and lookup behavior.
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(names))
+	if len(names) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -235,7 +235,8 @@ func TestRegistry(t *testing.T) {
 	for _, want := range []string{"table3", "ept", "fig4", "fig5", "fig67", "blp",
 		"overhead", "softrefresh", "remaps", "gbpages", "ecc", "fragmentation",
 		"migration", "ballooning", "hotplug", "ddr5", "drama", "actrates", "zebram",
-		"ept-relocation", "fleet-churn", "lifecycle-attack", "mitigation-matrix"} {
+		"ept-relocation", "fleet-churn", "lifecycle-attack", "mitigation-matrix",
+		"serving-slo"} {
 		if !seen[want] {
 			t.Errorf("experiment %q missing from registry", want)
 		}

@@ -461,6 +461,21 @@ func (c *Controller) Idle(ns float64) {
 	}
 }
 
+// Now returns the core's issue clock: the virtual time up to which this
+// controller has issued work. The serving loop aligns request admission
+// against it.
+func (c *Controller) Now() float64 { return c.now }
+
+// AdvanceTo moves the issue clock forward to at least t (e.g. to a
+// request's arrival time) without extending the completion frontier:
+// unlike Idle, waiting for the next arrival is not simulated work, so it
+// does not count toward Result.TotalNs on its own.
+func (c *Controller) AdvanceTo(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
 // Result returns the run summary so far.
 func (c *Controller) Result() Result {
 	r := c.res

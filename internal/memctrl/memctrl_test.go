@@ -149,6 +149,40 @@ func TestThinkTimeAdvancesClock(t *testing.T) {
 	}
 }
 
+func TestNowAndAdvanceTo(t *testing.T) {
+	g := tinyGeometry()
+	m, _ := addr.NewSkylakeMapper(g)
+	c := newCtrl(t, m, 4)
+	if c.Now() != 0 {
+		t.Fatalf("fresh Now = %v", c.Now())
+	}
+	// AdvanceTo moves the issue clock forward but, unlike Idle, does not
+	// extend the completion frontier: waiting for an arrival is not work.
+	c.AdvanceTo(5000)
+	if c.Now() != 5000 {
+		t.Fatalf("Now = %v after AdvanceTo(5000)", c.Now())
+	}
+	if got := c.Result().TotalNs; got != 0 {
+		t.Fatalf("AdvanceTo counted as modeled time: TotalNs = %v", got)
+	}
+	c.AdvanceTo(100) // never moves backwards
+	if c.Now() != 5000 {
+		t.Fatalf("AdvanceTo moved the clock backwards to %v", c.Now())
+	}
+	// The next access issues no earlier than the advanced clock.
+	done, err := c.Do(Access{PA: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < 5000 {
+		t.Fatalf("access completed at %v, before the advanced clock", done)
+	}
+	c.Idle(200)
+	if got := c.Result().TotalNs; got < 5200-1e-9 {
+		t.Fatalf("Idle did not extend the frontier: %v", got)
+	}
+}
+
 func TestResultCounters(t *testing.T) {
 	g := tinyGeometry()
 	m, _ := addr.NewSkylakeMapper(g)

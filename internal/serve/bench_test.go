@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkServeLoop measures the serving event loop end to end: two
+// closed-loop tenants, 2 ms of virtual arrivals per iteration, fresh
+// stations each time (the hypervisor and VMs are reused — request issue
+// and heap management dominate, which is what the benchmark is for).
+func BenchmarkServeLoop(b *testing.B) {
+	h := bootHost(b, core.ModeSiloz)
+	createTenantVM(b, h, "t0", 0)
+	createTenantVM(b, h, "t1", 1)
+	cfg := twoTenantConfig(h)
+	cfg.DurationNs = 2e6
+	ctx := context.Background()
+	b.ResetTimer()
+	var requests int64
+	for i := 0; i < b.N; i++ {
+		l, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := l.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests += rep.Requests
+	}
+	b.ReportMetric(float64(requests)/float64(b.N), "reqs/op")
+}

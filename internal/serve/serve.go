@@ -1,0 +1,496 @@
+// Package serve is the request-level serving layer over the workload and
+// memory-controller stack: a closed- or open-loop multi-tenant client
+// driving zipfian key-value requests through each tenant VM's
+// translate→cache→DRAM path on a deterministic virtual clock, recording
+// per-request service time into latency histograms. A churn driver replays
+// control-plane events — live migration, balloon/hotplug resize, Siloz
+// defragmentation, cross-host moves — against serving tenants mid-run and
+// attributes the latency they cost to explicit event windows, which is how
+// the paper's "overheads during VM lifecycle events" question becomes a
+// p99-under-churn number instead of a bandwidth delta.
+//
+// Everything is single-threaded discrete-event simulation in virtual
+// nanoseconds: identical configs produce byte-identical reports at any
+// host parallelism, and downtime is modeled from copied bytes at a fixed
+// bandwidth, never from wall clock.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/geometry"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TenantSpec describes one serving tenant: a VM (already created on the
+// hypervisor or admitted to the cluster) and its client behaviour.
+type TenantSpec struct {
+	// VM names the tenant's VM.
+	VM string
+	// TargetQPS, when positive, runs the tenant open-loop: requests
+	// arrive at this fixed rate regardless of completions, so a slow
+	// server builds queueing delay (the regime where p99 lives). Zero
+	// runs the tenant closed-loop on Clients concurrent clients.
+	TargetQPS float64
+	// Clients is the closed-loop concurrency (default 1).
+	Clients int
+	// ThinkNs is the closed-loop client's mean think gap between its
+	// request completions and its next request (exponentially
+	// distributed; 0 = back-to-back).
+	ThinkNs float64
+	// ValueBytes is the KV value size (default 1024).
+	ValueBytes uint64
+	// ReadFrac is the GET fraction (default 0.95).
+	ReadFrac float64
+	// ServerThinkNs is the modeled request-handling compute preceding
+	// the first memory access of each request (default 250).
+	ServerThinkNs float64
+}
+
+// Config configures a serving loop.
+type Config struct {
+	// Hypervisor hosts the tenants (single-host serving). Ignored when
+	// Cluster is set.
+	Hypervisor *core.Hypervisor
+	// Cluster, when set, resolves tenants across fleet hosts and enables
+	// EventMove churn.
+	Cluster *fleet.Cluster
+
+	// Tenants are the serving tenants; report order follows this order.
+	Tenants []TenantSpec
+	// DurationNs is the arrival horizon: no request arrives at or after
+	// it (requests in flight still complete).
+	DurationNs float64
+	// SLONs is the per-request latency SLO; requests slower than this
+	// count as violations. 0 disables violation counting.
+	SLONs float64
+	// Seed drives all client randomness (key popularity, think gaps).
+	Seed int64
+	// JitterSeed adds per-station DRAM service-time noise; 0 keeps the
+	// timing model deterministic.
+	JitterSeed int64
+
+	// MLPWindow is the per-station memory-level parallelism (default 10).
+	MLPWindow int
+	// CacheBytes sizes the per-station LLC model (default 32 MiB;
+	// negative disables the cache).
+	CacheBytes int64
+	// CacheWays is the LLC associativity (default 16).
+	CacheWays int
+	// Timing are the DRAM timing parameters (zero value = DDR4-2933).
+	Timing memctrl.Timing
+	// Mitigation, when set, builds the activation-plane defense instance
+	// attached to each station's controller (PARA, Silver Bullet) —
+	// injected neighbour refreshes occupy banks and surface as serving
+	// latency. Called once per station, in deterministic creation order.
+	Mitigation func(host string, socket int) mitigation.Mitigation
+
+	// Churn are control-plane events to replay, in AtNs order.
+	Churn []Event
+	// CopyGiBps is the modeled copy bandwidth behind churn windows
+	// (default 12 GiB/s).
+	CopyGiBps float64
+}
+
+// stationKey identifies a shared serving station: one memory controller
+// and LLC per (host, socket), shared by every tenant living there.
+type stationKey struct {
+	host   string
+	socket int
+}
+
+// station is the shared memory path for one socket of one host.
+type station struct {
+	ctrl  *memctrl.Controller
+	cache *memctrl.Cache
+}
+
+// blackout is a virtual-time interval during which a tenant cannot start
+// requests (the stop-and-copy or pause-gated phase of a churn event).
+type blackout struct{ start, end float64 }
+
+// tenant is the runtime state of one serving tenant.
+type tenant struct {
+	spec   TenantSpec
+	idx    int
+	host   string // "" on single-host configs
+	socket int
+	hv     *core.Hypervisor
+	vm     *core.VM
+	st     *station
+	gen    *workload.KVRequests
+	run    *workload.Runner
+	rng    *rand.Rand // think gaps and churn dirtying
+	usable uint64     // current usable guest RAM (tracks resizes)
+
+	blackouts []blackout
+
+	hist           *stats.Histogram
+	requests       int64
+	errors         int64
+	violations     int64
+	lastCompletion float64
+}
+
+// thinkGap draws the tenant's next closed-loop think gap.
+func (t *tenant) thinkGap() float64 {
+	if t.spec.ThinkNs <= 0 {
+		return 0
+	}
+	return -t.spec.ThinkNs * math.Log(1-t.rng.Float64())
+}
+
+// reqEntry is one scheduled request arrival.
+type reqEntry struct {
+	ready  float64 // arrival time (virtual ns)
+	tenant int
+	client int
+	seq    int64
+}
+
+// reqHeap orders arrivals by (ready, tenant, client, seq) — a total order,
+// so the event loop is deterministic even under arrival-time ties.
+type reqHeap []reqEntry
+
+func (h reqHeap) Len() int { return len(h) }
+func (h reqHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	if a.tenant != b.tenant {
+		return a.tenant < b.tenant
+	}
+	if a.client != b.client {
+		return a.client < b.client
+	}
+	return a.seq < b.seq
+}
+func (h reqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x interface{}) { *h = append(*h, x.(reqEntry)) }
+func (h *reqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Loop is a configured serving loop. Build with New, run once with Run.
+type Loop struct {
+	cfg      Config
+	tenants  []*tenant
+	stations map[stationKey]*station
+	nextJit  int64 // per-station jitter-seed counter
+	events   []Event
+	windows  []*Window
+	queue    reqHeap
+	seq      int64
+
+	total          *stats.Histogram
+	lastCompletion float64
+
+	// probeMu guards activeWindow: lifecycle probes can fire from fleet
+	// host-worker goroutines, and the concurrency property test resizes
+	// VMs from outside the loop while it serves.
+	probeMu      sync.Mutex
+	activeWindow *Window // set while a churn event executes, for probes
+}
+
+// setActiveWindow points probes at the window of the executing event.
+func (l *Loop) setActiveWindow(w *Window) {
+	l.probeMu.Lock()
+	l.activeWindow = w
+	l.probeMu.Unlock()
+}
+
+// recordProbe appends a probe event to the active window, if any.
+func (l *Loop) recordProbe(s string) {
+	l.probeMu.Lock()
+	if l.activeWindow != nil {
+		l.activeWindow.Probes = append(l.activeWindow.Probes, s)
+	}
+	l.probeMu.Unlock()
+}
+
+// New validates the config, resolves every tenant to its VM, builds the
+// per-socket stations, and schedules the initial arrivals.
+func New(cfg Config) (*Loop, error) {
+	if cfg.Cluster == nil && cfg.Hypervisor == nil {
+		return nil, fmt.Errorf("serve: need a Hypervisor or a Cluster")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants")
+	}
+	if cfg.DurationNs <= 0 {
+		return nil, fmt.Errorf("serve: DurationNs must be positive")
+	}
+	if cfg.MLPWindow == 0 {
+		cfg.MLPWindow = 10
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 32 * geometry.MiB
+	}
+	if cfg.CacheWays == 0 {
+		cfg.CacheWays = 16
+	}
+	if cfg.Timing == (memctrl.Timing{}) {
+		cfg.Timing = memctrl.DDR4_2933()
+	}
+	if cfg.CopyGiBps <= 0 {
+		cfg.CopyGiBps = 12
+	}
+	for i := 1; i < len(cfg.Churn); i++ {
+		if cfg.Churn[i].AtNs < cfg.Churn[i-1].AtNs {
+			return nil, fmt.Errorf("serve: churn events must be sorted by AtNs")
+		}
+	}
+
+	l := &Loop{
+		cfg:      cfg,
+		stations: make(map[stationKey]*station),
+		events:   append([]Event(nil), cfg.Churn...),
+		total:    stats.NewHistogram(),
+	}
+	for i, spec := range cfg.Tenants {
+		if spec.Clients <= 0 {
+			spec.Clients = 1
+		}
+		if spec.ValueBytes == 0 {
+			spec.ValueBytes = 1024
+		}
+		if spec.ReadFrac == 0 {
+			spec.ReadFrac = 0.95
+		}
+		if spec.ServerThinkNs == 0 {
+			spec.ServerThinkNs = 250
+		}
+		t := &tenant{
+			spec: spec,
+			idx:  i,
+			hv:   cfg.Hypervisor,
+			rng:  rand.New(rand.NewSource(cfg.Seed + 104729*int64(i) + 7)),
+			hist: stats.NewHistogram(),
+		}
+		if err := t.rebindHost(l); err != nil {
+			return nil, err
+		}
+		vm, ok := t.hv.VM(spec.VM)
+		if !ok {
+			return nil, fmt.Errorf("serve: VM %q not found on host %q", spec.VM, t.host)
+		}
+		t.socket = vm.Spec().Socket
+		t.usable = vm.Spec().MemoryBytes
+		t.gen = workload.NewKVRequests(t.usable, spec.ValueBytes,
+			spec.ReadFrac, spec.ServerThinkNs, cfg.Seed+7919*int64(i)+1)
+		if err := t.bind(l); err != nil {
+			return nil, err
+		}
+		l.tenants = append(l.tenants, t)
+
+		if spec.TargetQPS > 0 {
+			// Open loop: stagger tenants across the first interval so
+			// co-tenants do not arrive in lockstep.
+			interval := 1e9 / spec.TargetQPS
+			first := interval * float64(i) / float64(len(cfg.Tenants))
+			l.push(first, i, 0)
+		} else {
+			for c := 0; c < spec.Clients; c++ {
+				l.push(t.thinkGap(), i, c)
+			}
+		}
+	}
+	l.installProbes()
+	return l, nil
+}
+
+// rebindHost resolves which hypervisor currently hosts the tenant's VM
+// (after a cross-host move the answer changes).
+func (t *tenant) rebindHost(l *Loop) error {
+	if l.cfg.Cluster == nil {
+		return nil
+	}
+	hostName, err := l.cfg.Cluster.HostOf(t.spec.VM)
+	if err != nil {
+		return fmt.Errorf("serve: tenant %q: %w", t.spec.VM, err)
+	}
+	h, err := l.cfg.Cluster.Host(hostName)
+	if err != nil {
+		return err
+	}
+	t.host, t.hv = hostName, h.Hypervisor()
+	return nil
+}
+
+// bind (re)attaches the tenant to its VM, station, and runner — called at
+// setup and again after every churn event that may have moved the VM or
+// changed its size.
+func (t *tenant) bind(l *Loop) error {
+	vm, ok := t.hv.VM(t.spec.VM)
+	if !ok {
+		return fmt.Errorf("serve: VM %q not found on host %q", t.spec.VM, t.host)
+	}
+	t.vm = vm
+	t.st = l.station(t.host, t.socket, t.hv)
+	t.run = workload.NewRunner(vm, t.st.ctrl, t.st.cache)
+	return nil
+}
+
+// station returns (creating on first use) the shared memory path for one
+// socket of one host. Creation order is deterministic: tenants bind in
+// config order and churn events execute in virtual-time order.
+func (l *Loop) station(host string, socket int, hv *core.Hypervisor) *station {
+	key := stationKey{host, socket}
+	if st, ok := l.stations[key]; ok {
+		return st
+	}
+	var jit int64
+	if l.cfg.JitterSeed != 0 {
+		l.nextJit++
+		jit = l.cfg.JitterSeed + 7919*l.nextJit
+	}
+	var mit mitigation.Mitigation
+	if l.cfg.Mitigation != nil {
+		mit = l.cfg.Mitigation(host, socket)
+	}
+	ctrl, err := memctrl.New(memctrl.Config{
+		Mapper:     hv.Memory().Mapper(),
+		Timing:     l.cfg.Timing,
+		MLPWindow:  l.cfg.MLPWindow,
+		HomeSocket: socket,
+		JitterSeed: jit,
+		Mitigation: mit,
+	})
+	if err != nil {
+		// Config was validated at New; a mapper failure here is a bug.
+		panic(fmt.Sprintf("serve: station controller: %v", err))
+	}
+	st := &station{ctrl: ctrl}
+	if l.cfg.CacheBytes > 0 {
+		cache, err := memctrl.NewCache(l.cfg.CacheBytes, l.cfg.CacheWays)
+		if err != nil {
+			panic(fmt.Sprintf("serve: station cache: %v", err))
+		}
+		st.cache = cache
+	}
+	l.stations[key] = st
+	return st
+}
+
+// installProbes hooks lifecycle and move probes so churn windows record
+// which mechanism stages fired inside them.
+func (l *Loop) installProbes() {
+	hook := func(event string, vm *core.VM) {
+		l.recordProbe(fmt.Sprintf("%s@%s", event, vm.Spec().Name))
+	}
+	if l.cfg.Cluster != nil {
+		for _, h := range l.cfg.Cluster.Hosts() {
+			h.Hypervisor().SetLifecycleProbe(hook)
+		}
+		l.cfg.Cluster.SetMoveProbe(func(stage, vm string) {
+			l.recordProbe(fmt.Sprintf("move.%s@%s", stage, vm))
+		})
+		return
+	}
+	l.cfg.Hypervisor.SetLifecycleProbe(hook)
+}
+
+// push schedules an arrival if it falls inside the horizon.
+func (l *Loop) push(ready float64, tenantIdx, client int) {
+	if ready >= l.cfg.DurationNs {
+		return
+	}
+	l.seq++
+	heap.Push(&l.queue, reqEntry{ready: ready, tenant: tenantIdx, client: client, seq: l.seq})
+}
+
+// Run drives the loop to completion and returns the report. ctx is
+// checked between requests; churn-event errors do not abort the run (they
+// are recorded on the event's window — a baseline host refusing
+// defragmentation is a result, not a failure).
+func (l *Loop) Run(ctx context.Context) (*Report, error) {
+	processed := 0
+	for l.queue.Len() > 0 {
+		if processed%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		e := heap.Pop(&l.queue).(reqEntry)
+		for len(l.events) > 0 && l.events[0].AtNs <= e.ready {
+			ev := l.events[0]
+			l.events = l.events[1:]
+			l.execute(ctx, ev)
+		}
+		t := l.tenants[e.tenant]
+		completion := l.serveOne(t, e.ready)
+		processed++
+		if t.spec.TargetQPS > 0 {
+			l.push(e.ready+1e9/t.spec.TargetQPS, e.tenant, e.client)
+		} else {
+			l.push(completion+t.thinkGap(), e.tenant, e.client)
+		}
+	}
+	// Events scheduled after the last arrival still run (their windows
+	// report zero traffic).
+	for _, ev := range l.events {
+		l.execute(ctx, ev)
+	}
+	l.events = nil
+	return l.report(), nil
+}
+
+// serveOne serves one request arriving at ready and returns its completion
+// time. Latency is completion − arrival: station queueing (a shared
+// controller still busy with an earlier tenant's request) and churn
+// blackouts both land in it, which is the point.
+func (l *Loop) serveOne(t *tenant, ready float64) float64 {
+	start := ready
+	for _, b := range t.blackouts {
+		if start >= b.start && start < b.end {
+			start = b.end
+		}
+	}
+	t.st.ctrl.AdvanceTo(start)
+	var issueErr error
+	for _, a := range t.gen.Next() {
+		if err := t.run.Issue(a); err != nil {
+			issueErr = err
+			break
+		}
+	}
+	completion := t.run.FinishRequest()
+	t.requests++
+	if issueErr != nil {
+		t.errors++
+		return completion
+	}
+	lat := completion - ready
+	t.hist.Record(lat)
+	l.total.Record(lat)
+	if l.cfg.SLONs > 0 && lat > l.cfg.SLONs {
+		t.violations++
+	}
+	if completion > t.lastCompletion {
+		t.lastCompletion = completion
+	}
+	if completion > l.lastCompletion {
+		l.lastCompletion = completion
+	}
+	for _, w := range l.windows {
+		if ready < w.EndNs && completion > w.StartNs {
+			w.Hist.Record(lat)
+		}
+	}
+	return completion
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := 0; v < subBuckets; v++ {
+		h.Record(float64(v))
+	}
+	if h.Count() != subBuckets {
+		t.Fatalf("count = %d, want %d", h.Count(), subBuckets)
+	}
+	// The first octaves are exact: the median of 0..15 by nearest-rank is 7.
+	if got := h.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 = %v, want 7", got)
+	}
+	if h.Min() != 0 || h.Max() != subBuckets-1 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileError(t *testing.T) {
+	// Against a sorted reference, every quantile must land within one
+	// sub-bucket (~1/subBuckets relative) of the true value.
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.Float64() * 18) // 1ns .. ~65ms, log-uniform
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := vals[int(math.Ceil(q*float64(len(vals))))-1]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 2.0/subBuckets {
+			t.Errorf("q%v: got %.1f want %.1f (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramMergeEquivalence(t *testing.T) {
+	// Recording a stream into one histogram and recording its halves into
+	// two then merging must produce identical state — the property the
+	// parallel experiment scheduler relies on.
+	rng := rand.New(rand.NewSource(11))
+	whole, a, b := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64() * 1e7
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := NewHistogram()
+	merged.Merge(a)
+	merged.Merge(b)
+	if merged.counts != whole.counts || merged.total != whole.total ||
+		merged.min != whole.min || merged.max != whole.max {
+		t.Fatalf("merged state differs from whole-stream state:\n  merged %v\n  whole  %v", merged, whole)
+	}
+	// Sums differ only by float addition order.
+	if rel := math.Abs(merged.sum-whole.sum) / whole.sum; rel > 1e-12 {
+		t.Fatalf("merged sum off by %v", rel)
+	}
+	// And merging in a fixed order is itself deterministic.
+	again := NewHistogram()
+	again.Merge(a)
+	again.Merge(b)
+	if *again != *merged {
+		t.Fatalf("repeat merge differs")
+	}
+}
+
+func TestHistogramCountAbove(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{10, 100, 1000, 10000, 100000} {
+		h.Record(v)
+	}
+	if got := h.CountAbove(1000); got != 2 {
+		t.Fatalf("CountAbove(1000) = %d, want 2", got)
+	}
+	if got := h.CountAbove(1e9); got != 0 {
+		t.Fatalf("CountAbove(1e9) = %d, want 0", got)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram not zero-valued: %v", h)
+	}
+	h.Record(-5) // clamps to 0
+	h.Record(1e18)
+	if h.Count() != 2 || h.Min() != 0 {
+		t.Fatalf("clamp: %v", h)
+	}
+	if got := h.Quantile(1); got <= 0 {
+		t.Fatalf("max-bucket quantile = %v", got)
+	}
+}

@@ -29,13 +29,21 @@ func (Terasort) Generate(region uint64, ops int, seed int64, emit func(Access) b
 		case 0: // map: sequential input read
 			base := (rec * recLines * line) % third
 			for i := uint64(0); i < recLines; i++ {
-				if !emit(Access{Offset: base + i*line, ThinkNs: 80}) {
+				if !emit(Access{Offset: (base + i*line) % region, ThinkNs: 80}) {
 					return
 				}
 			}
 		case 1: // shuffle: write to a random partition
 			part := uint64(rng.Intn(64))
-			base := third + alignDown(part*(third/64)+uint64(rng.Intn(int(third/64/line)))*line, third)
+			off := part * (third / 64)
+			// Tiny regions collapse a partition below one line; skip the
+			// intra-partition jitter draw rather than calling Intn(0).
+			// Regions with room draw exactly as before, so streams over
+			// normal regions are unchanged.
+			if span := third / 64 / line; span > 0 {
+				off += uint64(rng.Intn(int(span))) * line
+			}
+			base := third + alignDown(off, third)
 			for i := uint64(0); i < recLines; i++ {
 				if !emit(Access{Offset: (base + i*line) % region, Write: true, ThinkNs: 60}) {
 					return
@@ -90,6 +98,18 @@ func (Sysbench) Name() string { return "mysql" }
 func (Sysbench) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
 	rng := rand.New(rand.NewSource(seed))
 	logBase := alignDown(region-region/16, region)
+	if logBase == 0 {
+		// Tiny regions: alignDown uses logBase as a modulus, so it must
+		// stay positive; the table area degenerates to the whole region.
+		logBase = region
+	}
+	// logSpan is the whole-line capacity of the append area above logBase;
+	// zero when the tail holds no complete line (the log then wraps onto
+	// logBase itself instead of dividing by zero).
+	logSpan := uint64(0)
+	if region > logBase {
+		logSpan = (region - logBase) / line * line
+	}
 	logOff := uint64(0)
 	for op := 0; op < ops; op++ {
 		// B-tree descent: 4 dependent random lines.
@@ -113,7 +133,11 @@ func (Sysbench) Generate(region uint64, ops int, seed int64, emit func(Access) b
 			if !emit(Access{Offset: row, Write: true, ThinkNs: 50}) {
 				return
 			}
-			if !emit(Access{Offset: logBase + logOff%((region-logBase)/line*line), Write: true}) {
+			app := logBase
+			if logSpan > 0 {
+				app += logOff % logSpan
+			}
+			if !emit(Access{Offset: app % region, Write: true}) {
 				return
 			}
 			logOff += line

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// KVRequests generates zipfian key-value requests one at a time, for the
+// request-serving loop (internal/serve): where Workload.Generate emits one
+// long access stream, Next returns exactly one request's accesses — an
+// index lookup (two dependent lines) followed by the value's lines — so
+// the caller can put a latency boundary around each request. The key
+// popularity, read/write mix, and layout match the YCSB/memcached model.
+type KVRequests struct {
+	l        kvLayout
+	rng      *rand.Rand
+	z        *rand.Zipf
+	readFrac float64
+	thinkNs  float64
+	buf      []Access
+}
+
+// NewKVRequests builds a request generator over a guest-RAM region.
+// readFrac is the GET fraction (the rest are SETs); thinkNs is the
+// request-handling compute preceding the first access.
+func NewKVRequests(region, valueSize uint64, readFrac, thinkNs float64, seed int64) *KVRequests {
+	k := &KVRequests{
+		rng:      rand.New(rand.NewSource(seed)),
+		readFrac: readFrac,
+		thinkNs:  thinkNs,
+	}
+	k.reshape(region, valueSize)
+	return k
+}
+
+// reshape (re)builds the layout and key distribution for a region size.
+func (k *KVRequests) reshape(region, valueSize uint64) {
+	k.l = newKVLayout(region, valueSize)
+	k.z = zipfKey(k.rng, k.l.keys)
+}
+
+// Resize rebinds the generator to a new usable region size — after a
+// balloon shrink the tenant's store shrinks with it (the hypervisor takes
+// the highest-GPA pages, so [0, region) stays valid). The rng stream
+// continues where it was: resized runs remain deterministic.
+func (k *KVRequests) Resize(region uint64) {
+	k.reshape(region, k.l.valueSize)
+}
+
+// Next returns the next request's accesses. The returned slice is reused
+// by the following Next call.
+func (k *KVRequests) Next() []Access {
+	key := k.z.Uint64()
+	write := k.rng.Float64() >= k.readFrac
+	k.buf = k.buf[:0]
+	think := k.thinkNs
+	for _, off := range k.l.indexProbe(key) {
+		k.buf = append(k.buf, Access{Offset: off, ThinkNs: think})
+		think = 0
+	}
+	base := k.l.valueBase(key)
+	for off := uint64(0); off < k.l.valueSize; off += line {
+		k.buf = append(k.buf, Access{Offset: (base + off) % k.l.region, Write: write})
+	}
+	return k.buf
+}

@@ -7,43 +7,95 @@ import (
 	"repro/internal/memctrl"
 )
 
-// RunOnVM executes a workload inside a VM: each guest-RAM access is
-// translated through the VM's EPTs (with its TLB) to a host physical
-// address, filtered through an optional last-level cache model, and issued
-// to the memory-controller model. This is the measurement path behind
-// Figures 4-7: the only difference between Siloz and the baseline is where
-// the hypervisor placed the VM's pages.
+// Runner issues guest-RAM accesses for one VM through the measurement
+// path behind Figures 4-7: translate through the VM's EPTs (with its TLB),
+// filter through an optional last-level cache model, and issue to the
+// memory-controller model. The only difference between Siloz and the
+// baseline is where the hypervisor placed the VM's pages.
 //
-// cache may be nil to drive raw DRAM traffic (e.g. Intel MLC, which defeats
-// caching by design). Cache hits contribute their hit latency as think time
-// preceding the next DRAM access, matching how an out-of-order core hides
-// them.
+// Think-time accounting is exact at request granularity: cache hits
+// contribute their hit latency as think time preceding the next DRAM
+// access of the *same* request, and FinishRequest settles any trailing
+// hit latency into the controller's clock before reporting the request's
+// completion time — so a request that ends on cache hits is never charged
+// to the next request, and its own latency includes every hit it made.
+// The request-serving loop (internal/serve) is built on these boundaries;
+// RunOnVM runs a whole workload stream as one request.
+type Runner struct {
+	vm     *core.VM
+	ctrl   *memctrl.Controller
+	cache  *memctrl.Cache
+	region uint64
+
+	// pendingThink is accumulated think + cache-hit latency awaiting the
+	// next DRAM access (or FinishRequest, whichever comes first).
+	pendingThink float64
+	// lastDone is the completion frontier of the current request's DRAM
+	// accesses.
+	lastDone float64
+}
+
+// NewRunner builds a runner. cache may be nil to drive raw DRAM traffic
+// (e.g. Intel MLC, which defeats caching by design).
+func NewRunner(vm *core.VM, ctrl *memctrl.Controller, cache *memctrl.Cache) *Runner {
+	return &Runner{vm: vm, ctrl: ctrl, cache: cache, region: vm.Spec().MemoryBytes}
+}
+
+// Issue translates and issues one access. Cache hits accumulate into the
+// pending think time; misses reach DRAM carrying everything accumulated
+// since the last miss.
+func (r *Runner) Issue(a Access) error {
+	hpa, err := r.vm.Translate(a.Offset % r.region)
+	if err != nil {
+		return fmt.Errorf("translating %#x: %w", a.Offset, err)
+	}
+	if r.cache != nil && r.cache.Access(hpa) {
+		r.pendingThink += a.ThinkNs + r.cache.HitNs
+		return nil
+	}
+	done, _, err := r.ctrl.DoTimed(memctrl.Access{PA: hpa, Write: a.Write, ThinkNs: a.ThinkNs + r.pendingThink})
+	if err != nil {
+		return fmt.Errorf("access %#x: %w", hpa, err)
+	}
+	r.pendingThink = 0
+	if done > r.lastDone {
+		r.lastDone = done
+	}
+	return nil
+}
+
+// FinishRequest closes the current request: trailing cache-hit latency is
+// settled into the controller's clock (it belongs to this request, not
+// the next), and the request's completion time — the later of its last
+// DRAM completion and the core's clock — is returned.
+func (r *Runner) FinishRequest() float64 {
+	if r.pendingThink > 0 {
+		r.ctrl.Idle(r.pendingThink)
+		r.pendingThink = 0
+	}
+	done := r.ctrl.Now()
+	if r.lastDone > done {
+		done = r.lastDone
+	}
+	r.lastDone = 0
+	return done
+}
+
+// RunOnVM executes a whole workload stream inside a VM as one request.
+// On error the stream stops early, but the accesses already issued —
+// including any trailing cache-hit think time — are settled into the
+// controller, and the partial result is returned alongside the error
+// (an earlier version dropped both, under-reporting the modeled time).
 func RunOnVM(vm *core.VM, ctrl *memctrl.Controller, cache *memctrl.Cache, w Workload, ops int, seed int64) (memctrl.Result, error) {
-	region := vm.Spec().MemoryBytes
+	r := NewRunner(vm, ctrl, cache)
 	var firstErr error
-	pendingThink := 0.0
-	w.Generate(region, ops, seed, func(a Access) bool {
-		hpa, err := vm.Translate(a.Offset % region)
-		if err != nil {
-			firstErr = fmt.Errorf("workload %s: translating %#x: %w", w.Name(), a.Offset, err)
+	w.Generate(r.region, ops, seed, func(a Access) bool {
+		if err := r.Issue(a); err != nil {
+			firstErr = fmt.Errorf("workload %s: %w", w.Name(), err)
 			return false
 		}
-		if cache != nil && cache.Access(hpa) {
-			pendingThink += a.ThinkNs + cache.HitNs
-			return true
-		}
-		if _, err := ctrl.Do(memctrl.Access{PA: hpa, Write: a.Write, ThinkNs: a.ThinkNs + pendingThink}); err != nil {
-			firstErr = fmt.Errorf("workload %s: access %#x: %w", w.Name(), hpa, err)
-			return false
-		}
-		pendingThink = 0
 		return true
 	})
-	if firstErr != nil {
-		return memctrl.Result{}, firstErr
-	}
-	if pendingThink > 0 {
-		ctrl.Idle(pendingThink)
-	}
-	return ctrl.Result(), nil
+	r.FinishRequest()
+	return ctrl.Result(), firstErr
 }

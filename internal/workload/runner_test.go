@@ -93,6 +93,132 @@ func TestSilozAndBaselinePerformanceComparable(t *testing.T) {
 	}
 }
 
+// scriptWorkload replays a fixed access list, optionally running a hook
+// before each access — the instrument for hand-computed timing tests and
+// for injecting failures mid-stream.
+type scriptWorkload struct {
+	accs []Access
+	hook func(i int)
+}
+
+func (scriptWorkload) Name() string { return "script" }
+
+func (s scriptWorkload) Generate(region uint64, ops int, seed int64, emit func(Access) bool) {
+	for i, a := range s.accs {
+		if s.hook != nil {
+			s.hook(i)
+		}
+		if !emit(a) {
+			return
+		}
+	}
+}
+
+// TestRunnerThinkAccountingPinned drives the Runner over a hand-computed
+// stream and pins request completion times against the timing model
+// applied by hand: DDR4-2933 with zero jitter, a first activation pushed
+// behind the initial TRFC refresh, cache hits folding their latency into
+// the request's own clock, and an all-hit tail never outrunning the last
+// DRAM completion.
+func TestRunnerThinkAccountingPinned(t *testing.T) {
+	h, vm := bootVM(t, core.ModeSiloz)
+	tm := memctrl.DDR4_2933()
+	ctrl, err := memctrl.New(memctrl.Config{
+		Mapper: h.Memory().Mapper(), Timing: tm, MLPWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := memctrl.NewCache(geometry.MiB, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(vm, ctrl, cache)
+	missLat := tm.TRP + tm.TRCD + tm.TCL + tm.TBurst
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if d := got - want; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Request 1: one DRAM miss (think 100) then a cache hit (think 400).
+	// The miss issues at t=100 but its activation waits out the initial
+	// refresh (TRFC); the trailing hit's 400+HitNs belongs to *this*
+	// request, so completion is clock-bound at 100+400+HitNs.
+	if err := r.Issue(Access{Offset: 0, ThinkNs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Issue(Access{Offset: 0, ThinkNs: 400}); err != nil {
+		t.Fatal(err)
+	}
+	done1 := r.FinishRequest()
+	approx("request 1 completion", done1, 100+400+cache.HitNs)
+	approx("TotalNs after request 1", ctrl.Result().TotalNs, done1)
+
+	// Request 2: a miss on a fresh line (think 30) then a hit (think 5).
+	// The DRAM access issues at done1+30 with no timing constraint
+	// binding, so it completes a full miss latency later; the small
+	// trailing hit advances the clock only to done1+30+5+HitNs, which
+	// must NOT outrun the DRAM completion.
+	if err := r.Issue(Access{Offset: line, ThinkNs: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Issue(Access{Offset: 0, ThinkNs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	done2 := r.FinishRequest()
+	approx("request 2 completion", done2, done1+30+missLat)
+	if got := ctrl.Result().Accesses; got != 2 {
+		t.Fatalf("DRAM accesses = %d, want 2 (two hits served by cache)", got)
+	}
+}
+
+// TestRunOnVMErrorPathSettlesThink pins the error-path fix: when the
+// stream dies mid-run, the accesses already issued — including trailing
+// cache-hit think time — must still be visible in the returned partial
+// result. The pre-fix code returned a zero Result and dropped the pending
+// think entirely.
+func TestRunOnVMErrorPathSettlesThink(t *testing.T) {
+	h, vm := bootVM(t, core.ModeSiloz)
+	ctrl, err := memctrl.New(memctrl.Config{
+		Mapper: h.Memory().Mapper(), Timing: memctrl.DDR4_2933(), MLPWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := memctrl.NewCache(geometry.MiB, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := scriptWorkload{
+		accs: []Access{
+			{Offset: 0, ThinkNs: 100}, // DRAM miss
+			{Offset: 0, ThinkNs: 400}, // cache hit: pending think 400+HitNs
+			{Offset: 0, ThinkNs: 1},   // never issued: VM destroyed first
+		},
+		hook: func(i int) {
+			if i == 2 {
+				if err := h.DestroyVM("bench"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	}
+	res, err := RunOnVM(vm, ctrl, cache, w, 1, 1)
+	if err == nil {
+		t.Fatal("expected a translation error from the destroyed VM")
+	}
+	if res.Accesses != 1 {
+		t.Fatalf("partial result has %d accesses, want 1", res.Accesses)
+	}
+	want := 100 + 400 + cache.HitNs
+	if res.TotalNs < want-1e-9 {
+		t.Fatalf("TotalNs = %v: trailing pending think dropped on the error path (want >= %v)",
+			res.TotalNs, want)
+	}
+}
+
 func TestRunOnVMSurfacesTranslationErrors(t *testing.T) {
 	h, vm := bootVM(t, core.ModeSiloz)
 	ctrl, err := memctrl.New(memctrl.Config{

@@ -22,15 +22,8 @@ func collect(t *testing.T, w Workload, ops int) []Access {
 	return out
 }
 
-// allWorkloads returns one of everything.
-func allWorkloads() []Workload {
-	ws := AllYCSB()
-	ws = append(ws, Terasort{}, Memcached{}, Sysbench{})
-	ws = append(ws, SPECSuite()...)
-	ws = append(ws, PARSECSuite()...)
-	ws = append(ws, AllMLC()...)
-	return ws
-}
+// allWorkloads returns one of everything (the package registry).
+func allWorkloads() []Workload { return All() }
 
 func TestAllWorkloadsEmitValidAccesses(t *testing.T) {
 	for _, w := range allWorkloads() {
